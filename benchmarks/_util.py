@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and
+
+* prints the reproduced rows/series,
+* writes them to ``benchmarks/out/<name>.txt`` for EXPERIMENTS.md,
+* asserts the qualitative *shape* claims (who wins, trends, crossovers).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.analog.engine import TransientOptions
+
+#: Engine options used by the benches: ~10 mV accurate, ~2x faster than
+#: the defaults.
+BENCH_OPTIONS = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, lines: Iterable[str]) -> str:
+    """Print a result block and persist it under ``benchmarks/out/``."""
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path

@@ -1,0 +1,48 @@
+"""Ablation - transistor sizing vs sensitivity (the "delay" knob).
+
+Paper: the sensitivity also "increases with the decrease of ... the delay"
+of the sensing blocks.  Wider devices make the blocks faster (smaller
+internal delay d), so the skew needed for y1 to finish before y2 starts
+shrinks: tau_min falls as W grows.  The cost is area and clock loading -
+the classic DFT trade-off this bench quantifies.
+"""
+
+from repro.core.sensing import SensorSizing
+from repro.core.sensitivity import extract_tau_min
+from repro.units import fF, ns, to_ns, um
+
+from _util import BENCH_OPTIONS, emit
+
+WIDTHS_UM = (1.2, 1.8, 3.0, 5.0, 8.0)
+LOAD = fF(160)
+
+
+def run():
+    results = {}
+    for w in WIDTHS_UM:
+        sizing = SensorSizing(w_n=um(w), w_p=um(2 * w))
+        results[w] = extract_tau_min(
+            LOAD, sizing=sizing, tolerance=ns(0.005), options=BENCH_OPTIONS
+        )
+    return results
+
+
+def test_ablation_sizing(benchmark):
+    taus = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"Ablation: device width vs sensitivity (C = {LOAD * 1e15:.0f} fF, "
+        "W_p = 2 W_n)",
+        "",
+        "  W_n [um]   tau_min [ns]",
+    ]
+    for w in WIDTHS_UM:
+        lines.append(f"  {w:8.1f}   {to_ns(taus[w]):10.3f}")
+    lines.append("")
+    lines.append("  paper: sensitivity increases as the block delay decreases")
+    emit("ablation_sizing", lines)
+
+    ordered = [taus[w] for w in WIDTHS_UM]
+    assert ordered == sorted(ordered, reverse=True), \
+        "tau_min must fall as devices widen"
+    assert ordered[-1] < 0.5 * ordered[0]

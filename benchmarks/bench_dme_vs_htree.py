@@ -1,0 +1,96 @@
+"""Ablation - clock-tree styles under process variation.
+
+Sec. 1: conventional techniques (buffer insertion, zero-skew routing)
+achieve nominal zero skew, yet "circuit parameter fluctuations ... may
+degrade the reliability of clock operations" - which is why the sensing
+scheme exists.  This bench quantifies that premise on both substrates:
+
+* symmetric buffered H-tree and DME zero-skew routed tree both have zero
+  *nominal* skew;
+* under +/-15 % per-segment parameter fluctuation both develop real skews
+  on the order of the sensor's tau_min - i.e. the monitored failure mode
+  is reachable by ordinary variation, not only by hard defects.
+"""
+
+import numpy as np
+
+from repro.clocktree import (
+    Buffer,
+    build_h_tree,
+    build_zero_skew_tree,
+    perturb_tree,
+    sink_delays,
+)
+from repro.units import ns, to_ns
+
+from _util import emit
+
+N_TRIALS = 40
+
+
+def build_both():
+    htree = build_h_tree(levels=2, chip_size=10e-3, buffer=Buffer())
+    rng = np.random.default_rng(5)
+    sinks = [
+        (f"s{k}",
+         (float(rng.uniform(0, 10e-3)), float(rng.uniform(0, 10e-3))),
+         50e-15)
+        for k in range(16)
+    ]
+    dme = build_zero_skew_tree(sinks, root_buffer=Buffer())
+    return htree, dme
+
+
+def variation_skews(tree, seed):
+    rng = np.random.default_rng(seed)
+    spreads = []
+    for _ in range(N_TRIALS):
+        delays = sink_delays(perturb_tree(tree, rng, relative_variation=0.15))
+        values = np.array(list(delays.values()))
+        spreads.append(values.max() - values.min())
+    return np.array(spreads)
+
+
+def run():
+    htree, dme = build_both()
+    return {
+        "h-tree": (htree, variation_skews(htree, 31)),
+        "dme": (dme, variation_skews(dme, 32)),
+    }
+
+
+def test_dme_vs_htree_variation(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: nominal-zero-skew trees under +/-15 % parameter variation",
+        f"  ({N_TRIALS} Monte Carlo trials each; sensor tau_min ~ 0.12 ns)",
+        "",
+        "  tree     nominal skew   wirelen    skew under variation "
+        "(min/median/max)",
+    ]
+    for name, (tree, spreads) in results.items():
+        nominal = sink_delays(tree)
+        values = np.array(list(nominal.values()))
+        nominal_skew = values.max() - values.min()
+        lines.append(
+            f"  {name:<8} {to_ns(nominal_skew):10.4f} ns "
+            f"{tree.total_wire_length() * 1e3:7.1f} mm   "
+            f"{to_ns(spreads.min()):.3f} / {to_ns(np.median(spreads)):.3f} / "
+            f"{to_ns(spreads.max()):.3f} ns"
+        )
+    lines.append("")
+    lines.append(
+        "  premise reproduced: zero-skew-by-design trees develop "
+        "sensor-detectable skews under ordinary variation"
+    )
+    emit("dme_vs_htree", lines)
+
+    for name, (tree, spreads) in results.items():
+        nominal = sink_delays(tree)
+        values = np.array(list(nominal.values()))
+        assert values.max() - values.min() < 1e-12, f"{name} not zero-skew"
+        # Variation produces skews beyond the sensor sensitivity in a
+        # non-negligible fraction of trials.
+        assert np.median(spreads) > ns(0.05)
+        assert (spreads > ns(0.12)).mean() > 0.25

@@ -1,0 +1,89 @@
+"""Ablation - Elmore timing model vs transistor/RC-level co-simulation.
+
+The scheme's behavioural evaluations (Fig.-6 campaigns, critical-pair
+selection) run on Elmore delays; this bench validates that substrate
+against the electrical ground truth and closes the full loop once:
+
+* per-sink insertion delays: electrical vs Elmore within model-order
+  tolerance, same ordering;
+* injected-defect skews: both models agree on who is late and by a
+  comparable amount;
+* flagship run: clock generator -> buffered RC tree with a resistive
+  open -> sensing circuit grafted onto the two sink nodes -> the 01
+  error indication, all in one transistor-level netlist.
+"""
+
+from repro.clocktree.electrical import (
+    cosimulate_pair_with_sensor,
+    electrical_sink_arrivals,
+)
+from repro.clocktree.faults import ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.tree import Buffer
+from repro.units import ns, to_ns
+
+from _util import BENCH_OPTIONS, emit
+
+
+def run():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    sinks = sorted(s.name for s in tree.sinks())
+    a, b = sinks[0], sinks[1]
+
+    elmore = sink_delays(tree)
+    electrical = electrical_sink_arrivals(tree, [a, b], options=BENCH_OPTIONS)
+
+    faulty = ResistiveOpen(node=b, extra_resistance=10_000.0).apply(tree)
+    elmore_f = sink_delays(faulty)
+    electrical_f = electrical_sink_arrivals(faulty, [a, b], options=BENCH_OPTIONS)
+
+    code, _, _ = cosimulate_pair_with_sensor(faulty, a, b, options=BENCH_OPTIONS)
+    healthy_code, _, _ = cosimulate_pair_with_sensor(tree, a, b, options=BENCH_OPTIONS)
+    return {
+        "pair": (a, b),
+        "elmore": elmore,
+        "electrical": electrical,
+        "elmore_skew": elmore_f[b] - elmore_f[a],
+        "electrical_skew": electrical_f[b] - electrical_f[a],
+        "code": code,
+        "healthy_code": healthy_code,
+    }
+
+
+def test_electrical_validation(benchmark):
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    a, b = data["pair"]
+
+    lines = [
+        "Ablation: Elmore model vs transistor/RC co-simulation "
+        "(16-sink buffered H-tree)",
+        "",
+        "  insertion delay      Elmore     electrical   ratio",
+    ]
+    for sink in (a, b):
+        e = data["elmore"][sink]
+        m = data["electrical"][sink]
+        lines.append(
+            f"  sink {sink:<6}      {to_ns(e):7.3f} ns  {to_ns(m):7.3f} ns"
+            f"   {m / e:5.2f}"
+        )
+    lines += [
+        "",
+        f"  10 kohm open on {b}'s wire:",
+        f"    skew (Elmore)     : {to_ns(data['elmore_skew']):+.3f} ns",
+        f"    skew (electrical) : {to_ns(data['electrical_skew']):+.3f} ns",
+        f"    full-stack sensor code, healthy tree : {data['healthy_code']}",
+        f"    full-stack sensor code, faulty tree  : {data['code']}",
+    ]
+    emit("electrical_validation", lines)
+
+    for sink in (a, b):
+        ratio = data["electrical"][sink] / data["elmore"][sink]
+        assert 0.5 < ratio <= 1.2
+    assert data["elmore_skew"] > ns(0.1)
+    assert data["electrical_skew"] > ns(0.1)
+    # Agreement within 2x on the injected skew magnitude.
+    assert 0.5 < data["electrical_skew"] / data["elmore_skew"] < 2.0
+    assert data["healthy_code"] == (0, 0)
+    assert data["code"] == (0, 1)

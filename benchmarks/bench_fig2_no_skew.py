@@ -1,0 +1,52 @@
+"""Fig. 2 - input/output waveforms with no skew.
+
+Paper claim: with simultaneous rising edges both outputs switch low
+together but "cannot fall below the n-channel conductance threshold,
+because of the feedback between the two blocks", then recover high after
+the falling edges.
+"""
+
+import pytest
+
+from repro.core.response import ERROR_NONE, simulate_sensor
+from repro.core.sensing import SkewSensor
+from repro.devices.process import nominal_process
+from repro.units import VTH_INTERPRET, fF, ns
+
+from _util import BENCH_OPTIONS, emit
+
+
+def run():
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    return simulate_sensor(sensor, skew=0.0, options=BENCH_OPTIONS)
+
+
+def test_fig2_no_skew_waveforms(benchmark):
+    response = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    vtn = nominal_process().nmos.vt0
+    y1 = response.wave("y1")
+    y2 = response.wave("y2")
+    samples = [
+        (t, y1.at(ns(t)), y2.at(ns(t)))
+        for t in (1.0, 2.5, 4.0, 8.0, 12.5, 14.0, 20.0)
+    ]
+    emit(
+        "fig2_no_skew",
+        [
+            "Fig. 2 reproduction: no skew between phi1/phi2 (160 fF loads)",
+            f"  Vmin(y1) = {response.vmin_y1:.3f} V",
+            f"  Vmin(y2) = {response.vmin_y2:.3f} V",
+            f"  NMOS threshold VTn = {vtn:.2f} V (clamp floor)",
+            f"  interpreted code   = {response.code} (no error)",
+            "",
+            "  t[ns]   V(y1)   V(y2)",
+        ]
+        + [f"  {t:5.1f}  {v1:6.2f}  {v2:6.2f}" for t, v1, v2 in samples],
+    )
+
+    # Shape claims.
+    assert response.code == ERROR_NONE
+    assert vtn * 0.8 < response.vmin_y1 < VTH_INTERPRET / 2
+    assert abs(response.vmin_y1 - response.vmin_y2) < 0.05
+    assert y1.final_value() == pytest.approx(5.0, abs=0.1)

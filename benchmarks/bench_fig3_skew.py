@@ -1,0 +1,63 @@
+"""Fig. 3 - waveforms in the presence of a skew.
+
+Paper claims: with phi2 delayed, y1 completes its falling transition, the
+pull-down of block B is disabled by the feedback transistor, y2 holds high
+(error indication 01), and the indication "holds for a time long enough
+(half of the clock period)".
+"""
+
+import pytest
+
+from repro.core.response import ERROR_PHI1_LATE, ERROR_PHI2_LATE, simulate_sensor
+from repro.core.sensing import SkewSensor
+from repro.units import VTH_INTERPRET, fF, ns, to_ns
+
+from _util import BENCH_OPTIONS, emit
+
+PERIOD = ns(20.0)
+SETTLE = ns(2.0)
+
+
+def run():
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    return simulate_sensor(
+        sensor, skew=ns(1.0), period=PERIOD, settle=SETTLE,
+        options=BENCH_OPTIONS,
+    )
+
+
+def test_fig3_skewed_waveforms(benchmark):
+    response = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    y1 = response.wave("y1")
+    # The 01 indication is established once y1 completed its fall and ends
+    # when y1 recovers high at the falling clock edges.
+    hold_start = SETTLE + ns(1.2)
+    t_recover = y1.first_crossing(VTH_INTERPRET, rising=True, after=hold_start)
+    hold = (t_recover or y1.t_stop) - hold_start
+
+    mirror = simulate_sensor(
+        SkewSensor(load1=fF(160), load2=fF(160)),
+        skew=-ns(1.0), period=PERIOD, settle=SETTLE, options=BENCH_OPTIONS,
+    )
+
+    emit(
+        "fig3_skew",
+        [
+            "Fig. 3 reproduction: phi2 late by tau = 1 ns (160 fF loads)",
+            f"  Vmin(y1) = {response.vmin_y1:.3f} V (full transition)",
+            f"  Vmin(y2) = {response.vmin_y2:.3f} V (held high)",
+            f"  code     = {response.code} (error: phi2 late)",
+            f"  indication persists {to_ns(hold):.1f} ns "
+            f"(half period = {to_ns(PERIOD / 2):.1f} ns)",
+            f"  mirror case (phi1 late): code = {mirror.code}",
+        ],
+    )
+
+    assert response.code == ERROR_PHI2_LATE
+    assert response.vmin_y1 < 0.5
+    assert response.vmin_y2 > VTH_INTERPRET
+    # The static indication lasts essentially the half period (the exact
+    # end adds the skew and the pull-up recovery delay).
+    assert 0.8 * PERIOD / 2 < hold < 1.3 * PERIOD / 2
+    assert mirror.code == ERROR_PHI1_LATE

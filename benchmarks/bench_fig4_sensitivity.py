@@ -1,0 +1,72 @@
+"""Fig. 4 - Vmin vs skew for different loads and clock slopes.
+
+Paper claims reproduced here:
+
+* ``Vmin`` of the late output grows monotonically with the skew ``tau``;
+* the sensitivity ``tau_min`` (crossing of the 2.75 V threshold) grows
+  with load capacitance (paper: ~0.09 ns to ~0.16 ns over 80..240 fF);
+* "for each load value ... the resulting curves are almost
+  indistinguishable" across clock slews 0.1..0.4 ns.
+"""
+
+import numpy as np
+
+from repro.core.sensitivity import sensitivity_family
+from repro.units import VTH_INTERPRET, fF, ns, to_ns
+
+from _util import BENCH_OPTIONS, emit
+
+LOADS_FF = (80, 160, 240)
+SLEWS_NS = (0.1, 0.2, 0.3, 0.4)
+SKEWS_NS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
+
+
+def run():
+    return sensitivity_family(
+        loads=[fF(c) for c in LOADS_FF],
+        slews=[ns(s) for s in SLEWS_NS],
+        skews=[ns(t) for t in SKEWS_NS],
+        options=BENCH_OPTIONS,
+    )
+
+
+def test_fig4_vmin_vs_skew(benchmark):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Fig. 4 reproduction: Vmin of the late output vs skew tau",
+        f"  threshold Vth = {VTH_INTERPRET:.2f} V",
+        "",
+        "  load  slew | " + "  ".join(f"{t:5.2f}" for t in SKEWS_NS) + "  (tau, ns)",
+    ]
+    tau_by_load = {}
+    for curve in curves:
+        row = "  ".join(f"{v:5.2f}" for v in curve.vmins)
+        tau = curve.tau_min
+        lines.append(
+            f"  {curve.load * 1e15:4.0f}  {curve.slew * 1e9:4.1f} | {row}"
+            f"   tau_min={to_ns(tau):.3f} ns"
+        )
+        tau_by_load.setdefault(curve.load, []).append(tau)
+    lines.append("")
+    lines.append("  sensitivity per load (mean over slews):")
+    for load, taus in sorted(tau_by_load.items()):
+        spread = (max(taus) - min(taus)) / np.mean(taus)
+        lines.append(
+            f"    C = {load * 1e15:4.0f} fF : tau_min = "
+            f"{to_ns(float(np.mean(taus))):.3f} ns "
+            f"(slew-induced spread {spread * 100:.1f} %)"
+        )
+    lines.append("  paper: tau_min ~= 0.09 .. 0.16 ns, slew-insensitive")
+    emit("fig4_sensitivity", lines)
+
+    # Shape claims.
+    for curve in curves:
+        assert np.all(np.diff(curve.vmins) > -1e-3), "Vmin must rise with tau"
+        assert curve.tau_min is not None
+    means = [float(np.mean(taus)) for _, taus in sorted(tau_by_load.items())]
+    assert means == sorted(means), "tau_min must grow with load"
+    assert ns(0.02) < means[0] < means[-1] < ns(0.3)
+    for _, taus in sorted(tau_by_load.items()):
+        assert (max(taus) - min(taus)) / np.mean(taus) < 0.15, \
+            "curves must be nearly slew-independent"

@@ -1,0 +1,159 @@
+"""Ablation - testability of the latching indicator itself.
+
+Ref. [9] of the paper (the authors' own "Compact and Highly Testable
+Error Indicator") exists because the checking hardware must not become
+the reliability bottleneck.  The bench applies the Sec.-3 methodology to
+our 12-transistor indicator realisation, co-simulated with a fault-free
+sensor through two clock cycles (precharge, evaluate, re-precharge,
+evaluate), plus a skewed cycle for every logic escape:
+
+* a fault is *logic-detected* when the flag output's sampled value
+  deviates from the fault-free sequence (flag stuck high in healthy
+  operation is as detectable as stuck low);
+* escapes are re-examined with IDDQ;
+* remaining escapes are checked for the dangerous property: does the
+  fault *mask* a genuine error indication?
+"""
+
+from repro.analog.engine import transient
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import PWLSource, clock_pair
+from repro.faults.iddq import DEFAULT_IDDQ_THRESHOLD, quiescent_current
+from repro.faults.universe import enumerate_faults
+from repro.testing.indicator_circuit import IndicatorCircuit
+from repro.units import fF, ns
+
+from _util import BENCH_OPTIONS, emit
+
+PERIOD = ns(20.0)
+
+
+def build(skew):
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    phi1, phi2 = clock_pair(
+        PERIOD, ns(0.2), ns(0.2), skew=skew, delay=ns(2)
+    )
+    netlist = sensor.build(phi1=phi1, phi2=phi2)
+    indicator = IndicatorCircuit()
+    flag = indicator.build_into(netlist)
+    # Precharge before each cycle's rising edges; evaluate afterwards.
+    netlist.drive(
+        "prech",
+        PWLSource(
+            [0.0, ns(1.4), ns(1.5), ns(20.0), ns(20.1), ns(21.4), ns(21.5)],
+            [0, 0, 5, 5, 0, 0, 5],
+        ),
+    )
+    initial = dict(sensor.dc_guess())
+    initial.update(indicator.dc_guess())
+    return netlist, indicator, flag, initial
+
+
+def flag_samples(result, flag):
+    wave = result.wave(flag)
+    return tuple(
+        1 if wave.at(t) > 2.5 else 0
+        for t in (ns(8), ns(18), ns(30), ns(40))
+    )
+
+
+def simulate(netlist, flag, initial, with_currents=True):
+    return transient(
+        netlist,
+        t_stop=ns(42),
+        record=[flag],
+        record_currents=["vdd"] if with_currents else None,
+        initial=initial,
+        options=BENCH_OPTIONS,
+    )
+
+
+def indicator_universe(netlist, indicator):
+    """Faults restricted to the indicator's own devices and nodes."""
+    prefix = indicator.prefix + "_"
+    full = enumerate_faults(
+        netlist,
+        stuck_at_nodes=[
+            n for n in netlist.free_nodes() if n.startswith(prefix)
+        ],
+        bridge_nodes=[
+            n for n in netlist.free_nodes() if n.startswith(prefix)
+        ],
+    )
+    full.stuck_open = [
+        f for f in full.stuck_open if f.transistor.startswith(prefix)
+    ]
+    full.stuck_on = [
+        f for f in full.stuck_on if f.transistor.startswith(prefix)
+    ]
+    return full
+
+
+def run():
+    netlist, indicator, flag, initial = build(skew=0.0)
+    golden = flag_samples(simulate(netlist, flag, initial, False), flag)
+    windows = [(ns(16), ns(19.5)), (ns(36), ns(39.5))]
+
+    universe = indicator_universe(netlist, indicator)
+    summary = {}
+    masking = []
+    for kind in ("stuck-at", "stuck-open", "stuck-on", "bridging"):
+        total = logic = iddq = 0
+        for fault in universe.by_kind(kind):
+            total += 1
+            faulty = fault.inject(netlist)
+            result = simulate(faulty, flag, initial)
+            detected_logic = flag_samples(result, flag) != golden
+            current = quiescent_current(result, windows)
+            detected_iddq = current > DEFAULT_IDDQ_THRESHOLD
+            if detected_logic:
+                logic += 1
+            if detected_logic or detected_iddq:
+                iddq += 1
+            else:
+                # Escape: does it mask a real error indication?
+                sk_net, sk_ind, sk_flag, sk_init = build(skew=ns(1.0))
+                sk_result = simulate(
+                    fault.inject(sk_net), sk_flag, sk_init, False
+                )
+                missed = sk_result.wave(sk_flag).at(ns(18)) < 2.5
+                masking.append((fault.describe(), missed))
+        summary[kind] = (total, logic, iddq)
+    return golden, summary, masking
+
+
+def test_indicator_testability(benchmark):
+    golden, summary, masking = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: testability of the 12-transistor latching indicator",
+        f"  (fault-free flag sequence over two cycles: {golden})",
+        "",
+        "  fault class   universe   logic    with IDDQ",
+    ]
+    for kind, (total, logic, iddq) in summary.items():
+        lines.append(
+            f"  {kind:<12} {total:>8}   {100 * logic / total:5.0f} %"
+            f"   {100 * iddq / total:6.0f} %"
+        )
+    lines.append("")
+    if masking:
+        lines.append("  escapes vs error-masking:")
+        for name, missed in masking:
+            lines.append(
+                f"    {name:<40} "
+                f"{'MASKS errors (dangerous)' if missed else 'does not mask errors'}"
+            )
+    emit("indicator_testability", lines)
+
+    assert golden == (0, 0, 0, 0)
+    for kind, (total, logic, iddq) in summary.items():
+        assert total > 0
+        assert iddq >= logic
+    # The indicator is usable: the large majority of its faults are
+    # caught by normal operation + IDDQ...
+    total_all = sum(t for t, _, _ in summary.values())
+    covered = sum(i for _, _, i in summary.values())
+    assert covered / total_all > 0.7
+    # ...and no escape may silently mask a genuine error indication.
+    assert all(not missed for _, missed in masking), masking

@@ -1,0 +1,98 @@
+"""Sec.-1 statistics - how often conventional testing misses clock faults.
+
+The single-pipeline baseline (`bench_baseline_masking`) shows the masking
+window on one machine; this bench measures its *population* consequence:
+across randomly generated pipelines (random stage delays) and randomly
+sized clock-path delay faults, what fraction of faulty machines does each
+approach reject?
+
+* conventional at-speed logic testing detects the fault only when the
+  delay breaks a functional path (races the stage's combinational delay
+  or the downstream slack);
+* the sensing scheme flags everything beyond the sensor's ``tau_min``.
+
+The gap - faulty machines shipped by conventional testing but caught by
+the scheme - is the paper's quantitative raison d'etre.
+"""
+
+import numpy as np
+
+from repro.logicsim.synth import at_speed_test, build_pipeline
+from repro.units import ns, to_ns
+
+from _util import emit
+
+N_MACHINES = 60
+PERIOD = ns(10.0)
+TAU_MIN = ns(0.12)
+
+
+def run():
+    rng = np.random.default_rng(404)
+    outcomes = []
+    for _ in range(N_MACHINES):
+        n_stages = int(rng.integers(2, 5))
+        stage_delays = [
+            float(rng.uniform(0.2, 0.7)) * PERIOD for _ in range(n_stages)
+        ]
+        # Clock-path delay fault on a random internal flop, log-uniform
+        # between 20 ps and 8 ns (spanning harmless to catastrophic).
+        delta = float(10 ** rng.uniform(np.log10(20e-12), np.log10(8e-9)))
+        victim = int(rng.integers(1, n_stages + 1))
+        offsets = [0.0] * (n_stages + 1)
+        offsets[victim] = delta
+
+        circuit, flops = build_pipeline(stage_delays, clock_offsets=offsets)
+        logic_detects = not at_speed_test(circuit, flops, period=PERIOD)["passed"]
+        scheme_detects = delta > TAU_MIN
+        outcomes.append((delta, logic_detects, scheme_detects))
+    return outcomes
+
+
+def test_masking_statistics(benchmark):
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    n = len(outcomes)
+    dangerous = [o for o in outcomes if o[0] > TAU_MIN]
+    logic_catch = sum(1 for _, logic, _ in dangerous if logic)
+    scheme_catch = sum(1 for _, _, scheme in dangerous if scheme)
+    escapes = [
+        (delta, logic, scheme)
+        for delta, logic, scheme in dangerous
+        if not logic and scheme
+    ]
+    harmless = n - len(dangerous)
+
+    lines = [
+        f"Sec.-1 statistics: {n} random pipelines x random clock-path "
+        "delay faults",
+        f"  (10 ns clock; sensor tau_min = {to_ns(TAU_MIN) * 1000:.0f} ps; "
+        "fault delta log-uniform 0.02..8 ns)",
+        "",
+        f"  faults beyond tolerance     : {len(dangerous)}/{n}  "
+        f"(the rest are within the skew budget)",
+        f"  caught by at-speed testing  : {logic_catch}/{len(dangerous)} "
+        f"({100 * logic_catch / len(dangerous):.0f} %)",
+        f"  caught by the sensing scheme: {scheme_catch}/{len(dangerous)} "
+        f"({100 * scheme_catch / len(dangerous):.0f} %)",
+        f"  scheme-only detections      : {len(escapes)} "
+        f"({100 * len(escapes) / len(dangerous):.0f} % of dangerous faults "
+        "would have shipped)",
+    ]
+    if escapes:
+        deltas = sorted(d for d, _, _ in escapes)
+        lines.append(
+            f"  escape delta range          : "
+            f"{to_ns(deltas[0]):.3f} .. {to_ns(deltas[-1]):.3f} ns"
+        )
+    emit("masking_statistics", lines)
+
+    assert scheme_catch == len(dangerous), "scheme must catch every " \
+        "beyond-tolerance fault by construction"
+    assert logic_catch < len(dangerous), "at-speed testing must miss some"
+    assert len(escapes) >= 0.2 * len(dangerous), \
+        "the masking gap must be substantial"
+    # Conventional testing still catches the grossest faults.
+    grossest = [o for o in outcomes if o[0] > ns(5.0)]
+    assert grossest, "the delta distribution must reach gross faults"
+    assert any(logic for _, logic, _ in grossest)

@@ -1,0 +1,79 @@
+"""Ablations - cost of the scheme and robustness across process corners.
+
+Two adoption-relevant questions the paper leaves implicit:
+
+* **overhead** - the sensors load the clock wires they monitor; the
+  instrumented tree must not acquire a skew beyond the sensors' own
+  sensitivity (else the scheme flags itself);
+* **corners** - ``tau_min`` calibrated at the nominal corner must stay in
+  a usable band at the classic SS/FF/SF/FS corners (the 10 % margin in
+  the paper's Vth choice exists exactly for this).
+"""
+
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.tree import Buffer
+from repro.core.overhead import scheme_overhead, sensor_overhead
+from repro.core.sensitivity import extract_tau_min
+from repro.devices.process import corner_process
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import fF, ns, to_ns
+
+from _util import BENCH_OPTIONS, emit
+
+CORNERS = ("tt", "ss", "ff", "sf", "fs")
+
+
+def run():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=8e-3, top_k=6
+    )
+    cost = scheme_overhead(scheme)
+    per_sensor = sensor_overhead()
+
+    corners = {
+        corner: extract_tau_min(
+            fF(160), process=corner_process(corner),
+            tolerance=ns(0.005), options=BENCH_OPTIONS,
+        )
+        for corner in CORNERS
+    }
+    return per_sensor, cost, corners
+
+
+def test_overhead_and_corners(benchmark):
+    per_sensor, cost, corners = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation: scheme overhead (16-sink H-tree, 6 sensors)",
+        "",
+        f"  per sensor : {per_sensor.transistor_count} transistors, "
+        f"{per_sensor.active_area * 1e12:.1f} um^2 active area, "
+        f"{per_sensor.input_capacitance_phi1 * 1e15:.1f} fF per clock pin",
+        f"  scheme     : {cost.n_sensors} sensors, "
+        f"{cost.total_transistors} transistors, "
+        f"{cost.total_active_area * 1e12:.0f} um^2",
+        f"  worst added sink load : {cost.worst_added_load * 1e15:.1f} fF",
+        f"  instrumentation-induced skew : "
+        f"{to_ns(cost.induced_skew) * 1000:.1f} ps "
+        "(must stay below tau_min = 120 ps)",
+        "",
+        "Ablation: tau_min across process corners (C = 160 fF)",
+        "",
+        "  corner   tau_min [ns]",
+    ]
+    for corner in CORNERS:
+        lines.append(f"  {corner:>6}   {to_ns(corners[corner]):10.3f}")
+    spread = max(corners.values()) / min(corners.values())
+    lines.append("")
+    lines.append(f"  corner-to-corner spread: {spread:.2f}x")
+    emit("overhead_and_corners", lines)
+
+    assert cost.induced_skew < ns(0.12)
+    assert cost.total_transistors == 60
+    # Corners move tau_min but keep it in a usable sub-0.5 ns band.
+    for tau in corners.values():
+        assert ns(0.02) < tau < ns(0.5)
+    assert spread < 3.0
+    # Slow silicon is less sensitive (larger tau_min) than fast silicon.
+    assert corners["ss"] > corners["ff"]

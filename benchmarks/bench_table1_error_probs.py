@@ -1,0 +1,107 @@
+"""Tab. 1 - probability of losing an error / raising a false error.
+
+For each nominal load the Monte Carlo population is swept over a uniform
+skew grid and classified against the *nominal* sensitivity:
+
+* ``p_loose``: ``tau > tau_min`` but ``Vmin < Vth`` (missed real skew);
+* ``p_false``: ``tau < tau_min`` but ``Vmin > Vth`` (false alarm).
+
+Two sampling modes are reported:
+
+* **balanced** - the two loads and slews are common (the situation the
+  scheme's placement criterion 2 engineers: "balanced connection to the
+  sensing circuit").  Misclassification then comes only from global
+  process variation shifting the true ``tau_min``, and both probabilities
+  are small and confined near ``tau_min`` - the Tab.-1 shape;
+* **independent** - the paper's stated Monte Carlo distribution ("both the
+  input slews and the load have been considered independent").  The
+  cross-coupled sensor is an arbiter, so load/slew *asymmetry* registers
+  as skew; misclassification around and below ``tau_min`` rises
+  accordingly.  This quantifies exactly why the paper insists on balanced
+  sensor connections.
+
+The published numbers themselves are unreadable in the source text (OCR
+damage); EXPERIMENTS.md records the measured values.
+"""
+
+import numpy as np
+
+from repro.core.sensitivity import extract_tau_min
+from repro.montecarlo.analysis import error_probabilities, scatter_analysis
+from repro.montecarlo.sampling import sample_population
+from repro.units import fF, ns, to_ns
+
+from _util import BENCH_OPTIONS, emit
+
+LOADS_FF = (80, 160, 240)
+N_SAMPLES = 20
+
+
+def sweep_for_load(load_ff, seed, balanced):
+    load = fF(load_ff)
+    tau_min = extract_tau_min(load, tolerance=ns(0.005), options=BENCH_OPTIONS)
+    # Uniform grid over the Fig.-4 sweep range (0 .. ~3 tau_min), like the
+    # paper's per-sample skew sweep.
+    skews = [k * tau_min * 3.0 / 8.0 for k in range(9)]
+    samples = sample_population(
+        N_SAMPLES, load, rng=np.random.default_rng(seed), balanced=balanced
+    )
+    points = scatter_analysis(samples, skews=skews, options=BENCH_OPTIONS)
+    return error_probabilities(points, load, tau_min), points, tau_min
+
+
+def run():
+    out = {}
+    for mode, balanced in (("balanced", True), ("independent", False)):
+        out[mode] = [
+            sweep_for_load(c, seed=100 + k, balanced=balanced)
+            for k, c in enumerate(LOADS_FF)
+        ]
+    return out
+
+
+def test_table1_error_probabilities(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        "Tab. 1 reproduction: p_loose / p_false per nominal load",
+        f"  ({N_SAMPLES} Monte Carlo samples x 9-point uniform skew grid "
+        "over [0, 3 tau_min];",
+        "   published values garbled in the source text)",
+        "",
+    ]
+    for mode in ("balanced", "independent"):
+        lines.append(f"  {mode} loads/slews:")
+        lines.append("    C        tau_min    p_loose   p_false")
+        for probs, _, tau_min in results[mode]:
+            lines.append(
+                f"    {probs.nominal_load * 1e15:4.0f} fF  "
+                f"{to_ns(tau_min):7.3f} ns  {probs.p_loose:7.3f}   "
+                f"{probs.p_false:7.3f}"
+            )
+        lines.append("")
+    lines.append(
+        "  shape: balanced connections (placement criterion 2) keep both"
+    )
+    lines.append(
+        "  probabilities small; deliberately unbalanced conditions register"
+    )
+    lines.append("  as skew and inflate them - hence the criterion.")
+    emit("table1_error_probs", lines)
+
+    # Balanced mode: the Tab.-1 shape - small probabilities, perfect
+    # classification far from the sensitivity.
+    for probs, points, tau_min in results["balanced"]:
+        assert probs.p_loose < 0.15
+        assert probs.p_false < 0.15
+        assert all(not p.flags_error() for p in points if p.skew == 0.0)
+        assert all(p.flags_error() for p in points if p.skew >= 2.5 * tau_min)
+
+    # Independent mode: misclassification rises (the asymmetry penalty the
+    # placement criterion avoids) but stays bounded.
+    for (b_probs, _, _), (i_probs, _, _) in zip(
+        results["balanced"], results["independent"]
+    ):
+        assert i_probs.p_loose <= 0.6
+        assert i_probs.p_false <= 0.6
+        assert i_probs.p_false >= b_probs.p_false

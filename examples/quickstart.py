@@ -1,0 +1,62 @@
+"""Quickstart: build the sensing circuit and watch it catch a clock skew.
+
+Reproduces the two situations of the paper's Fig. 2 (no skew: both outputs
+fall together and clamp near the NMOS threshold) and Fig. 3 (phi2 late:
+y1 completes its transition, y2 holds high -> error code 01).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SkewSensor, simulate_sensor
+from repro.units import VTH_INTERPRET, fF, ns, to_ns
+
+
+def ascii_plot(wave, t0, t1, rows=12, cols=64, vmax=5.5):
+    """Tiny ASCII rendering of a waveform (no plotting deps needed)."""
+    lines = [[" "] * cols for _ in range(rows)]
+    for k in range(cols):
+        t = t0 + (t1 - t0) * k / (cols - 1)
+        v = wave.at(t)
+        row = rows - 1 - int(min(max(v / vmax, 0.0), 0.999) * rows)
+        lines[row][k] = "*"
+    return "\n".join("".join(line) for line in lines)
+
+
+def describe(response, label):
+    print(f"--- {label} ---")
+    print(f"  applied skew tau      : {to_ns(response.skew):+.2f} ns")
+    print(f"  Vmin(y1)              : {response.vmin_y1:.2f} V")
+    print(f"  Vmin(y2)              : {response.vmin_y2:.2f} V")
+    print(f"  threshold             : {VTH_INTERPRET:.2f} V")
+    print(f"  interpreted (y1, y2)  : {response.code}")
+    print(f"  error detected        : {response.error_detected}")
+    print()
+
+
+def main():
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    print("Skew sensing circuit (Favalli & Metra, ED&TC 1997)")
+    print("  10 transistors, 160 fF load per output\n")
+
+    # Fig. 2: simultaneous clock edges.
+    no_skew = simulate_sensor(sensor, skew=0.0)
+    describe(no_skew, "no skew (Fig. 2): outputs fall together, clamp ~VTn")
+    print("y1 waveform around the rising edges (2..12 ns):")
+    print(ascii_plot(no_skew.wave("y1"), ns(1), ns(12)))
+    print()
+
+    # Fig. 3: phi2 late by 1 ns.
+    skewed = simulate_sensor(sensor, skew=ns(1.0))
+    describe(skewed, "phi2 late by 1 ns (Fig. 3): y2 holds high -> code 01")
+    print("y1 (falls) vs y2 (holds) around the rising edges:")
+    print(ascii_plot(skewed.wave("y1"), ns(1), ns(12)))
+    print(ascii_plot(skewed.wave("y2"), ns(1), ns(12)))
+    print()
+
+    # And the mirror case.
+    mirror = simulate_sensor(sensor, skew=-ns(1.0))
+    describe(mirror, "phi1 late by 1 ns: mirror indication 10")
+
+
+if __name__ == "__main__":
+    main()

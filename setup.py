@@ -1,0 +1,14 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Testing scheme for IC's clocks' "
+        "(Favalli & Metra, ED&TC 1997)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    python_requires=">=3.9",
+)

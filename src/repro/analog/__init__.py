@@ -1,0 +1,35 @@
+"""Electrical-level transient simulator.
+
+This package replaces the SPICE-class simulator the paper used.  It compiles
+a :class:`~repro.circuit.Netlist` into dense numpy arrays and integrates the
+nodal equations ``C dv/dt + i(v, t) = 0`` with Newton-Raphson iterations and
+an adaptive trapezoidal / backward-Euler scheme, landing steps exactly on
+source breakpoints (clock edge corners).
+"""
+
+from repro.analog.compile import CompiledCircuit
+from repro.analog.dcop import dc_operating_point
+from repro.analog.engine import TransientOptions, TransientResult, transient
+from repro.analog.sweep import dc_sweep, switching_threshold
+from repro.analog.waveform import Waveform
+from repro.analog.measure import (
+    crossing_time,
+    delay_between,
+    logic_value,
+    skew_between,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "dc_operating_point",
+    "transient",
+    "TransientOptions",
+    "TransientResult",
+    "Waveform",
+    "crossing_time",
+    "delay_between",
+    "skew_between",
+    "logic_value",
+    "dc_sweep",
+    "switching_threshold",
+]

@@ -1,0 +1,218 @@
+"""Compilation of a netlist into the dense arrays the engine integrates.
+
+Node ordering: the ``n_free`` solved nodes come first, then the driven
+(source) nodes.  All device evaluation works on the *full* voltage vector so
+the same pass also yields the current drawn from every source - which is how
+the IDDQ probe (Sec. 3 of the paper) is implemented.
+
+MOSFETs are evaluated in vectorised model space:
+
+* PMOS voltages are negated (``sign = -1``) so one set of equations serves
+  both polarities;
+* drain/source are swapped wherever ``vds`` would be negative, so the model
+  only ever sees ``vds >= 0``.
+
+Fault semantics honoured here:
+
+* ``stuck_open`` devices are compiled out (channel never conducts);
+* ``stuck_on`` devices have their gate remapped to the turn-on rail
+  (VDD for NMOS, ground for PMOS), which reproduces the conducting-channel
+  behaviour including the analog intermediate voltages of conflicting
+  networks that the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuit.netlist import GROUND, Netlist
+from repro.circuit.validate import validate
+from repro.devices.mosfet import MosfetType, level1_ids
+from repro.devices.sources import DCSource
+
+#: Shunt conductance added from every free node to ground for conditioning.
+GMIN = 1e-9
+
+#: Parasitic capacitance floor added on every free node so the nodal system
+#: is never singular (farads).
+CMIN = 0.5e-15
+
+
+@dataclass
+class CompiledCircuit:
+    """A netlist lowered to dense arrays ready for integration."""
+
+    netlist: Netlist
+    node_index: Dict[str, int] = field(default_factory=dict)
+    n_free: int = 0
+    n_total: int = 0
+    vdd_node: str = "vdd"
+
+    # Linear parts (full-size, n_total x n_total).
+    G: np.ndarray = field(default=None, repr=False)
+    C: np.ndarray = field(default=None, repr=False)
+
+    # MOSFET arrays.
+    m_d: np.ndarray = field(default=None, repr=False)
+    m_g: np.ndarray = field(default=None, repr=False)
+    m_s: np.ndarray = field(default=None, repr=False)
+    m_sign: np.ndarray = field(default=None, repr=False)
+    m_vt: np.ndarray = field(default=None, repr=False)
+    m_beta: np.ndarray = field(default=None, repr=False)
+    m_lam: np.ndarray = field(default=None, repr=False)
+
+    @classmethod
+    def compile(cls, netlist: Netlist, vdd_node: str = "vdd") -> "CompiledCircuit":
+        """Validate and lower ``netlist``.
+
+        ``vdd_node`` names the positive supply; it is required only when the
+        netlist contains stuck-on NMOS faults (their gate is remapped there).
+        """
+        validate(netlist)
+        self = cls(netlist=netlist, vdd_node=vdd_node)
+
+        free = netlist.free_nodes()
+        driven = netlist.driven_nodes()
+        self.node_index = {n: i for i, n in enumerate(free + driven)}
+        self.n_free = len(free)
+        self.n_total = len(free) + len(driven)
+        n = self.n_total
+        idx = self.node_index
+
+        self.G = np.zeros((n, n))
+        self.C = np.zeros((n, n))
+
+        def stamp_two_terminal(matrix: np.ndarray, a: int, b: int, value: float) -> None:
+            matrix[a, a] += value
+            matrix[b, b] += value
+            matrix[a, b] -= value
+            matrix[b, a] -= value
+
+        for r in netlist.resistors:
+            if r.a == r.b:
+                continue
+            stamp_two_terminal(self.G, idx[r.a], idx[r.b], r.conductance)
+        for c in netlist.capacitors:
+            if c.a == c.b:
+                continue
+            stamp_two_terminal(self.C, idx[c.a], idx[c.b], c.capacitance)
+
+        ground = idx[GROUND]
+        for k in range(self.n_free):
+            stamp_two_terminal(self.G, k, ground, GMIN)
+            stamp_two_terminal(self.C, k, ground, CMIN)
+
+        d_list: List[int] = []
+        g_list: List[int] = []
+        s_list: List[int] = []
+        sign_list: List[int] = []
+        vt_list: List[float] = []
+        beta_list: List[float] = []
+        lam_list: List[float] = []
+        for m in netlist.mosfets:
+            if m.stuck_open:
+                continue
+            gate = m.gate
+            if m.stuck_on:
+                gate = vdd_node if m.mtype is MosfetType.NMOS else GROUND
+                if gate not in idx:
+                    raise KeyError(
+                        f"stuck-on fault on {m.name} needs rail node {gate!r} "
+                        "in the netlist"
+                    )
+            d_list.append(idx[m.drain])
+            g_list.append(idx[gate])
+            s_list.append(idx[m.source])
+            sign_list.append(m.mtype.sign)
+            vt_list.append(m.vt_magnitude)
+            beta_list.append(m.beta)
+            lam_list.append(m.card.lam)
+            # Weak channel leakage keeps series stacks conditioned.
+            stamp_two_terminal(self.G, idx[m.drain], idx[m.source], GMIN)
+
+        self.m_d = np.array(d_list, dtype=int)
+        self.m_g = np.array(g_list, dtype=int)
+        self.m_s = np.array(s_list, dtype=int)
+        self.m_sign = np.array(sign_list, dtype=float)
+        self.m_vt = np.array(vt_list, dtype=float)
+        self.m_beta = np.array(beta_list, dtype=float)
+        self.m_lam = np.array(lam_list, dtype=float)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Sources
+    # ------------------------------------------------------------------ #
+    def source_voltages(self, t: float) -> np.ndarray:
+        """Voltages of all driven nodes at time ``t`` (full-vector layout:
+        the first ``n_free`` entries are zero placeholders)."""
+        v = np.zeros(self.n_total)
+        for node, src in self.netlist.sources.items():
+            v[self.node_index[node]] = src.value(t)
+        return v
+
+    def breakpoints(self, t0: float, t1: float) -> List[float]:
+        """All source waveform corners in ``[t0, t1]``, sorted and unique."""
+        points = set()
+        for src in self.netlist.sources.values():
+            if isinstance(src, DCSource):
+                continue
+            points.update(src.breakpoints(t0, t1))
+        return sorted(points)
+
+    # ------------------------------------------------------------------ #
+    # Device evaluation
+    # ------------------------------------------------------------------ #
+    def device_currents(
+        self, v: np.ndarray, with_jacobian: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Static currents leaving each node, and their Jacobian.
+
+        Parameters
+        ----------
+        v:
+            Full voltage vector (length ``n_total``).
+        with_jacobian:
+            Skip the Jacobian scatter when only the residual is needed
+            (saves time in acceptance checks and probes).
+
+        Returns
+        -------
+        (f, j):
+            ``f[k]`` is the total static (resistive + MOSFET) current
+            flowing *out of* node ``k`` into devices; ``j`` is ``df/dv``
+            (``None`` when ``with_jacobian`` is false).
+        """
+        f = self.G @ v
+        j = self.G.copy() if with_jacobian else None
+        if self.m_d.size == 0:
+            return f, j
+
+        vd = v[self.m_d]
+        vg = v[self.m_g]
+        vs = v[self.m_s]
+        sign = self.m_sign
+        swap = sign * (vd - vs) < 0.0
+        md = np.where(swap, self.m_s, self.m_d)
+        ms = np.where(swap, self.m_d, self.m_s)
+        vmd = np.where(swap, vs, vd)
+        vms = np.where(swap, vd, vs)
+        vds = sign * (vmd - vms)
+        vgs = sign * (vg - vms)
+
+        ids, gm, gds = level1_ids(vgs, vds, self.m_vt, self.m_beta, self.m_lam)
+
+        np.add.at(f, md, sign * ids)
+        np.add.at(f, ms, -sign * ids)
+
+        if with_jacobian:
+            gsum = gm + gds
+            np.add.at(j, (md, md), gds)
+            np.add.at(j, (md, self.m_g), gm)
+            np.add.at(j, (md, ms), -gsum)
+            np.add.at(j, (ms, md), -gds)
+            np.add.at(j, (ms, self.m_g), -gm)
+            np.add.at(j, (ms, ms), gsum)
+        return f, j

@@ -1,0 +1,121 @@
+"""DC operating point via damped Newton with gmin stepping.
+
+The operating point initialises every transient run: sources are frozen at
+their ``t = t0`` values and the static KCL system ``i(v) = 0`` is solved on
+the free nodes.  A homotopy on an artificial shunt conductance (classic
+"gmin stepping") makes the solve robust for the ratioed, feedback-coupled
+circuits in this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analog.compile import CompiledCircuit
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to find an operating point."""
+
+
+def _newton_static(
+    circuit: CompiledCircuit,
+    v: np.ndarray,
+    shunt: float,
+    target: np.ndarray,
+    max_iter: int = 200,
+    vntol: float = 1e-9,
+    itol: float = 1e-12,
+) -> Optional[np.ndarray]:
+    """One Newton solve of ``i(v) + shunt * (v - target) = 0`` on free nodes.
+
+    The shunt pulls nodes toward ``target`` - the caller's initial guess
+    (or mid-rail by default), so the homotopy stays in the intended basin
+    of a multistable circuit.  Returns the full voltage vector on success,
+    ``None`` on non-convergence.
+    """
+    n_free = circuit.n_free
+    v = v.copy()
+    for _ in range(max_iter):
+        f, j = circuit.device_currents(v, with_jacobian=True)
+        residual = f[:n_free] + shunt * (v[:n_free] - target[:n_free])
+        jacobian = j[:n_free, :n_free] + shunt * np.eye(n_free)
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError:
+            return None
+        step = np.max(np.abs(delta))
+        if step > 1.0:
+            delta *= 1.0 / step
+        v[:n_free] += delta
+        if np.max(np.abs(delta)) < vntol and np.max(np.abs(residual)) < max(
+            itol, 1e-6 * max(np.max(np.abs(f[:n_free])), 1e-12)
+        ):
+            return v
+    return None
+
+
+def dc_operating_point(
+    circuit: CompiledCircuit,
+    t: float = 0.0,
+    initial: Optional[Dict[str, float]] = None,
+) -> np.ndarray:
+    """Solve the DC operating point with sources frozen at time ``t``.
+
+    Parameters
+    ----------
+    circuit:
+        Compiled circuit.
+    t:
+        Time at which source values are taken.
+    initial:
+        Optional initial guesses per node name; unnamed free nodes start at
+        mid-rail.
+
+    Returns
+    -------
+    Full voltage vector (length ``n_total``).
+
+    Raises
+    ------
+    ConvergenceError
+        If the gmin homotopy fails at its tightest stage.
+    """
+    v = circuit.source_voltages(t)
+    vdd = max((src.value(t) for src in circuit.netlist.sources.values()), default=0.0)
+    v[: circuit.n_free] = vdd / 2.0
+    if initial:
+        for node, voltage in initial.items():
+            index = circuit.node_index.get(node)
+            if index is not None and index < circuit.n_free:
+                v[index] = voltage
+
+    if circuit.n_free == 0:
+        return v
+
+    target = v.copy()
+
+    # A direct solve from the caller's guess preserves the intended state
+    # of multistable circuits (the homotopy shunt would otherwise drag
+    # them toward its target and can land on the metastable branch).
+    direct = _newton_static(circuit, v, 1e-12, target)
+    if direct is not None:
+        return direct
+
+    solution = None
+    for exponent in range(3, 13):
+        shunt = 10.0 ** (-exponent)
+        attempt = _newton_static(circuit, v, shunt, target)
+        if attempt is None:
+            # Retry this stage from the target before giving up on it.
+            attempt = _newton_static(circuit, target.copy(), shunt, target)
+        if attempt is not None:
+            v = attempt
+            solution = attempt
+    if solution is None:
+        raise ConvergenceError(
+            f"DC operating point failed for {circuit.netlist.name!r}"
+        )
+    return solution

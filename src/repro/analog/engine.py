@@ -1,0 +1,307 @@
+"""Adaptive transient integration.
+
+The nodal system is ``C dv/dt + i(v, t) = 0`` on the free nodes, with driven
+nodes following their sources exactly.  Two one-step methods are used:
+
+* **backward Euler** for the first step after every source breakpoint (it is
+  L-stable, so it damps the artificial ringing a corner would excite in the
+  trapezoidal rule);
+* **trapezoidal** everywhere else (second order - what SPICE uses).
+
+Step control is the classic predictor/corrector comparison: the accepted
+solution is compared against a linear extrapolation of history; the
+normalised difference drives growth/shrink of ``h`` and step rejection.
+
+The engine also records, at every accepted point, the current delivered by
+every source node - the IDDQ probe used by the Sec. 3 testability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analog.compile import CompiledCircuit
+from repro.analog.dcop import ConvergenceError, dc_operating_point
+from repro.analog.waveform import Waveform
+from repro.circuit.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TransientOptions:
+    """Knobs of the transient engine.
+
+    Attributes
+    ----------
+    dt_max:
+        Hard cap on the step size, seconds.
+    dt_min:
+        Floor below which the engine gives up, seconds.
+    dt_start:
+        Step used right after ``t0`` and after every breakpoint.
+    reltol, vabstol:
+        Local-error normalisation: the error weight per node is
+        ``reltol * |v| + vabstol``.
+    max_newton:
+        Newton iteration cap per step; non-convergence rejects the step.
+    vntol:
+        Newton update convergence threshold, volts.
+    lte_reject:
+        Normalised local error above which a step is rejected outright.
+    """
+
+    dt_max: float = 100e-12
+    dt_min: float = 1e-18
+    dt_start: float = 1e-13
+    reltol: float = 2e-3
+    vabstol: float = 1e-4
+    max_newton: int = 50
+    vntol: float = 1e-7
+    lte_reject: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.dt_min <= self.dt_start <= self.dt_max:
+            raise ValueError(
+                "need 0 < dt_min <= dt_start <= dt_max "
+                f"(got {self.dt_min}, {self.dt_start}, {self.dt_max})"
+            )
+        if self.reltol <= 0 or self.vabstol <= 0 or self.vntol <= 0:
+            raise ValueError("tolerances must be positive")
+        if self.max_newton < 2:
+            raise ValueError("max_newton must be at least 2")
+        if self.lte_reject <= 1.0:
+            raise ValueError("lte_reject must exceed 1")
+
+
+@dataclass
+class TransientResult:
+    """Waveforms of a transient run."""
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    source_currents: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def wave(self, node: str) -> Waveform:
+        """Voltage waveform of ``node``."""
+        if node not in self.voltages:
+            raise KeyError(f"node {node!r} was not recorded")
+        return Waveform(times=self.times, values=self.voltages[node], name=node)
+
+    def source_current(self, node: str) -> Waveform:
+        """Current delivered *by* the source driving ``node`` (amperes).
+
+        Positive values mean the source pushes current into the circuit.
+        This is the IDDQ observable when applied to the VDD node in a
+        quiescent interval.
+        """
+        if node not in self.source_currents:
+            raise KeyError(f"source current for {node!r} was not recorded")
+        return Waveform(
+            times=self.times, values=self.source_currents[node], name=f"i({node})"
+        )
+
+    def delivered_charge(
+        self, node: str, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> float:
+        """Charge the source on ``node`` delivered over ``[t0, t1]``,
+        coulombs (trapezoidal integral of the recorded current)."""
+        wave = self.source_current(node)
+        t0 = wave.t_start if t0 is None else t0
+        t1 = wave.t_stop if t1 is None else t1
+        window = wave.slice(t0, t1)
+        return float(np.trapezoid(window.values, window.times))
+
+    def delivered_energy(
+        self,
+        node: str,
+        supply_voltage: float,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+    ) -> float:
+        """Energy drawn from a DC supply on ``node`` over ``[t0, t1]``,
+        joules (``V * integral of i dt``; valid for constant-voltage
+        rails, which is what VDD is here)."""
+        return supply_voltage * self.delivered_charge(node, t0, t1)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+def _newton_step(
+    circuit: CompiledCircuit,
+    v_guess: np.ndarray,
+    v_sources: np.ndarray,
+    q_prev: np.ndarray,
+    f_prev: Optional[np.ndarray],
+    h: float,
+    alpha: float,
+    options: TransientOptions,
+) -> Optional[np.ndarray]:
+    """Solve one implicit step; ``alpha = 1`` is BE, ``0.5`` trapezoidal.
+
+    Residual on free nodes:
+    ``(q(v) - q_prev) / h + alpha * f(v) + (1 - alpha) * f_prev = 0``.
+    Returns the converged full voltage vector or ``None``.
+    """
+    n_free = circuit.n_free
+    v = v_guess.copy()
+    v[n_free:] = v_sources[n_free:]
+    c_ff = circuit.C[:n_free, :]
+    history = (1.0 - alpha) * f_prev[:n_free] if f_prev is not None else 0.0
+
+    for _ in range(options.max_newton):
+        f, j = circuit.device_currents(v, with_jacobian=True)
+        q = circuit.C @ v
+        residual = (q[:n_free] - q_prev[:n_free]) / h + alpha * f[:n_free] + history
+        jacobian = c_ff[:, :n_free] / h + alpha * j[:n_free, :n_free]
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError:
+            return None
+        step = np.max(np.abs(delta))
+        if step > 1.0:
+            delta *= 1.0 / step
+        v[:n_free] += delta
+        if step < options.vntol:
+            return v
+    return None
+
+
+def transient(
+    netlist: Netlist,
+    t_stop: float,
+    t_start: float = 0.0,
+    record: Optional[Iterable[str]] = None,
+    record_currents: Optional[Iterable[str]] = None,
+    initial: Optional[Dict[str, float]] = None,
+    options: Optional[TransientOptions] = None,
+    compiled: Optional[CompiledCircuit] = None,
+) -> TransientResult:
+    """Integrate ``netlist`` from ``t_start`` to ``t_stop``.
+
+    Parameters
+    ----------
+    netlist:
+        Circuit to simulate (ignored when ``compiled`` is given).
+    record:
+        Node names whose voltages to keep; defaults to every node.
+    record_currents:
+        Driven nodes whose delivered source current to keep.
+    initial:
+        Initial-guess voltages per node, passed to the operating-point
+        solve (useful to select a state of a bistable circuit).
+    options:
+        Engine knobs; see :class:`TransientOptions`.
+    compiled:
+        Reuse an already compiled circuit (Monte Carlo sweeps re-simulate
+        the same topology with different stimuli).
+    """
+    options = options or TransientOptions()
+    circuit = compiled or CompiledCircuit.compile(netlist)
+    n_free = circuit.n_free
+
+    record = list(record) if record is not None else sorted(circuit.node_index)
+    for node in record:
+        if node not in circuit.node_index:
+            raise KeyError(f"cannot record unknown node {node!r}")
+    current_nodes = list(record_currents or [])
+    for node in current_nodes:
+        if node not in circuit.netlist.sources:
+            raise KeyError(f"cannot record source current of undriven node {node!r}")
+
+    breakpoints = [b for b in circuit.breakpoints(t_start, t_stop) if b > t_start]
+    breakpoints.append(t_stop)
+    breakpoints = sorted(set(breakpoints))
+
+    v = dc_operating_point(circuit, t=t_start, initial=initial)
+
+    times: List[float] = [t_start]
+    states: List[np.ndarray] = [v.copy()]
+    f_now, _ = circuit.device_currents(v, with_jacobian=False)
+    currents: List[np.ndarray] = [f_now.copy()]
+
+    t = t_start
+    h = options.dt_start
+    # Time comparison tolerance: a few ULPs at the horizon's magnitude.
+    eps_t = 64.0 * np.spacing(max(abs(t_stop), abs(t_start), 1e-12))
+    bp_index = 0
+    force_be = True  # first step after t0 behaves like after a breakpoint
+    v_prev = v.copy()
+    t_prev = t
+
+    while t < t_stop - eps_t:
+        while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + eps_t:
+            bp_index += 1
+        next_bp = breakpoints[bp_index] if bp_index < len(breakpoints) else t_stop
+        h = min(h, options.dt_max, t_stop - t)
+        hit_bp = False
+        if t + h >= next_bp - eps_t:
+            h = next_bp - t
+            hit_bp = True
+        if h < options.dt_min:
+            raise ConvergenceError(
+                f"step size underflow at t = {t:.3e} s in {circuit.netlist.name!r}"
+            )
+
+        t_new = t + h
+        v_sources = circuit.source_voltages(t_new)
+        # Predictor: linear extrapolation of the last two accepted points.
+        if t > t_prev:
+            slope = (v - v_prev) / (t - t_prev)
+            v_pred = v + slope * h
+        else:
+            v_pred = v.copy()
+
+        alpha = 1.0 if force_be else 0.5
+        f_hist = None
+        if not force_be:
+            f_hist, _ = circuit.device_currents(v, with_jacobian=False)
+        q_prev = circuit.C @ v
+
+        v_new = _newton_step(
+            circuit, v_pred, v_sources, q_prev, f_hist, h, alpha, options
+        )
+        if v_new is None:
+            h *= 0.25
+            force_be = True
+            continue
+
+        weight = options.reltol * np.maximum(np.abs(v_new[:n_free]), 1.0) + options.vabstol
+        err = float(np.max(np.abs(v_new[:n_free] - v_pred[:n_free]) / weight)) if n_free else 0.0
+
+        if err > options.lte_reject and not hit_bp and h > 4 * options.dt_min:
+            h *= 0.4
+            continue
+
+        # Accept.
+        v_prev, t_prev = v, t
+        v, t = v_new, t_new
+        times.append(t)
+        states.append(v.copy())
+        if current_nodes:
+            f_now, _ = circuit.device_currents(v, with_jacobian=False)
+            dq = (circuit.C @ v - q_prev) / h
+            currents.append(f_now + dq)
+        force_be = False
+        if hit_bp:
+            h = options.dt_start
+            force_be = True
+        else:
+            grow = 0.9 * (1.0 / max(err, 1e-12)) ** (1.0 / 3.0)
+            h *= float(np.clip(grow, 0.4, 2.0))
+
+    time_array = np.asarray(times)
+    state_array = np.asarray(states)
+    voltages = {
+        node: state_array[:, circuit.node_index[node]].copy() for node in record
+    }
+    source_currents: Dict[str, np.ndarray] = {}
+    if current_nodes:
+        current_array = np.asarray(currents)
+        for node in current_nodes:
+            source_currents[node] = current_array[:, circuit.node_index[node]].copy()
+    return TransientResult(
+        times=time_array, voltages=voltages, source_currents=source_currents
+    )

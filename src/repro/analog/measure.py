@@ -1,0 +1,67 @@
+"""Derived measurements over waveforms: delays, skews, logic interpretation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analog.waveform import Waveform
+from repro.units import VDD
+
+
+def crossing_time(
+    wave: Waveform, level: float, rising: bool = True, after: Optional[float] = None
+) -> Optional[float]:
+    """Convenience wrapper around :meth:`Waveform.first_crossing`."""
+    return wave.first_crossing(level, rising=rising, after=after)
+
+
+def delay_between(
+    cause: Waveform,
+    effect: Waveform,
+    level: float,
+    cause_rising: bool = True,
+    effect_rising: bool = True,
+    after: Optional[float] = None,
+) -> Optional[float]:
+    """Time from ``cause`` crossing ``level`` to ``effect`` crossing it.
+
+    Returns ``None`` when either crossing is absent.  The effect crossing is
+    searched from the cause crossing onward, so a pre-existing level on the
+    effect signal is not mistaken for a response.
+    """
+    t_cause = cause.first_crossing(level, rising=cause_rising, after=after)
+    if t_cause is None:
+        return None
+    t_effect = effect.first_crossing(level, rising=effect_rising, after=t_cause)
+    if t_effect is None:
+        return None
+    return t_effect - t_cause
+
+
+def skew_between(
+    a: Waveform,
+    b: Waveform,
+    level: float = VDD / 2,
+    rising: bool = True,
+    after: Optional[float] = None,
+) -> Optional[float]:
+    """Skew ``t_b - t_a`` between equal-direction crossings of two signals.
+
+    Positive means ``b`` lags ``a`` - the convention used for the paper's
+    ``tau`` (``phi2`` delayed relative to ``phi1``).
+    """
+    t_a = a.first_crossing(level, rising=rising, after=after)
+    t_b = b.first_crossing(level, rising=rising, after=after)
+    if t_a is None or t_b is None:
+        return None
+    return t_b - t_a
+
+
+def logic_value(voltage: float, threshold: float) -> int:
+    """Interpret a node voltage through a logic threshold.
+
+    The paper evaluates the sensing-circuit response with a gate whose logic
+    threshold is ``VDD/2`` derated by 10 % parameter variation (2.75 V);
+    voltages above the threshold read as logic 1.
+    """
+    return 1 if voltage > threshold else 0

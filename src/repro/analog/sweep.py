@@ -1,0 +1,120 @@
+"""DC transfer sweeps.
+
+Sweeps one driven node over a value grid, solving the operating point at
+each step with continuation (the previous solution seeds the next Newton
+solve, which keeps multistable circuits on one branch).  Used to
+characterise static transfer curves - e.g. the logic threshold of the
+interpreting gate that defines the paper's ``Vth``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analog.compile import CompiledCircuit
+from repro.analog.dcop import _newton_static, dc_operating_point
+from repro.circuit.netlist import Netlist
+from repro.devices.sources import DCSource
+
+
+def dc_sweep(
+    netlist: Netlist,
+    input_node: str,
+    values: Iterable[float],
+    record: Optional[Iterable[str]] = None,
+    initial: Optional[Dict[str, float]] = None,
+) -> Dict[str, np.ndarray]:
+    """Sweep the DC source on ``input_node`` and record node voltages.
+
+    Parameters
+    ----------
+    netlist:
+        Circuit; ``input_node`` must be a driven node (its source is
+        replaced by a DC source per step; the original netlist is not
+        modified - the sweep works on a copy).
+    values:
+        Input voltages, in sweep order.
+    record:
+        Node names to record; defaults to all free nodes.
+    initial:
+        Initial-guess voltages for the first point.
+
+    Returns
+    -------
+    Mapping node -> array of voltages, one entry per sweep value, plus
+    the key ``"sweep"`` holding the input values themselves.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        raise ValueError("empty sweep")
+    working = netlist.copy()
+    if input_node not in working.sources:
+        raise KeyError(f"{input_node!r} is not a driven node")
+
+    working.drive(input_node, DCSource(values[0]))
+    circuit = CompiledCircuit.compile(working)
+    record = list(record) if record is not None else working.free_nodes()
+    for node in record:
+        if node not in circuit.node_index:
+            raise KeyError(f"cannot record unknown node {node!r}")
+
+    out: Dict[str, List[float]] = {node: [] for node in record}
+    v = dc_operating_point(circuit, t=0.0, initial=initial)
+    input_index = circuit.node_index[input_node]
+    for value in values:
+        v[input_index] = value
+        solved = _newton_static(circuit, v, 1e-12, v)
+        if solved is None:
+            # Fall back to a full homotopy solve seeded by the last point.
+            working.drive(input_node, DCSource(value))
+            fresh = CompiledCircuit.compile(working)
+            guesses = {
+                node: v[circuit.node_index[node]]
+                for node in working.free_nodes()
+            }
+            solved = dc_operating_point(fresh, t=0.0, initial=guesses)
+            circuit = fresh
+            input_index = circuit.node_index[input_node]
+        v = solved
+        for node in record:
+            out[node].append(float(v[circuit.node_index[node]]))
+
+    result = {node: np.asarray(series) for node, series in out.items()}
+    result["sweep"] = np.asarray(values)
+    return result
+
+
+def switching_threshold(
+    netlist: Netlist,
+    input_node: str,
+    output_node: str,
+    v_lo: float = 0.0,
+    v_hi: float = 5.0,
+    tolerance: float = 1e-3,
+    initial: Optional[Dict[str, float]] = None,
+) -> float:
+    """Input voltage at which ``output`` crosses the input (``v_out =
+    v_in`` point of an inverting transfer curve) - the logic threshold of
+    an interpreting gate.
+    """
+    lo, hi = v_lo, v_hi
+
+    def out_minus_in(v_in: float) -> float:
+        curve = dc_sweep(
+            netlist, input_node, [v_in], record=[output_node], initial=initial
+        )
+        return float(curve[output_node][0]) - v_in
+
+    f_lo = out_minus_in(lo)
+    f_hi = out_minus_in(hi)
+    if f_lo * f_hi > 0:
+        raise ValueError("transfer curve does not cross v_out = v_in")
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if out_minus_in(mid) * f_lo <= 0:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)

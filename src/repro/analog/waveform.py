@@ -1,0 +1,202 @@
+"""Waveform container and point measurements.
+
+A :class:`Waveform` is a piecewise-linear signal sampled at the (irregular)
+accepted time points of a transient run.  All measurements interpolate
+linearly between samples - which is exact for the PWL sources and a good
+approximation for node voltages given the engine's LTE control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """An irregularly sampled signal ``value(time)``."""
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times, dtype=float)
+        v = np.asarray(self.values, dtype=float)
+        if t.ndim != 1 or t.shape != v.shape or t.size == 0:
+            raise ValueError("Waveform: times and values must be equal-length 1-D")
+        if np.any(np.diff(t) < 0):
+            raise ValueError("Waveform: times must be non-decreasing")
+        object.__setattr__(self, "times", t)
+        object.__setattr__(self, "values", v)
+
+    # ------------------------------------------------------------------ #
+    def at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t`` (clamped at the ends)."""
+        return float(np.interp(t, self.times, self.values))
+
+    @property
+    def t_start(self) -> float:
+        """First sample time."""
+        return float(self.times[0])
+
+    @property
+    def t_stop(self) -> float:
+        """Last sample time."""
+        return float(self.times[-1])
+
+    def final_value(self) -> float:
+        """Value at the last sample."""
+        return float(self.values[-1])
+
+    # ------------------------------------------------------------------ #
+    def _window(self, t0: Optional[float], t1: Optional[float]) -> np.ndarray:
+        t0 = self.t_start if t0 is None else t0
+        t1 = self.t_stop if t1 is None else t1
+        if t1 < t0:
+            raise ValueError("window end precedes start")
+        inside = self.values[(self.times > t0) & (self.times < t1)]
+        ends = np.array([self.at(t0), self.at(t1)])
+        return np.concatenate([ends, inside])
+
+    def window_min(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Minimum over ``[t0, t1]`` including interpolated endpoints.
+
+        This is the ``Vmin`` measurement of Fig. 4 / Fig. 5 when applied to
+        the lagging sensor output over the evaluation window.
+        """
+        return float(self._window(t0, t1).min())
+
+    def window_max(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Maximum over ``[t0, t1]`` including interpolated endpoints."""
+        return float(self._window(t0, t1).max())
+
+    def mean(self, t0: Optional[float] = None, t1: Optional[float] = None) -> float:
+        """Time-weighted average over ``[t0, t1]`` (trapezoidal integral)."""
+        t0 = self.t_start if t0 is None else t0
+        t1 = self.t_stop if t1 is None else t1
+        if t1 <= t0:
+            return self.at(t0)
+        mask = (self.times > t0) & (self.times < t1)
+        t = np.concatenate([[t0], self.times[mask], [t1]])
+        v = np.concatenate([[self.at(t0)], self.values[mask], [self.at(t1)]])
+        return float(np.trapezoid(v, t) / (t1 - t0))
+
+    # ------------------------------------------------------------------ #
+    def first_crossing(
+        self,
+        level: float,
+        rising: bool = True,
+        after: Optional[float] = None,
+    ) -> Optional[float]:
+        """Time of the first crossing of ``level`` in the given direction.
+
+        Returns ``None`` if the waveform never crosses.  ``after`` restricts
+        the search to ``t >= after``.
+        """
+        t = self.times
+        v = self.values
+        if after is not None:
+            keep = t >= after
+            if not keep.any():
+                return None
+            first = int(np.argmax(keep))
+            if first > 0:
+                t = np.concatenate([[after], t[first:]])
+                v = np.concatenate([[self.at(after)], v[first:]])
+            else:
+                t, v = t[first:], v[first:]
+        prev, cur = v[:-1], v[1:]
+        if rising:
+            hits = (prev < level) & (cur >= level)
+        else:
+            hits = (prev > level) & (cur <= level)
+        indices = np.nonzero(hits)[0]
+        if indices.size == 0:
+            return None
+        i = int(indices[0])
+        dv = cur[i] - prev[i]
+        if dv == 0.0:
+            return float(t[i + 1])
+        frac = (level - prev[i]) / dv
+        return float(t[i] + frac * (t[i + 1] - t[i]))
+
+    def slice(self, t0: float, t1: float) -> "Waveform":
+        """Sub-waveform on ``[t0, t1]`` with interpolated endpoints."""
+        mask = (self.times > t0) & (self.times < t1)
+        t = np.concatenate([[t0], self.times[mask], [t1]])
+        v = np.concatenate([[self.at(t0)], self.values[mask], [self.at(t1)]])
+        return Waveform(times=t, values=v, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Edge characterisation
+    # ------------------------------------------------------------------ #
+    def transition_time(
+        self,
+        rising: bool = True,
+        low_frac: float = 0.1,
+        high_frac: float = 0.9,
+        after: Optional[float] = None,
+    ) -> Optional[float]:
+        """10-90 % (by default) transition time of the first edge.
+
+        The fractions are applied to the waveform's own value range.
+        Returns ``None`` when the corresponding crossings are absent.
+        """
+        lo = float(self.values.min())
+        hi = float(self.values.max())
+        span = hi - lo
+        if span <= 0:
+            return None
+        level_a = lo + low_frac * span
+        level_b = lo + high_frac * span
+        if rising:
+            t_a = self.first_crossing(level_a, rising=True, after=after)
+            if t_a is None:
+                return None
+            t_b = self.first_crossing(level_b, rising=True, after=t_a)
+        else:
+            t_a = self.first_crossing(level_b, rising=False, after=after)
+            if t_a is None:
+                return None
+            t_b = self.first_crossing(level_a, rising=False, after=t_a)
+        if t_b is None:
+            return None
+        return t_b - t_a
+
+    def settling_time(
+        self,
+        target: float,
+        band: float,
+        after: float,
+    ) -> Optional[float]:
+        """Time (from ``after``) until the waveform stays within
+        ``target +/- band`` for the rest of the record.
+
+        Returns ``None`` when the waveform never settles.
+        """
+        mask = self.times >= after
+        t = self.times[mask]
+        v = self.values[mask]
+        if t.size == 0:
+            return None
+        inside = np.abs(v - target) <= band
+        if not inside[-1]:
+            return None
+        outside = np.nonzero(~inside)[0]
+        if outside.size == 0:
+            return 0.0
+        return float(t[outside[-1] + 1] - after)
+
+    def overshoot(self, target: float, after: Optional[float] = None) -> float:
+        """Largest excursion beyond ``target`` from ``after`` onward
+        (positive number; 0 when the waveform never exceeds it)."""
+        mask = (
+            self.times >= after if after is not None
+            else np.ones_like(self.times, dtype=bool)
+        )
+        if not mask.any():
+            return 0.0
+        return float(max(0.0, self.values[mask].max() - target))

@@ -1,0 +1,14 @@
+"""Netlist representation: nodes, device instances, composition, validation."""
+
+from repro.circuit.compose import graft, prefixed_guess
+from repro.circuit.netlist import GROUND, Netlist
+from repro.circuit.validate import NetlistError, validate
+
+__all__ = [
+    "Netlist",
+    "GROUND",
+    "validate",
+    "NetlistError",
+    "graft",
+    "prefixed_guess",
+]

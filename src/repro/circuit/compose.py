@@ -1,0 +1,119 @@
+"""Netlist composition: graft one netlist into another as a subcircuit.
+
+The flat :class:`~repro.circuit.Netlist` is the simulation unit; larger
+systems (clock-tree paths + sensor + indicator in one electrical run) are
+built by *grafting*: every device of the source netlist is copied into the
+target with a name prefix, its internal nodes are prefixed too, and the
+caller maps the source's interface nodes (clock inputs, outputs, rails)
+onto target nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.circuit.netlist import GROUND, Netlist
+from repro.devices.mosfet import Mosfet
+from repro.devices.passives import Capacitor, Resistor
+
+#: Nodes shared by convention rather than prefixed: ground and the
+#: positive rail.
+SHARED_RAILS = (GROUND, "vdd")
+
+
+def graft(
+    target: Netlist,
+    source: Netlist,
+    prefix: str,
+    connections: Optional[Dict[str, str]] = None,
+    share_rails: bool = True,
+) -> Dict[str, str]:
+    """Copy every device of ``source`` into ``target``.
+
+    Parameters
+    ----------
+    target:
+        Netlist receiving the devices (modified in place).
+    source:
+        Netlist to graft (not modified).
+    prefix:
+        Prepended (with an underscore) to every device name and every
+        non-interface node, so several instances can coexist.
+    connections:
+        Source-node -> target-node interface map (e.g. ``{"phi1":
+        "n_sink3"}`` wires the sensor's clock pin to a tree node).
+    share_rails:
+        Keep ``0`` and ``vdd`` shared instead of prefixing them.
+
+    Returns
+    -------
+    The complete node map (source node -> target node) actually used,
+    including the generated prefixed names - callers use it to locate the
+    grafted instance's outputs.
+
+    Notes
+    -----
+    Driven nodes of the source that are not connected and not shared
+    rails are an error: an ideal source cannot be meaningfully prefixed
+    into the target without the caller deciding what drives it.
+    """
+    connections = dict(connections or {})
+    mapping: Dict[str, str] = {}
+
+    def rename(node: str) -> str:
+        if node in mapping:
+            return mapping[node]
+        if node in connections:
+            mapping[node] = connections[node]
+        elif share_rails and node in SHARED_RAILS:
+            mapping[node] = node
+        else:
+            mapping[node] = f"{prefix}_{node}"
+        return mapping[node]
+
+    for node in source.driven_nodes():
+        if node in connections or (share_rails and node in SHARED_RAILS):
+            continue
+        raise ValueError(
+            f"driven node {node!r} of {source.name!r} must be mapped via "
+            "connections (an ideal source cannot be grafted implicitly)"
+        )
+
+    for m in source.mosfets:
+        grafted = Mosfet(
+            name=f"{prefix}_{m.name}",
+            drain=rename(m.drain),
+            gate=rename(m.gate),
+            source=rename(m.source),
+            mtype=m.mtype, w=m.w, l=m.l, card=m.card,
+            stuck_open=m.stuck_open, stuck_on=m.stuck_on,
+        )
+        if target.find_mosfet(grafted.name) is not None:
+            raise ValueError(f"duplicate grafted name {grafted.name!r}")
+        target.mosfets.append(grafted)
+    for r in source.resistors:
+        target.resistors.append(
+            Resistor(
+                name=f"{prefix}_{r.name}",
+                a=rename(r.a), b=rename(r.b), resistance=r.resistance,
+            )
+        )
+    for c in source.capacitors:
+        target.capacitors.append(
+            Capacitor(
+                name=f"{prefix}_{c.name}",
+                a=rename(c.a), b=rename(c.b), capacitance=c.capacitance,
+            )
+        )
+    return mapping
+
+
+def prefixed_guess(
+    guess: Dict[str, float], mapping: Dict[str, str]
+) -> Dict[str, float]:
+    """Translate a subcircuit's DC guess through a graft's node map."""
+    return {
+        mapping[node]: value
+        for node, value in guess.items()
+        if node in mapping
+    }

@@ -1,0 +1,149 @@
+"""Flat transistor-level netlist.
+
+A :class:`Netlist` is the unit the analog engine compiles and simulates.  It
+holds MOSFETs, resistors, capacitors, and *driven nodes* (nodes attached to
+an ideal voltage source - supplies and clock inputs).  The ground node
+``"0"`` is always present and driven to 0 V.
+
+Fault injection (stuck-at / stuck-open / stuck-on / bridging) works on a
+:meth:`Netlist.copy` so the pristine design is never mutated.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.devices.mosfet import Mosfet, MosfetType
+from repro.devices.passives import Capacitor, Resistor
+from repro.devices.process import TransistorParams
+from repro.devices.sources import DCSource
+
+GROUND = "0"
+
+
+@dataclass
+class Netlist:
+    """A flat circuit netlist.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (shows up in error messages).
+    mosfets, resistors, capacitors:
+        Device instance lists.
+    sources:
+        Mapping from driven node name to its voltage source object (any
+        object with ``value(t)`` and ``breakpoints(t0, t1)``).
+    """
+
+    name: str = "netlist"
+    mosfets: List[Mosfet] = field(default_factory=list)
+    resistors: List[Resistor] = field(default_factory=list)
+    capacitors: List[Capacitor] = field(default_factory=list)
+    sources: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.sources.setdefault(GROUND, DCSource(0.0))
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        mtype: MosfetType,
+        w: float,
+        l: float,
+        card: TransistorParams,
+    ) -> Mosfet:
+        """Add a MOSFET and return the instance."""
+        if self.find_mosfet(name) is not None:
+            raise ValueError(f"duplicate MOSFET name {name!r} in {self.name}")
+        device = Mosfet(
+            name=name, drain=drain, gate=gate, source=source,
+            mtype=mtype, w=w, l=l, card=card,
+        )
+        self.mosfets.append(device)
+        return device
+
+    def add_resistor(self, name: str, a: str, b: str, resistance: float) -> Resistor:
+        """Add a resistor and return the instance."""
+        device = Resistor(name=name, a=a, b=b, resistance=resistance)
+        self.resistors.append(device)
+        return device
+
+    def add_capacitor(self, name: str, a: str, b: str, capacitance: float) -> Capacitor:
+        """Add a capacitor and return the instance."""
+        device = Capacitor(name=name, a=a, b=b, capacitance=capacitance)
+        self.capacitors.append(device)
+        return device
+
+    def drive(self, node: str, source: object) -> None:
+        """Attach an ideal voltage source to ``node``."""
+        if node == GROUND and not isinstance(source, DCSource):
+            raise ValueError("ground must stay at DC 0 V")
+        self.sources[node] = source
+
+    def drive_dc(self, node: str, voltage: float) -> None:
+        """Attach a DC source to ``node`` (supplies, constant inputs)."""
+        self.drive(node, DCSource(voltage))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Set[str]:
+        """All node names referenced anywhere in the netlist."""
+        names: Set[str] = set(self.sources)
+        for m in self.mosfets:
+            names.update(m.nodes())
+        for r in self.resistors:
+            names.update(r.nodes())
+        for c in self.capacitors:
+            names.update(c.nodes())
+        return names
+
+    def free_nodes(self) -> List[str]:
+        """Nodes whose voltage the simulator must solve for (sorted)."""
+        return sorted(self.nodes() - set(self.sources))
+
+    def driven_nodes(self) -> List[str]:
+        """Nodes tied to ideal sources (sorted)."""
+        return sorted(self.sources)
+
+    def find_mosfet(self, name: str) -> Optional[Mosfet]:
+        """Look up a MOSFET by instance name."""
+        for m in self.mosfets:
+            if m.name == name:
+                return m
+        return None
+
+    def internal_nodes(self, exclude: Iterable[str] = ()) -> List[str]:
+        """Free nodes not listed in ``exclude`` (sorted)."""
+        skip = set(exclude)
+        return [n for n in self.free_nodes() if n not in skip]
+
+    # ------------------------------------------------------------------ #
+    # Copy (fault injection works on copies)
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Netlist":
+        """Deep copy of the netlist (sources are shared; they are immutable
+        in practice and never mutated by fault injection)."""
+        return Netlist(
+            name=self.name,
+            mosfets=[_copy.copy(m) for m in self.mosfets],
+            resistors=[_copy.copy(r) for r in self.resistors],
+            capacitors=[_copy.copy(c) for c in self.capacitors],
+            sources=dict(self.sources),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}: {len(self.mosfets)} mosfets, "
+            f"{len(self.resistors)} resistors, {len(self.capacitors)} capacitors, "
+            f"{len(self.sources)} driven nodes)"
+        )

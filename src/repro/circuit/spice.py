@@ -1,0 +1,225 @@
+"""SPICE-format interchange for netlists.
+
+Writes a :class:`~repro.circuit.Netlist` as a SPICE deck (level-1 model
+cards, M/R/C devices, V sources with DC / PULSE / PWL waveforms) and parses
+the same subset back.  Useful to cross-check circuits in an external
+simulator and to keep golden netlists under version control in a standard
+format.
+
+Supported deck subset:
+
+* ``.MODEL <name> NMOS|PMOS (VTO=... KP=... LAMBDA=...)``
+* ``M<name> <d> <g> <s> <b> <model> W=... L=...`` (bulk is ignored;
+  this library's level-1 model has no body effect)
+* ``R<name> <a> <b> <value>`` / ``C<name> <a> <b> <value>``
+* ``V<name> <node> 0 DC <v>`` / ``PULSE(...)`` / ``PWL(...)``
+* ``*`` comments, ``.END``, engineering suffixes (f, p, n, u, m, k, meg).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.circuit.netlist import GROUND, Netlist
+from repro.devices.mosfet import Mosfet, MosfetType
+from repro.devices.process import TransistorParams
+from repro.devices.sources import DCSource, PulseSource, PWLSource
+
+_SUFFIXES = {
+    "f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+    "m": 1e-3, "k": 1e3, "meg": 1e6, "g": 1e9,
+}
+
+
+def format_value(value: float) -> str:
+    """A number in plain exponent notation (unambiguous for SPICE)."""
+    return f"{value:.6e}"
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    token = token.strip().lower()
+    match = re.fullmatch(r"([-+]?[0-9]*\.?[0-9]+(?:e[-+]?[0-9]+)?)(meg|[fpnumkg])?",
+                         token)
+    if not match:
+        raise ValueError(f"cannot parse SPICE value {token!r}")
+    base = float(match.group(1))
+    suffix = match.group(2)
+    return base * _SUFFIXES[suffix] if suffix else base
+
+
+# --------------------------------------------------------------------- #
+# Export
+# --------------------------------------------------------------------- #
+
+def _model_cards(netlist: Netlist) -> Dict[int, Tuple[str, TransistorParams, MosfetType]]:
+    """Unique model cards used by the netlist, keyed by identity."""
+    cards: Dict[int, Tuple[str, TransistorParams, MosfetType]] = {}
+    for device in netlist.mosfets:
+        key = id(device.card)
+        if key not in cards:
+            prefix = "nch" if device.mtype is MosfetType.NMOS else "pch"
+            cards[key] = (f"{prefix}{len(cards)}", device.card, device.mtype)
+    return cards
+
+
+def to_spice(netlist: Netlist, title: str = "") -> str:
+    """Serialise ``netlist`` as a SPICE deck string."""
+    lines: List[str] = [f"* {title or netlist.name}"]
+
+    cards = _model_cards(netlist)
+    for name, card, mtype in cards.values():
+        kind = "NMOS" if mtype is MosfetType.NMOS else "PMOS"
+        lines.append(
+            f".MODEL {name} {kind} (VTO={format_value(card.vt0)} "
+            f"KP={format_value(card.kp)} LAMBDA={format_value(card.lam)})"
+        )
+
+    for m in netlist.mosfets:
+        model_name = cards[id(m.card)][0]
+        lines.append(
+            f"M{m.name} {m.drain} {m.gate} {m.source} {m.source} "
+            f"{model_name} W={format_value(m.w)} L={format_value(m.l)}"
+        )
+    for r in netlist.resistors:
+        lines.append(f"R{r.name} {r.a} {r.b} {format_value(r.resistance)}")
+    for c in netlist.capacitors:
+        lines.append(f"C{c.name} {c.a} {c.b} {format_value(c.capacitance)}")
+
+    index = 0
+    for node in sorted(netlist.sources):
+        if node == GROUND:
+            continue
+        source = netlist.sources[node]
+        index += 1
+        lines.append(f"V{index} {node} 0 {_source_spec(source)}")
+
+    lines.append(".END")
+    return "\n".join(lines) + "\n"
+
+
+def _source_spec(source: object) -> str:
+    if isinstance(source, DCSource):
+        return f"DC {format_value(source.voltage)}"
+    if isinstance(source, PulseSource):
+        fields = (source.v0, source.v1, source.delay, source.rise,
+                  source.fall, source.width, source.period)
+        return "PULSE(" + " ".join(format_value(x) for x in fields) + ")"
+    if isinstance(source, PWLSource):
+        pairs = " ".join(
+            f"{format_value(t)} {format_value(v)}"
+            for t, v in zip(source.times, source.values)
+        )
+        return f"PWL({pairs})"
+    if hasattr(source, "_pulse"):
+        # ClockSource delegates to its internal pulse.
+        return _source_spec(source._pulse)
+    raise TypeError(f"cannot serialise source {type(source).__name__}")
+
+
+# --------------------------------------------------------------------- #
+# Import
+# --------------------------------------------------------------------- #
+
+def from_spice(text: str, name: str = "spice-import") -> Netlist:
+    """Parse a SPICE deck (the documented subset) into a netlist."""
+    netlist = Netlist(name=name)
+    models: Dict[str, Tuple[TransistorParams, MosfetType]] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        upper = line.upper()
+        if upper == ".END":
+            break
+        if upper.startswith(".MODEL"):
+            _parse_model(line, models)
+            continue
+        prefix = upper[0]
+        if prefix == "M":
+            _parse_mosfet(line, models, netlist)
+        elif prefix == "R":
+            tokens = line.split()
+            netlist.add_resistor(tokens[0][1:], tokens[1], tokens[2],
+                                 parse_value(tokens[3]))
+        elif prefix == "C":
+            tokens = line.split()
+            netlist.add_capacitor(tokens[0][1:], tokens[1], tokens[2],
+                                  parse_value(tokens[3]))
+        elif prefix == "V":
+            _parse_source(line, netlist)
+        else:
+            raise ValueError(f"unsupported SPICE card: {line!r}")
+    return netlist
+
+
+def _parse_model(line: str, models: Dict) -> None:
+    match = re.match(
+        r"\.MODEL\s+(\S+)\s+(NMOS|PMOS)\s*\((.*)\)", line, re.IGNORECASE
+    )
+    if not match:
+        raise ValueError(f"bad .MODEL card: {line!r}")
+    model_name, kind, params = match.groups()
+    values = dict(
+        (k.upper(), parse_value(v))
+        for k, v in re.findall(r"(\w+)\s*=\s*(\S+)", params)
+    )
+    card = TransistorParams(
+        vt0=values.get("VTO", 0.7),
+        kp=values.get("KP", 50e-6),
+        lam=values.get("LAMBDA", 0.0),
+    )
+    mtype = MosfetType.NMOS if kind.upper() == "NMOS" else MosfetType.PMOS
+    models[model_name] = (card, mtype)
+
+
+def _parse_mosfet(line: str, models: Dict, netlist: Netlist) -> None:
+    tokens = line.split()
+    if len(tokens) < 6:
+        raise ValueError(f"bad MOSFET card: {line!r}")
+    inst = tokens[0][1:]
+    drain, gate, source = tokens[1], tokens[2], tokens[3]
+    # tokens[4] is the bulk node (ignored), tokens[5] the model.
+    model_name = tokens[5]
+    if model_name not in models:
+        raise ValueError(f"unknown model {model_name!r} in {line!r}")
+    card, mtype = models[model_name]
+    geometry = dict(
+        (k.upper(), parse_value(v))
+        for k, v in re.findall(r"(\w+)\s*=\s*(\S+)", " ".join(tokens[6:]))
+    )
+    netlist.add_mosfet(
+        inst, drain, gate, source, mtype,
+        geometry.get("W", 1e-6), geometry.get("L", 1e-6), card,
+    )
+
+
+def _parse_source(line: str, netlist: Netlist) -> None:
+    match = re.match(
+        r"V\S*\s+(\S+)\s+0\s+(.*)", line, re.IGNORECASE
+    )
+    if not match:
+        raise ValueError(f"bad V source card (only node-to-ground "
+                         f"supported): {line!r}")
+    node, spec = match.groups()
+    spec = spec.strip()
+    upper = spec.upper()
+    if upper.startswith("DC"):
+        netlist.drive_dc(node, parse_value(spec.split()[1]))
+        return
+    if upper.startswith("PULSE"):
+        inner = spec[spec.index("(") + 1: spec.rindex(")")]
+        v = [parse_value(x) for x in inner.replace(",", " ").split()]
+        netlist.drive(node, PulseSource(
+            v0=v[0], v1=v[1], delay=v[2], rise=v[3],
+            fall=v[4], width=v[5], period=v[6],
+        ))
+        return
+    if upper.startswith("PWL"):
+        inner = spec[spec.index("(") + 1: spec.rindex(")")]
+        flat = [parse_value(x) for x in inner.replace(",", " ").split()]
+        netlist.drive(node, PWLSource(times=flat[0::2], values=flat[1::2]))
+        return
+    raise ValueError(f"unsupported source spec: {spec!r}")

@@ -1,0 +1,82 @@
+"""Netlist sanity checks run before compilation.
+
+The transient engine integrates ``C dv/dt = -i(v)``; a free node with no
+capacitance to anywhere would make the system index-1 and the step equation
+singular, so validation flags it (the engine also auto-adds a small parasitic
+capacitance, but a *fully* floating node - no device at all - is a design
+error worth failing loudly on).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from repro.circuit.netlist import Netlist
+
+
+class NetlistError(ValueError):
+    """Raised when a netlist fails structural validation."""
+
+
+def validate(netlist: Netlist) -> List[str]:
+    """Check a netlist for structural problems.
+
+    Returns a list of human-readable warnings (non-fatal observations) and
+    raises :class:`NetlistError` on fatal problems:
+
+    * duplicate device names across all device kinds;
+    * a free node touched by no device terminal at all;
+    * a MOSFET whose drain and source are the same node.
+    """
+    warnings: List[str] = []
+
+    names = Counter(
+        [m.name for m in netlist.mosfets]
+        + [r.name for r in netlist.resistors]
+        + [c.name for c in netlist.capacitors]
+    )
+    duplicates = [n for n, k in names.items() if k > 1]
+    if duplicates:
+        raise NetlistError(f"{netlist.name}: duplicate device names {duplicates}")
+
+    touched = set()
+    for m in netlist.mosfets:
+        touched.update(m.nodes())
+        if m.drain == m.source:
+            raise NetlistError(
+                f"{netlist.name}: MOSFET {m.name} has drain == source ({m.drain})"
+            )
+    for r in netlist.resistors:
+        touched.update(r.nodes())
+        if r.a == r.b:
+            warnings.append(f"resistor {r.name} shorts node {r.a} to itself")
+    for c in netlist.capacitors:
+        touched.update(c.nodes())
+
+    for node in netlist.free_nodes():
+        if node not in touched:
+            raise NetlistError(f"{netlist.name}: free node {node} touches no device")
+
+    conductive = set(netlist.driven_nodes())
+    for _ in range(len(netlist.free_nodes()) + 1):
+        grew = False
+        for m in netlist.mosfets:
+            ends = {m.drain, m.source}
+            if ends & conductive and not ends <= conductive:
+                conductive |= ends
+                grew = True
+        for r in netlist.resistors:
+            ends = {r.a, r.b}
+            if ends & conductive and not ends <= conductive:
+                conductive |= ends
+                grew = True
+        if not grew:
+            break
+    for node in netlist.free_nodes():
+        if node not in conductive:
+            warnings.append(
+                f"node {node} has no conductive path to any driven node "
+                "(purely capacitive; its voltage is set by initial conditions)"
+            )
+    return warnings

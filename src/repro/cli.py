@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``waves``        Fig.-2/3 style waveform report for a chosen skew.
+``sensitivity``  Fig.-4 style Vmin-vs-tau sweep and tau_min extraction.
+``testability``  Sec.-3 fault-coverage analysis of the sensor.
+``scheme``       Fig.-6 style campaign: sensors over an H-tree with an
+                 injected fault, scan-path and checker readout.
+``export``       Write the sensor netlist as a SPICE deck.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analog.engine import TransientOptions
+from repro.units import VTH_INTERPRET, fF, ns, to_ns
+
+_FAST = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+def _cmd_waves(args: argparse.Namespace) -> int:
+    from repro.core.response import simulate_sensor
+    from repro.core.sensing import SkewSensor
+    from repro.report import waveform_report
+
+    sensor = SkewSensor(
+        load1=fF(args.load), load2=fF(args.load), full_swing=args.full_swing
+    )
+    response = simulate_sensor(
+        sensor, skew=ns(args.skew), slew1=ns(args.slew), slew2=ns(args.slew),
+        options=_FAST,
+    )
+    print(waveform_report(response, t0=ns(1.0), t1=ns(14.0)))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import sweep_skew
+    from repro.report import sensitivity_report
+
+    skews = [ns(args.tau_max) * k / (args.points - 1) for k in range(args.points)]
+    curves = [
+        sweep_skew(fF(load), ns(args.slew), skews, options=_FAST)
+        for load in args.loads
+    ]
+    print(sensitivity_report(curves))
+    return 0
+
+
+def _cmd_testability(args: argparse.Namespace) -> int:
+    from repro.report import testability_report_text
+    from repro.testing.testability import analyze_sensor_testability
+
+    report = analyze_sensor_testability(options=_FAST)
+    print(testability_report_text(report))
+    return 0
+
+
+def _cmd_scheme(args: argparse.Namespace) -> int:
+    from repro.clocktree import Buffer, ResistiveOpen, build_h_tree
+    from repro.testing.scheme import ClockTestingScheme
+
+    tree = build_h_tree(levels=args.levels, buffer=Buffer())
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(args.tau_min), max_distance=args.max_distance_mm * 1e-3,
+        top_k=args.sensors,
+    )
+    print(f"tree: {len(tree.sinks())} sinks; monitoring "
+          f"{len(scheme.placements)} pairs")
+    state = None
+    if args.open_node:
+        fault = ResistiveOpen(
+            node=args.open_node, extra_resistance=args.open_ohms
+        )
+        print(f"injected: {fault.describe()}")
+        state = fault.apply(tree)
+    observations = scheme.observe(state)
+    for obs in observations:
+        print(
+            f"  {obs.placement.indicator.name:<12} "
+            f"skew {to_ns(obs.skew):+8.3f} ns  code {obs.code}"
+        )
+    print(f"scan path : {scheme.scan_out()}")
+    print(f"checker   : {'ALARM' if scheme.online_alarm() else 'ok'}")
+    from repro.testing.diagnosis import diagnose, diagnosis_report
+
+    print("diagnosis :")
+    for line in diagnosis_report(diagnose(scheme)).splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.circuit.spice import to_spice
+    from repro.core.sensing import SkewSensor
+
+    sensor = SkewSensor(
+        load1=fF(args.load), load2=fF(args.load), full_swing=args.full_swing
+    )
+    netlist = sensor.build()
+    netlist.drive_dc("phi1", 0.0)
+    netlist.drive_dc("phi2", 0.0)
+    deck = to_spice(netlist, title="skew sensing circuit (Favalli/Metra 1997)")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(deck)
+        print(f"wrote {args.output}")
+    else:
+        print(deck, end="")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.report.aggregate import build_report, write_report
+
+    if args.output:
+        path = write_report(args.out_dir, args.output)
+        print(f"wrote {path}")
+    else:
+        print(build_report(args.out_dir))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clock-skew testing scheme reproduction "
+        "(Favalli & Metra, ED&TC 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    waves = sub.add_parser("waves", help="waveform report for one skew")
+    waves.add_argument("--skew", type=float, default=1.0, help="tau in ns")
+    waves.add_argument("--load", type=float, default=160.0, help="load in fF")
+    waves.add_argument("--slew", type=float, default=0.2, help="slew in ns")
+    waves.add_argument("--full-swing", action="store_true")
+    waves.set_defaults(func=_cmd_waves)
+
+    sens = sub.add_parser("sensitivity", help="Vmin vs tau sweep")
+    sens.add_argument("--loads", type=float, nargs="+",
+                      default=[80.0, 160.0, 240.0], help="loads in fF")
+    sens.add_argument("--slew", type=float, default=0.2, help="slew in ns")
+    sens.add_argument("--tau-max", type=float, default=0.5, help="sweep end, ns")
+    sens.add_argument("--points", type=int, default=8)
+    sens.set_defaults(func=_cmd_sensitivity)
+
+    testa = sub.add_parser("testability", help="Sec.-3 fault coverage")
+    testa.set_defaults(func=_cmd_testability)
+
+    scheme = sub.add_parser("scheme", help="Fig.-6 campaign on an H-tree")
+    scheme.add_argument("--levels", type=int, default=2)
+    scheme.add_argument("--sensors", type=int, default=6)
+    scheme.add_argument("--tau-min", type=float, default=0.12,
+                        help="calibrated sensitivity, ns")
+    scheme.add_argument("--max-distance-mm", type=float, default=8.0)
+    scheme.add_argument("--open-node", type=str, default=None,
+                        help="inject a resistive open at this tree node")
+    scheme.add_argument("--open-ohms", type=float, default=8000.0)
+    scheme.set_defaults(func=_cmd_scheme)
+
+    export = sub.add_parser("export", help="SPICE deck of the sensor")
+    export.add_argument("--load", type=float, default=160.0, help="load in fF")
+    export.add_argument("--full-swing", action="store_true")
+    export.add_argument("-o", "--output", type=str, default=None)
+    export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser(
+        "report", help="aggregate benchmark outputs into REPORT.md"
+    )
+    report.add_argument(
+        "--out-dir", type=str, default="benchmarks/out",
+        help="directory holding the bench result blocks",
+    )
+    report.add_argument("-o", "--output", type=str, default=None)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

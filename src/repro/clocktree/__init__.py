@@ -1,0 +1,90 @@
+"""Clock distribution network substrate.
+
+The paper's scheme lives inside a chip's clock distribution (Fig. 6): a
+hierarchically buffered tree whose balanced branches can be upset by
+parameter fluctuations, delay-model inaccuracies, crosstalk and
+environmental noise.  This package provides:
+
+* a tree datastructure with RC wire segments and buffers;
+* an H-tree generator (the symmetric scheme of Fig. 6);
+* a zero-skew DME router (the Chao/Boese/Kahng family the paper cites as
+  the conventional skew-minimisation baseline);
+* Elmore-delay timing and skew analysis;
+* critical-pair selection (the paper's two placement criteria);
+* tree-level fault injection producing the abnormal skews the sensor must
+  catch.
+"""
+
+from repro.clocktree.tree import Buffer, ClockTree, TreeNode, Wire
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.spine import build_spine, rib_stations
+from repro.clocktree.rc import WireModel, elmore_delays, subtree_capacitance
+from repro.clocktree.dme import build_zero_skew_tree
+from repro.clocktree.skew import (
+    CriticalPair,
+    pairwise_skew,
+    select_critical_pairs,
+    sink_skew_table,
+)
+from repro.clocktree.faults import (
+    BufferSlowdown,
+    CrosstalkCoupling,
+    ResistiveOpen,
+    SupplyNoise,
+    TreeFault,
+    perturb_tree,
+    skew_change,
+)
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.budget import (
+    SkewBudget,
+    recommend_sensitivity,
+    skew_budget,
+    tune_threshold,
+)
+from repro.clocktree.intermittent import (
+    CampaignResult,
+    IntermittentFault,
+    monitoring_campaign,
+)
+from repro.clocktree.electrical import (
+    TreeNetlistBuilder,
+    cosimulate_pair_with_sensor,
+    electrical_sink_arrivals,
+)
+
+__all__ = [
+    "ClockTree",
+    "TreeNode",
+    "Wire",
+    "Buffer",
+    "build_h_tree",
+    "build_spine",
+    "rib_stations",
+    "build_zero_skew_tree",
+    "WireModel",
+    "elmore_delays",
+    "subtree_capacitance",
+    "pairwise_skew",
+    "sink_skew_table",
+    "select_critical_pairs",
+    "CriticalPair",
+    "TreeFault",
+    "ResistiveOpen",
+    "CrosstalkCoupling",
+    "BufferSlowdown",
+    "SupplyNoise",
+    "perturb_tree",
+    "skew_change",
+    "sink_delays",
+    "TreeNetlistBuilder",
+    "electrical_sink_arrivals",
+    "cosimulate_pair_with_sensor",
+    "IntermittentFault",
+    "CampaignResult",
+    "monitoring_campaign",
+    "SkewBudget",
+    "skew_budget",
+    "recommend_sensitivity",
+    "tune_threshold",
+]

@@ -1,0 +1,192 @@
+"""Zero-skew clock routing (deferred-merge / balanced-tap construction).
+
+This is the conventional skew-minimisation baseline the paper cites
+([2] Boese & Kahng, [3] Chao, Hsu, Ho, Boese, Kahng): given the sink
+positions and loads, build a binary merge tree whose every internal tap
+point is placed so the Elmore delays of its two subtrees are *exactly*
+equal, elongating (snaking) the shorter side's wire when balance is not
+achievable on the direct connection.
+
+The implementation merges greedily by nearest-neighbour pairing per round
+(the practical variant of recursive matching) and places tap points on the
+L-shaped Manhattan path between subtree roots.  The zero-skew property is
+independent of the pairing choices: every merge re-balances its own two
+subtrees, so the final root sees all sinks at one delay.
+
+The result plugs into the same :mod:`repro.clocktree.rc` timing model, so
+fault injection and sensor placement work identically on H-trees and
+DME-routed trees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.clocktree.rc import WireModel
+from repro.clocktree.tree import Buffer, ClockTree, Point, TreeNode, Wire, manhattan
+
+
+@dataclass
+class _Subtree:
+    """Bookkeeping for one partially merged subtree."""
+
+    node: TreeNode
+    delay: float       # root-point-to-sink Elmore delay (equal to all sinks)
+    capacitance: float  # total downstream capacitance seen at the root point
+
+
+def _point_along(a: Point, b: Point, distance: float) -> Point:
+    """Point at ``distance`` from ``a`` along the L-path a -> (b.x, a.y) -> b."""
+    dx = b[0] - a[0]
+    dy = b[1] - a[1]
+    if distance <= abs(dx):
+        step = math.copysign(distance, dx) if dx != 0.0 else 0.0
+        return (a[0] + step, a[1])
+    rest = min(distance - abs(dx), abs(dy))
+    step = math.copysign(rest, dy) if dy != 0.0 else 0.0
+    return (b[0], a[1] + step)
+
+
+def _balance_tap(
+    t1: float, c1: float, t2: float, c2: float, length: float, model: WireModel
+) -> Tuple[float, float, float]:
+    """Balanced tap on a wire of ``length`` joining subtrees 1 and 2.
+
+    Returns ``(x1, len1, len2)`` where ``x1`` is the tap's distance from
+    subtree 1 along the direct path (for geometric placement) and ``len1``
+    / ``len2`` are the *electrical* wire lengths from the tap to each
+    subtree root (``len != x`` only when snaking was needed).
+    """
+    r = model.resistance_per_length
+    c = model.capacitance_per_length
+    if length == 0.0:
+        # Coincident roots: balance purely by elongation if needed.
+        if t1 == t2:
+            return 0.0, 0.0, 0.0
+        if t1 > t2:
+            return 0.0, 0.0, _elongation(t1 - t2, c2, model)
+        return 0.0, _elongation(t2 - t1, c1, model), 0.0
+
+    x = (t2 - t1 + r * length * c2 + 0.5 * r * c * length**2) / (
+        r * (c * length + c1 + c2)
+    )
+    if 0.0 <= x <= length:
+        return x, x, length - x
+    if x < 0.0:
+        # Subtree 1 is too slow even tapping at its root: snake side 2.
+        extra = t1 - (t2 + r * length * (0.5 * c * length + c2))
+        len2 = length + _elongation(extra, c2 + c * length, model)
+        return 0.0, 0.0, len2
+    # Symmetric case: snake side 1.
+    extra = t2 - (t1 + r * length * (0.5 * c * length + c1))
+    len1 = length + _elongation(extra, c1 + c * length, model)
+    return length, len1, 0.0
+
+
+def _elongation(delay_gap: float, load: float, model: WireModel) -> float:
+    """Extra wire length whose Elmore delay into ``load`` equals
+    ``delay_gap`` (the snaking solution of the balance quadratic)."""
+    if delay_gap <= 0.0:
+        return 0.0
+    r = model.resistance_per_length
+    c = model.capacitance_per_length
+    disc = (r * load) ** 2 + 2.0 * r * c * delay_gap
+    return (math.sqrt(disc) - r * load) / (r * c)
+
+
+def _merge(
+    a: _Subtree, b: _Subtree, name: str, model: WireModel
+) -> _Subtree:
+    """Merge two subtrees at a zero-skew tap point."""
+    r = model.resistance_per_length
+    c = model.capacitance_per_length
+    pa, pb = a.node.position, b.node.position
+    direct = manhattan(pa, pb)
+    x, len_a, len_b = _balance_tap(
+        a.delay, a.capacitance, b.delay, b.capacitance, direct, model
+    )
+    tap = TreeNode(name=name, position=_point_along(pa, pb, x))
+    a.node.wire = Wire(length=len_a)
+    b.node.wire = Wire(length=len_b)
+    tap.add_child(a.node)
+    tap.add_child(b.node)
+
+    delay = a.delay + r * len_a * (0.5 * c * len_a + a.capacitance)
+    capacitance = a.capacitance + b.capacitance + c * (len_a + len_b)
+    return _Subtree(node=tap, delay=delay, capacitance=capacitance)
+
+
+def _pair_greedy(items: List[_Subtree]) -> List[Tuple[_Subtree, Optional[_Subtree]]]:
+    """Nearest-neighbour pairing; the odd leftover is carried unpaired."""
+    remaining = list(items)
+    pairs: List[Tuple[_Subtree, Optional[_Subtree]]] = []
+    while len(remaining) > 1:
+        base = remaining.pop(0)
+        best_index = min(
+            range(len(remaining)),
+            key=lambda k: manhattan(
+                base.node.position, remaining[k].node.position
+            ),
+        )
+        pairs.append((base, remaining.pop(best_index)))
+    if remaining:
+        pairs.append((remaining[0], None))
+    return pairs
+
+
+def build_zero_skew_tree(
+    sinks: Sequence[Tuple[str, Point, float]],
+    model: Optional[WireModel] = None,
+    root_buffer: Optional[Buffer] = None,
+    name: str = "dme-tree",
+) -> ClockTree:
+    """Route a zero-skew tree over ``sinks``.
+
+    Parameters
+    ----------
+    sinks:
+        ``(name, (x, y), load_capacitance)`` triples.
+    model:
+        Wire parasitics; must match the model later used for timing.
+    root_buffer:
+        Optional buffer at the final root (a common-path buffer preserves
+        zero skew exactly).
+
+    Returns
+    -------
+    A :class:`ClockTree` whose sink Elmore delays are equal (to numerical
+    precision) under the same ``model``.
+    """
+    if not sinks:
+        raise ValueError("need at least one sink")
+    model = model or WireModel()
+
+    level: List[_Subtree] = [
+        _Subtree(
+            node=TreeNode(name=sink_name, position=pos, sink_capacitance=cap),
+            delay=0.0,
+            capacitance=cap,
+        )
+        for sink_name, pos, cap in sinks
+    ]
+    counter = 0
+    while len(level) > 1:
+        nxt: List[_Subtree] = []
+        for a, b in _pair_greedy(level):
+            if b is None:
+                nxt.append(a)
+                continue
+            nxt.append(_merge(a, b, f"m{counter}", model))
+            counter += 1
+        level = nxt
+
+    root = level[0].node
+    if root_buffer is not None:
+        root.buffer = Buffer(
+            drive_resistance=root_buffer.drive_resistance,
+            input_capacitance=root_buffer.input_capacitance,
+            intrinsic_delay=root_buffer.intrinsic_delay,
+        )
+    return ClockTree(root=root, name=name)

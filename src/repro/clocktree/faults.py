@@ -1,0 +1,183 @@
+"""Tree-level fault injection.
+
+Sec. 1 lists the failure mechanisms conventional clock-tree design cannot
+rule out: "circuit parameter fluctuations, inaccuracies in the delay models
+used to drive the clock routing process, crosstalk faults and environmental
+failures (typically due to wire coupling with off-chip sources of noise)".
+Each fault here perturbs a *copy* of a clock tree; re-running the Elmore
+timing then yields the abnormal skews presented to the sensing circuits.
+
+Faults are small and composable; a scenario is just a list of them.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.clocktree.tree import Buffer, ClockTree, TreeNode
+
+
+def _copy_tree(tree: ClockTree) -> ClockTree:
+    """Deep copy with parent links rebuilt."""
+
+    def clone(node: TreeNode) -> TreeNode:
+        fresh = TreeNode(
+            name=node.name,
+            position=node.position,
+            wire=copy.copy(node.wire) if node.wire is not None else None,
+            buffer=copy.copy(node.buffer) if node.buffer is not None else None,
+            sink_capacitance=node.sink_capacitance,
+        )
+        for child in node.children:
+            cloned = clone(child)
+            cloned.parent = fresh
+            fresh.children.append(cloned)
+        return fresh
+
+    return ClockTree(root=clone(tree.root), name=tree.name)
+
+
+class TreeFault:
+    """Base class: a perturbation of a clock tree."""
+
+    def apply(self, tree: ClockTree) -> ClockTree:
+        """Return a faulty copy of ``tree``."""
+        faulty = _copy_tree(tree)
+        self._mutate(faulty)
+        return faulty
+
+    def _mutate(self, tree: ClockTree) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"
+
+
+@dataclass(frozen=True)
+class ResistiveOpen(TreeFault):
+    """Partial open (resistive crack / via defect) in the wire feeding a
+    node: adds series resistance, delaying everything behind it."""
+
+    node: str
+    extra_resistance: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"resistive open at {self.node} (+{self.extra_resistance:.0f} ohm)"
+
+    def _mutate(self, tree: ClockTree) -> None:
+        node = tree.node(self.node)
+        if node.wire is None:
+            raise ValueError(f"node {self.node} has no feeding wire (root?)")
+        node.wire.extra_resistance += self.extra_resistance
+
+
+@dataclass(frozen=True)
+class CrosstalkCoupling(TreeFault):
+    """Coupling to an aggressor net modelled as extra load capacitance on
+    the victim segment (the Miller-factor worst case slows the victim)."""
+
+    node: str
+    coupling_capacitance: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"crosstalk on {self.node} "
+            f"(+{self.coupling_capacitance * 1e15:.0f} fF)"
+        )
+
+    def _mutate(self, tree: ClockTree) -> None:
+        node = tree.node(self.node)
+        if node.wire is None:
+            raise ValueError(f"node {self.node} has no feeding wire (root?)")
+        node.wire.extra_capacitance += self.coupling_capacitance
+
+
+@dataclass(frozen=True)
+class BufferSlowdown(TreeFault):
+    """Degraded buffer (parameter fluctuation, supply droop, ageing):
+    drive resistance and intrinsic delay scaled by ``factor`` > 1."""
+
+    node: str
+    factor: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"buffer slowdown at {self.node} (x{self.factor:.2f})"
+
+    def _mutate(self, tree: ClockTree) -> None:
+        node = tree.node(self.node)
+        if node.buffer is None:
+            raise ValueError(f"node {self.node} carries no buffer")
+        node.buffer = node.buffer.scaled(self.factor)
+
+
+@dataclass(frozen=True)
+class SupplyNoise(TreeFault):
+    """Environmental / supply noise: every buffer in the subtree under
+    ``node`` slows by ``factor`` (regional disturbance)."""
+
+    node: str
+    factor: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"supply noise under {self.node} (x{self.factor:.2f})"
+
+    def _mutate(self, tree: ClockTree) -> None:
+        start = tree.node(self.node)
+        stack = [start]
+        touched = 0
+        while stack:
+            current = stack.pop()
+            if current.buffer is not None:
+                current.buffer = current.buffer.scaled(self.factor)
+                touched += 1
+            stack.extend(current.children)
+        if touched == 0:
+            raise ValueError(f"no buffers under {self.node}")
+
+
+def perturb_tree(
+    tree: ClockTree,
+    rng: np.random.Generator,
+    relative_variation: float = 0.15,
+) -> ClockTree:
+    """Random per-segment parameter fluctuation (process variation).
+
+    Every wire's length-equivalent parasitics and every buffer's drive
+    strength fluctuate independently and uniformly by
+    ``+/- relative_variation`` - the mechanism behind criterion-1 skew
+    criticality and the source of "unbalanced paths" in Sec. 1.
+    """
+    faulty = _copy_tree(tree)
+    for node in faulty.walk():
+        if node.wire is not None:
+            factor = 1.0 + rng.uniform(-relative_variation, relative_variation)
+            node.wire = replace(node.wire, length=node.wire.length * factor)
+        if node.buffer is not None:
+            factor = 1.0 + rng.uniform(-relative_variation, relative_variation)
+            node.buffer = Buffer(
+                drive_resistance=node.buffer.drive_resistance * factor,
+                input_capacitance=node.buffer.input_capacitance,
+                intrinsic_delay=node.buffer.intrinsic_delay * factor,
+            )
+    return faulty
+
+
+def skew_change(
+    nominal: Dict[str, float], faulty: Dict[str, float], sink_a: str, sink_b: str
+) -> float:
+    """Change in pair skew between two delay maps (seconds)."""
+    before = nominal[sink_b] - nominal[sink_a]
+    after = faulty[sink_b] - faulty[sink_a]
+    return after - before

@@ -1,0 +1,94 @@
+"""Symmetric H-tree generator.
+
+The H-tree is the canonical symmetric clock distribution scheme - the one
+sketched in the paper's Fig. 6.  Level ``k`` splits the die into 4^k
+congruent quadrants; every root-to-sink path has identical wire length, so
+the nominal skew is zero by construction and any *observed* skew comes from
+injected faults or parameter fluctuations - exactly the situation the
+sensing circuit targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clocktree.tree import Buffer, ClockTree, TreeNode, Wire
+
+
+def build_h_tree(
+    levels: int,
+    chip_size: float = 10e-3,
+    sink_capacitance: float = 50e-15,
+    buffer: Optional[Buffer] = None,
+    buffer_every: int = 1,
+    name: str = "h-tree",
+) -> ClockTree:
+    """Build an H-tree with ``4 ** levels`` sinks.
+
+    Parameters
+    ----------
+    levels:
+        Number of H recursion levels (>= 1).
+    chip_size:
+        Die edge, metres; the root sits at the centre.
+    sink_capacitance:
+        Clock-pin load at each sink, farads.
+    buffer:
+        Template buffer inserted at branch points; ``None`` for an
+        unbuffered tree.
+    buffer_every:
+        Insert buffers only at every ``buffer_every``-th level (hierarchical
+        buffering, "buffers driving optimized interconnection networks").
+    """
+    if levels < 1:
+        raise ValueError("an H-tree needs at least one level")
+    if buffer_every < 1:
+        raise ValueError("buffer_every must be >= 1")
+
+    centre = chip_size / 2.0
+    root = TreeNode(name="root", position=(centre, centre))
+    if buffer is not None:
+        root.buffer = Buffer(
+            drive_resistance=buffer.drive_resistance,
+            input_capacitance=buffer.input_capacitance,
+            intrinsic_delay=buffer.intrinsic_delay,
+        )
+    counter = {"n": 0}
+
+    def grow(node: TreeNode, half_span: float, level: int) -> None:
+        """Add one H: two horizontal arms, each splitting vertically."""
+        if level > levels:
+            return
+        x, y = node.position
+        arm = half_span
+        for dx in (-arm, arm):
+            mid_name = f"b{counter['n']}"
+            counter["n"] += 1
+            mid = TreeNode(
+                name=mid_name,
+                position=(x + dx, y),
+                wire=Wire(length=abs(dx)),
+            )
+            if buffer is not None and level % buffer_every == 0:
+                mid.buffer = Buffer(
+                    drive_resistance=buffer.drive_resistance,
+                    input_capacitance=buffer.input_capacitance,
+                    intrinsic_delay=buffer.intrinsic_delay,
+                )
+            node.add_child(mid)
+            for dy in (-arm, arm):
+                leaf_name = (
+                    f"s{counter['n']}" if level == levels else f"n{counter['n']}"
+                )
+                counter["n"] += 1
+                end = TreeNode(
+                    name=leaf_name,
+                    position=(x + dx, y + dy),
+                    wire=Wire(length=abs(dy)),
+                    sink_capacitance=sink_capacitance if level == levels else 0.0,
+                )
+                mid.add_child(end)
+                grow(end, half_span / 2.0, level + 1)
+
+    grow(root, chip_size / 4.0, 1)
+    return ClockTree(root=root, name=name)

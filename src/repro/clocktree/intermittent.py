@@ -1,0 +1,139 @@
+"""Intermittent and transient clock-distribution faults.
+
+Sec. 1 of the paper: "a small fraction of them can be classified as
+permanent, while the others have to be considered (intrinsically or
+practically) as transient" - and this is precisely why the scheme offers an
+*on-line* mode: a transient fault active between off-line test sessions is
+invisible to conventional testing, while a concurrently operating sensor
+latches it the cycle it strikes.
+
+:class:`IntermittentFault` wraps any :class:`~repro.clocktree.faults
+.TreeFault` with an activation process (deterministic duty window or a
+Bernoulli per-cycle process); :func:`monitoring_campaign` runs a testing
+scheme cycle by cycle against it and records when each observation mode
+first sees the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.clocktree.faults import TreeFault
+from repro.clocktree.tree import ClockTree
+from repro.testing.scheme import ClockTestingScheme
+
+
+@dataclass(frozen=True)
+class IntermittentFault:
+    """A tree fault that is only sometimes active.
+
+    Attributes
+    ----------
+    fault:
+        The underlying perturbation when active.
+    activation_probability:
+        Per-cycle Bernoulli probability of being active (ignored when
+        ``active_cycles`` is given).
+    active_cycles:
+        Explicit set of active cycle indices (deterministic schedule).
+    """
+
+    fault: TreeFault
+    activation_probability: float = 0.2
+    active_cycles: Optional[frozenset] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.activation_probability <= 1.0:
+            raise ValueError("activation probability must be in [0, 1]")
+
+    def is_active(self, cycle: int, rng: Optional[np.random.Generator] = None) -> bool:
+        """Whether the fault is active in ``cycle``."""
+        if self.active_cycles is not None:
+            return cycle in self.active_cycles
+        rng = rng or np.random.default_rng()
+        return bool(rng.random() < self.activation_probability)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        if self.active_cycles is not None:
+            return (
+                f"intermittent {self.fault.describe()} "
+                f"(cycles {sorted(self.active_cycles)})"
+            )
+        return (
+            f"intermittent {self.fault.describe()} "
+            f"(p = {self.activation_probability})"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a cycle-by-cycle monitoring campaign."""
+
+    cycles: int
+    active_cycles: List[int]
+    online_first_detection: Optional[int]
+    online_alarm_cycles: List[int]
+    latched_at_end: bool
+    offline_session_detects: bool
+
+    @property
+    def online_detects(self) -> bool:
+        """Whether on-line monitoring saw the fault at least once."""
+        return self.online_first_detection is not None
+
+
+def monitoring_campaign(
+    scheme: ClockTestingScheme,
+    fault: IntermittentFault,
+    cycles: int,
+    offline_test_cycle: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> CampaignResult:
+    """Run ``cycles`` clock cycles of on-line monitoring against ``fault``.
+
+    Per cycle: decide activation, evaluate every monitored pair, update
+    the latching indicators, record the checker alarm.  The *off-line*
+    comparison is a single test session at ``offline_test_cycle``: it sees
+    the fault only if the fault happens to be active in that very cycle -
+    the paper's argument for the on-line mode.
+
+    The scheme's indicators are reset first; afterwards they hold the
+    latched union of everything seen (scan-out diagnoses the event).
+    """
+    if cycles < 1:
+        raise ValueError("campaign needs at least one cycle")
+    rng = rng or np.random.default_rng()
+    scheme.reset()
+    faulty_tree: ClockTree = fault.fault.apply(scheme.tree)
+
+    active_list: List[int] = []
+    alarms: List[int] = []
+    first: Optional[int] = None
+    offline_detects = False
+
+    for cycle in range(cycles):
+        active = fault.is_active(cycle, rng)
+        if active:
+            active_list.append(cycle)
+        observations = scheme.observe(faulty_tree if active else None)
+        flagged_now = any(obs.flagged for obs in observations)
+        if flagged_now:
+            alarms.append(cycle)
+            if first is None:
+                first = cycle
+        if cycle == offline_test_cycle:
+            # The off-line session measures the tree state *now*.
+            offline_detects = active and flagged_now
+
+    return CampaignResult(
+        cycles=cycles,
+        active_cycles=active_list,
+        online_first_detection=first,
+        online_alarm_cycles=alarms,
+        latched_at_end=bool(scheme.flagged_pairs()),
+        offline_session_detects=offline_detects,
+    )

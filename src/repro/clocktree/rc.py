@@ -1,0 +1,136 @@
+"""Elmore-delay timing of a buffered RC clock tree.
+
+Each wire segment is a distributed RC line, represented for Elmore purposes
+by its total resistance with half its capacitance at each end (pi model):
+resistance ``r * L + extra_r``, capacitance ``c * L + extra_c``.  Buffers
+partition the tree into *stages*: a buffer presents its input capacitance
+to the upstream stage and re-drives the downstream stage from its own drive
+resistance, adding its intrinsic delay.
+
+The incremental Elmore identity used here: within a stage,
+
+``t(child) = t(parent) + r_wire * (c_wire / 2 + C_subtree(child))``
+
+because every resistance upstream of the shared parent contributes equally
+to both arrival times; and at a stage root (driver or buffer output),
+
+``t = t(input) + t_intrinsic + R_drive * C_stage``.
+
+This is the first-order model used by the zero-skew routing literature the
+paper cites ([2], [3]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.clocktree.tree import ClockTree, TreeNode
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Per-unit-length wire parasitics (typical of a 1.2 um metal layer).
+
+    Attributes
+    ----------
+    resistance_per_length:
+        ohm / m.
+    capacitance_per_length:
+        F / m.
+    """
+
+    resistance_per_length: float = 70e3       # 0.07 ohm/um
+    capacitance_per_length: float = 150e-12   # 0.15 fF/um
+
+    def segment_r(self, node: TreeNode) -> float:
+        """Total resistance of the wire feeding ``node``."""
+        wire = node.wire
+        if wire is None:
+            return 0.0
+        return self.resistance_per_length * wire.length + wire.extra_resistance
+
+    def segment_c(self, node: TreeNode) -> float:
+        """Total capacitance of the wire feeding ``node``."""
+        wire = node.wire
+        if wire is None:
+            return 0.0
+        return self.capacitance_per_length * wire.length + wire.extra_capacitance
+
+
+def stage_load(
+    node: TreeNode, model: WireModel, cache: Optional[Dict[int, float]] = None
+) -> float:
+    """Capacitance the driver *at* ``node`` must charge.
+
+    Ignores any buffer sitting at ``node`` itself (this is what that buffer
+    drives); downstream buffers isolate their subtrees and contribute only
+    their input capacitance.
+    """
+    total = node.sink_capacitance
+    for child in node.children:
+        total += model.segment_c(child) + subtree_capacitance(child, model, cache)
+    return total
+
+
+def subtree_capacitance(
+    node: TreeNode, model: WireModel, cache: Optional[Dict[int, float]] = None
+) -> float:
+    """Capacitance seen looking into ``node`` from its feeding wire.
+
+    A buffered node contributes only its buffer input capacitance (the
+    buffer isolates everything behind it); otherwise the node's sink load
+    plus all child segments and their subtrees.
+    """
+    if cache is not None and id(node) in cache:
+        return cache[id(node)]
+    if node.buffer is not None:
+        total = node.buffer.input_capacitance
+    else:
+        total = stage_load(node, model, cache)
+    if cache is not None:
+        cache[id(node)] = total
+    return total
+
+
+def elmore_delays(
+    tree: ClockTree,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+) -> Dict[str, float]:
+    """Elmore delay from the clock generator to every node, by name.
+
+    Parameters
+    ----------
+    source_resistance:
+        Drive resistance of the clock generator at the root.
+    """
+    model = model or WireModel()
+    cache: Dict[int, float] = {}
+    delays: Dict[str, float] = {}
+
+    def visit(node: TreeNode, arrival: float) -> None:
+        """``arrival`` is the Elmore time at ``node``'s input point."""
+        if node.buffer is not None:
+            arrival += node.buffer.intrinsic_delay
+            arrival += node.buffer.drive_resistance * stage_load(node, model, cache)
+        delays[node.name] = arrival
+        for child in node.children:
+            r = model.segment_r(child)
+            c = model.segment_c(child)
+            step = r * (0.5 * c + subtree_capacitance(child, model, cache))
+            visit(child, arrival + step)
+
+    root = tree.root
+    visit(root, source_resistance * subtree_capacitance(root, model, cache))
+    return delays
+
+
+def sink_delays(
+    tree: ClockTree,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+) -> Dict[str, float]:
+    """Elmore delays restricted to the sinks."""
+    all_delays = elmore_delays(tree, model, source_resistance)
+    return {s.name: all_delays[s.name] for s in tree.sinks()}

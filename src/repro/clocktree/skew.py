@@ -1,0 +1,154 @@
+"""Skew analysis and critical-pair selection.
+
+Sec. 2 gives the two criteria for choosing which couples of clock wires to
+monitor:
+
+1. *the skew between them must be critical* - timing analysis flags pairs
+   whose skew under parameter fluctuation has the highest spread;
+2. *they must be close enough to each other* to allow a balanced connection
+   to the sensing circuit.
+
+:func:`select_critical_pairs` implements both: it estimates each pair's
+skew variability with a perturbation analysis of the Elmore delays (every
+wire segment's parasitics fluctuate independently, so the variance of a
+pair's skew grows with the amount of *unshared* path between the two
+sinks) and filters by physical distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.clocktree.rc import WireModel, elmore_delays
+from repro.clocktree.tree import ClockTree, TreeNode, manhattan
+
+
+def pairwise_skew(
+    tree: ClockTree,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+) -> Dict[Tuple[str, str], float]:
+    """Nominal skew ``t(b) - t(a)`` for every unordered sink pair ``(a, b)``
+    with ``a < b`` lexicographically."""
+    delays = elmore_delays(tree, model, source_resistance)
+    sinks = sorted(s.name for s in tree.sinks())
+    return {
+        (a, b): delays[b] - delays[a] for a, b in combinations(sinks, 2)
+    }
+
+
+def sink_skew_table(
+    tree: ClockTree,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+) -> Tuple[List[str], np.ndarray]:
+    """Sink names and the antisymmetric skew matrix ``S[i, j] = t_j - t_i``."""
+    delays = elmore_delays(tree, model, source_resistance)
+    names = sorted(s.name for s in tree.sinks())
+    t = np.array([delays[n] for n in names])
+    return names, t[None, :] - t[:, None]
+
+
+def _unshared_wire(tree: ClockTree, a: TreeNode, b: TreeNode) -> float:
+    """Total wire length on the two root paths outside the shared prefix.
+
+    The larger this is, the less correlated the two arrival times are
+    under independent per-segment parameter fluctuation - the first-order
+    proxy for skew criticality used by criterion 1.
+    """
+    path_a = tree.path_to(a)
+    path_b = tree.path_to(b)
+    shared: Set[int] = set()
+    for x, y in zip(path_a, path_b):
+        if x is y:
+            shared.add(id(x))
+        else:
+            break
+    total = 0.0
+    for path in (path_a, path_b):
+        for node in path:
+            if id(node) not in shared and node.wire is not None:
+                total += node.wire.length
+    return total
+
+
+@dataclass(frozen=True)
+class CriticalPair:
+    """A monitored couple of clock wires.
+
+    Attributes
+    ----------
+    sink_a, sink_b:
+        Sink names (lexicographic order).
+    distance:
+        Physical Manhattan distance between the sinks, metres.
+    criticality:
+        Unshared-path wire length (skew-variance proxy), metres.
+    nominal_skew:
+        Design skew ``t_b - t_a``, seconds.
+    """
+
+    sink_a: str
+    sink_b: str
+    distance: float
+    criticality: float
+    nominal_skew: float
+
+
+def select_critical_pairs(
+    tree: ClockTree,
+    max_distance: float,
+    top_k: Optional[int] = None,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+    max_nominal_skew: Optional[float] = None,
+) -> List[CriticalPair]:
+    """Choose sensor placements per the paper's two criteria.
+
+    Parameters
+    ----------
+    max_distance:
+        Criterion 2: only pairs within this Manhattan distance can be wired
+        to a sensor with balanced lines.
+    top_k:
+        Keep only the ``top_k`` most critical pairs (all, when ``None``).
+    max_nominal_skew:
+        Exclude pairs whose *design* skew exceeds this value (seconds).
+        Symmetric trees (H-tree, zero-skew routed) do not need it; comb/
+        spine distributions do, since the sensor flags absolute skew and a
+        pair with large nominal skew would alarm on a healthy chip.
+
+    Returns
+    -------
+    Pairs sorted by decreasing criticality.
+    """
+    if max_distance <= 0:
+        raise ValueError("max_distance must be positive")
+    delays = elmore_delays(tree, model, source_resistance)
+    sinks = sorted(tree.sinks(), key=lambda s: s.name)
+    pairs: List[CriticalPair] = []
+    for a, b in combinations(sinks, 2):
+        distance = manhattan(a.position, b.position)
+        if distance > max_distance:
+            continue
+        if max_nominal_skew is not None and abs(
+            delays[b.name] - delays[a.name]
+        ) > max_nominal_skew:
+            continue
+        pairs.append(
+            CriticalPair(
+                sink_a=a.name,
+                sink_b=b.name,
+                distance=distance,
+                criticality=_unshared_wire(tree, a, b),
+                nominal_skew=delays[b.name] - delays[a.name],
+            )
+        )
+    pairs.sort(key=lambda p: (-p.criticality, p.distance, p.sink_a, p.sink_b))
+    if top_k is not None:
+        pairs = pairs[:top_k]
+    return pairs

@@ -1,0 +1,101 @@
+"""Clock spine (comb) distribution.
+
+The third classic distribution style next to the H-tree and the routed
+zero-skew tree: a central vertical *spine* driven at one end, with
+horizontal *ribs* branching off to the sinks.  Spines are cheap in wire
+but inherently *unbalanced* - sinks near the driver lead those at the far
+end - so they exercise the part of the scheme the symmetric topologies
+cannot: monitored pairs must be chosen (or tolerances set) with the
+*design* skew in mind, which is why
+:func:`repro.clocktree.skew.select_critical_pairs` accepts a
+``max_nominal_skew`` filter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.clocktree.tree import Buffer, ClockTree, TreeNode, Wire
+
+
+def build_spine(
+    n_ribs: int,
+    sinks_per_rib: int = 2,
+    spine_pitch: float = 1e-3,
+    rib_length: float = 2e-3,
+    sink_capacitance: float = 50e-15,
+    buffer: Optional[Buffer] = None,
+    name: str = "spine",
+) -> ClockTree:
+    """Build a comb: driver at the spine's south end, ribs going east/west.
+
+    Parameters
+    ----------
+    n_ribs:
+        Number of rib pairs along the spine (>= 1).
+    sinks_per_rib:
+        Sinks distributed evenly along each rib (>= 1).
+    spine_pitch:
+        Vertical distance between consecutive rib stations, metres.
+    rib_length:
+        Length of each rib, metres.
+    buffer:
+        Optional repeater inserted at every spine station.
+    """
+    if n_ribs < 1 or sinks_per_rib < 1:
+        raise ValueError("need at least one rib and one sink per rib")
+
+    root = TreeNode(name="root", position=(0.0, 0.0))
+    if buffer is not None:
+        root.buffer = Buffer(
+            drive_resistance=buffer.drive_resistance,
+            input_capacitance=buffer.input_capacitance,
+            intrinsic_delay=buffer.intrinsic_delay,
+        )
+    current = root
+    sink_index = 0
+    for station in range(n_ribs):
+        y = (station + 1) * spine_pitch
+        stop = TreeNode(
+            name=f"sp{station}",
+            position=(0.0, y),
+            wire=Wire(length=spine_pitch),
+        )
+        if buffer is not None:
+            stop.buffer = Buffer(
+                drive_resistance=buffer.drive_resistance,
+                input_capacitance=buffer.input_capacitance,
+                intrinsic_delay=buffer.intrinsic_delay,
+            )
+        current.add_child(stop)
+        for side, direction in (("w", -1.0), ("e", 1.0)):
+            previous = stop
+            for k in range(sinks_per_rib):
+                x = direction * rib_length * (k + 1) / sinks_per_rib
+                tap = TreeNode(
+                    name=f"rb{station}{side}{k}",
+                    position=(x, y),
+                    wire=Wire(length=rib_length / sinks_per_rib),
+                )
+                previous.add_child(tap)
+                # The register cluster hangs off the tap with a short stub
+                # so every sink is a leaf of the tree.
+                stub = 50e-6
+                tap.add_child(
+                    TreeNode(
+                        name=f"s{sink_index}",
+                        position=(x, y + stub),
+                        wire=Wire(length=stub),
+                        sink_capacitance=sink_capacitance,
+                    )
+                )
+                previous = tap
+                sink_index += 1
+        current = stop
+    return ClockTree(root=root, name=name)
+
+
+def rib_stations(tree: ClockTree) -> Sequence[str]:
+    """Names of the spine stations (internal comb nodes), root to tip."""
+    stations = [n.name for n in tree.walk() if n.name.startswith("sp")]
+    return sorted(stations, key=lambda s: int(s[2:]))

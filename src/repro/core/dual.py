@@ -1,0 +1,150 @@
+"""The dual (falling-edge) sensing circuit.
+
+Footnote 1 of the paper: "This circuit can be used if flip-flops sample on
+the rising edge, otherwise a dual circuit should be used."  The dual is
+the exact complement of Fig. 1: every PMOS becomes NMOS and vice versa,
+VDD and ground swap, and the circuit monitors the *falling* edges - the
+outputs idle low, rise together to a clamp near ``VDD - |VTp|`` on
+simultaneous falling edges, and a late clock leaves its block's output low
+(error codes ``01``/``10`` with inverted polarity: a *low* output among a
+high pair flags the late clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analog.engine import TransientOptions, transient
+from repro.circuit.netlist import Netlist
+from repro.core.response import SensorResponse
+from repro.core.sensing import SensorSizing, SkewSensor
+from repro.devices.mosfet import MosfetType
+from repro.devices.sources import clock_pair
+from repro.units import VTH_INTERPRET, ns
+
+
+@dataclass
+class DualSkewSensor(SkewSensor):
+    """Complementary sensor monitoring falling clock edges.
+
+    Shares all parameters with :class:`SkewSensor`; only the transistor
+    polarities, rails and idle state differ.
+    """
+
+    def transistor_specs(self) -> List[Tuple[str, str, str, str, MosfetType]]:
+        """The ten devices of the complementary circuit."""
+        p, n = MosfetType.PMOS, MosfetType.NMOS
+        return [
+            # Block A (output y1): pull-DOWN network is the gated one.
+            ("a", "nA", "phi2", "0", n),
+            ("b", "y1", "phi1", "nA", n),
+            ("c", "y1", "y2", "nA", n),
+            ("d", "y1", "phi1", "pA", p),
+            ("e", "pA", "y2", "vdd", p),
+            # Block B (output y2).
+            ("f", "nB", "phi1", "0", n),
+            ("g", "y2", "phi2", "nB", n),
+            ("h", "y2", "y1", "nB", n),
+            ("i", "y2", "phi2", "pB", p),
+            ("l", "pB", "y1", "vdd", p),
+        ]
+
+    def build(self, phi1: object = None, phi2: object = None) -> Netlist:
+        """Build the dual netlist (widths swap polarity roles too)."""
+        netlist = Netlist(name="dual-skew-sensor")
+        netlist.drive_dc("vdd", self.vdd)
+        if phi1 is not None:
+            netlist.drive("phi1", phi1)
+        if phi2 is not None:
+            netlist.drive("phi2", phi2)
+
+        for name, drain, gate, source, mtype in self.transistor_specs():
+            card = self.process.polarity(mtype is MosfetType.PMOS)
+            width = self.sizing.w_p if mtype is MosfetType.PMOS else self.sizing.w_n
+            netlist.add_mosfet(
+                name, drain, gate, source, mtype, width, self.sizing.length, card
+            )
+
+        if self.load1 > 0:
+            netlist.add_capacitor("cload1", "y1", "0", self.load1)
+        if self.load2 > 0:
+            netlist.add_capacitor("cload2", "y2", "0", self.load2)
+        if self.full_swing:
+            raise NotImplementedError(
+                "the dual keeper (weak pull-UP) is not implemented"
+            )
+        if self.parasitics:
+            self._add_parasitics(netlist)
+        return netlist
+
+    def dc_guess(self) -> Dict[str, float]:
+        """Idle state with both clocks *high*: pull-downs on, outputs low."""
+        return {
+            "y1": 0.0, "y2": 0.0,
+            "nA": 0.0, "nB": 0.0,
+            "pA": self.vdd, "pB": self.vdd,
+        }
+
+
+def simulate_dual_sensor(
+    sensor: DualSkewSensor,
+    skew: float,
+    slew1: float = ns(0.2),
+    slew2: float = ns(0.2),
+    period: float = ns(20.0),
+    settle: float = ns(2.0),
+    threshold: float = VTH_INTERPRET,
+    options: Optional[TransientOptions] = None,
+) -> SensorResponse:
+    """Drive the dual sensor across a *falling* edge pair.
+
+    The clocks start high (the dual idles with clocks high) by beginning
+    the stimulus half a period early, so the first monitored event is the
+    falling edge at ``settle + period/2``.  ``skew > 0`` delays ``phi2``'s
+    falling edge; the error indication is then ``(y1, y2)`` with ``y2``
+    stuck *low* while ``y1`` completed its rise - reported through the
+    same :class:`SensorResponse` with ``vmax`` semantics mapped onto the
+    ``vmin`` fields as ``vdd - v`` so downstream tooling (threshold logic,
+    indicators) is reused unchanged.
+    """
+    # Start the clocks half a period early so they are HIGH at t = 0 (the
+    # dual's idle state) and the first monitored *falling* edge begins at
+    # ``settle``.
+    phi1, phi2 = clock_pair(
+        period=period, slew1=slew1, slew2=slew2, skew=skew,
+        delay=settle - period / 2.0, vdd=sensor.vdd,
+    )
+    netlist = sensor.build(phi1=phi1, phi2=phi2)
+
+    edge_start = settle + min(0.0, skew)
+    late_edge_end = settle + max(0.0, skew) + max(slew1, slew2)
+    rise_start = settle + period / 2.0 + min(0.0, skew)
+    t_stop = settle + period
+
+    result = transient(
+        netlist,
+        t_stop=t_stop,
+        record=["phi1", "phi2", "y1", "y2"],
+        initial=sensor.dc_guess(),
+        options=options,
+    )
+    y1 = result.wave("y1")
+    y2 = result.wave("y2")
+    # Dual semantics: the outputs RISE; the late one fails to rise.  Map
+    # onto the rising-edge response by complementing against VDD.
+    vmax_y1 = y1.window_max(edge_start, rise_start)
+    vmax_y2 = y2.window_max(edge_start, rise_start)
+
+    t_sample = min(late_edge_end + (rise_start - late_edge_end) * 0.75, rise_start)
+    code = (
+        1 if (sensor.vdd - y1.at(t_sample)) > threshold else 0,
+        1 if (sensor.vdd - y2.at(t_sample)) > threshold else 0,
+    )
+    return SensorResponse(
+        vmin_y1=sensor.vdd - vmax_y1,
+        vmin_y2=sensor.vdd - vmax_y2,
+        code=code,
+        skew=skew,
+        result=result,
+    )

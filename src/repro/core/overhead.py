@@ -1,0 +1,128 @@
+"""Cost model of the testing scheme: area, clock loading, induced skew.
+
+A DFT scheme is only adoptable if its own overhead is accounted for.  The
+sensor loads each monitored clock wire with three transistor gates (phi1
+drives ``b``, ``d``, ``f``; phi2 drives ``a``, ``g``, ``i``), and a
+placement that monitors some sinks but not others *unbalances* the very
+tree it guards.  This module quantifies:
+
+* per-sensor transistor count, active-area estimate, and input
+  capacitance per clock pin;
+* per-scheme totals, the added load per monitored sink, and the skew the
+  instrumented tree acquires relative to the pristine design (to be
+  compared against the sensor's own ``tau_min`` - the instrumentation
+  must not trigger itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.clocktree.faults import _copy_tree
+from repro.clocktree.rc import WireModel, elmore_delays
+from repro.core.sensing import SkewSensor
+
+#: Layout factor: drawn-gate area to full active area (diffusion,
+#: contacts, spacing) for a compact 1.2 um standard-cell style layout.
+AREA_FACTOR = 12.0
+
+
+@dataclass(frozen=True)
+class SensorOverhead:
+    """Cost of one sensing circuit."""
+
+    transistor_count: int
+    gate_area: float            # m^2, sum of W*L
+    active_area: float          # m^2, layout estimate
+    input_capacitance_phi1: float
+    input_capacitance_phi2: float
+
+
+def sensor_overhead(sensor: Optional[SkewSensor] = None) -> SensorOverhead:
+    """Compute the per-sensor costs from the actual netlist."""
+    sensor = sensor or SkewSensor()
+    netlist = sensor.build()
+    gate_area = sum(m.w * m.l for m in netlist.mosfets)
+    cap1 = sum(
+        m.gate_capacitance for m in netlist.mosfets if m.gate == "phi1"
+    )
+    cap2 = sum(
+        m.gate_capacitance for m in netlist.mosfets if m.gate == "phi2"
+    )
+    return SensorOverhead(
+        transistor_count=len(netlist.mosfets),
+        gate_area=gate_area,
+        active_area=gate_area * AREA_FACTOR,
+        input_capacitance_phi1=cap1,
+        input_capacitance_phi2=cap2,
+    )
+
+
+@dataclass(frozen=True)
+class SchemeOverhead:
+    """Cost of a full placement over a clock tree."""
+
+    n_sensors: int
+    total_transistors: int
+    total_active_area: float
+    added_load_per_sink: Dict[str, float]
+    pristine_delays: Dict[str, float]
+    instrumented_delays: Dict[str, float]
+    induced_skew: float
+
+    @property
+    def worst_added_load(self) -> float:
+        """Largest capacitance added to any single sink, farads."""
+        if not self.added_load_per_sink:
+            return 0.0
+        return max(self.added_load_per_sink.values())
+
+
+def scheme_overhead(
+    scheme,
+    model: Optional[WireModel] = None,
+    source_resistance: float = 100.0,
+) -> SchemeOverhead:
+    """Quantify the cost of a :class:`~repro.testing.scheme
+    .ClockTestingScheme` placement.
+
+    The instrumented tree is the design tree with each monitored sink's
+    load increased by the sensor input capacitance (one clock pin per
+    attachment); ``induced_skew`` is the spread the instrumentation alone
+    creates across all sinks - compare it against ``tau_min``.
+    """
+    model = model or WireModel()
+    added: Dict[str, float] = {}
+    transistors = 0
+    area = 0.0
+    for placement in scheme.placements:
+        cost = sensor_overhead(placement.sensor)
+        transistors += cost.transistor_count
+        area += cost.active_area
+        added[placement.pair.sink_a] = (
+            added.get(placement.pair.sink_a, 0.0) + cost.input_capacitance_phi1
+        )
+        added[placement.pair.sink_b] = (
+            added.get(placement.pair.sink_b, 0.0) + cost.input_capacitance_phi2
+        )
+
+    pristine = elmore_delays(scheme.tree, model, source_resistance)
+    instrumented_tree = _copy_tree(scheme.tree)
+    for node in instrumented_tree.walk():
+        if node.name in added:
+            node.sink_capacitance += added[node.name]
+    instrumented = elmore_delays(instrumented_tree, model, source_resistance)
+
+    sinks = [s.name for s in scheme.tree.sinks()]
+    shifts = [instrumented[s] - pristine[s] for s in sinks]
+    induced = max(shifts) - min(shifts) if shifts else 0.0
+    return SchemeOverhead(
+        n_sensors=len(scheme.placements),
+        total_transistors=transistors,
+        total_active_area=area,
+        added_load_per_sink=added,
+        pristine_delays={s: pristine[s] for s in sinks},
+        instrumented_delays={s: instrumented[s] for s in sinks},
+        induced_skew=induced,
+    )

@@ -1,0 +1,168 @@
+"""Sensitivity analysis: the ``Vmin(tau)`` curves of Fig. 4.
+
+For each load capacitance and clock slew, the skew ``tau`` is swept and the
+minimum voltage reached by the late output is recorded.  The *sensitivity*
+``tau_min`` is the skew at which ``Vmin`` crosses the interpretation
+threshold: larger skews are flagged, smaller ones tolerated.  The paper
+observes ``tau_min`` growing with load capacitance and nearly independent of
+clock slew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.engine import TransientOptions
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SensorSizing, SkewSensor
+from repro.devices.process import ProcessParams
+from repro.units import VTH_INTERPRET, ns
+
+
+@dataclass
+class SensitivityCurve:
+    """One ``Vmin`` vs ``tau`` curve (fixed load and slew)."""
+
+    load: float
+    slew: float
+    skews: np.ndarray
+    vmins: np.ndarray
+    threshold: float = VTH_INTERPRET
+
+    @property
+    def tau_min(self) -> Optional[float]:
+        """Skew at which ``Vmin`` first exceeds the threshold.
+
+        Linear interpolation between sweep points; ``None`` when the curve
+        never crosses (sweep range too small).
+        """
+        above = self.vmins > self.threshold
+        if not above.any():
+            return None
+        first = int(np.argmax(above))
+        if first == 0:
+            return float(self.skews[0])
+        v0, v1 = self.vmins[first - 1], self.vmins[first]
+        t0, t1 = self.skews[first - 1], self.skews[first]
+        if v1 == v0:
+            return float(t1)
+        return float(t0 + (self.threshold - v0) * (t1 - t0) / (v1 - v0))
+
+
+def vmin_for_skew(
+    skew: float,
+    load: float,
+    slew: float,
+    process: Optional[ProcessParams] = None,
+    sizing: Optional[SensorSizing] = None,
+    options: Optional[TransientOptions] = None,
+    slew2: Optional[float] = None,
+    load2: Optional[float] = None,
+) -> float:
+    """``Vmin`` of the late output for a single operating point.
+
+    ``slew2`` / ``load2`` default to the symmetric values; the Monte Carlo
+    analysis passes independent ones ("both the input slews and the load
+    have been considered independent, in order to account for asymmetric
+    conditions").
+    """
+    sensor = SkewSensor(
+        process=process,
+        sizing=sizing or SensorSizing(),
+        load1=load,
+        load2=load if load2 is None else load2,
+    )
+    response = simulate_sensor(
+        sensor,
+        skew=skew,
+        slew1=slew,
+        slew2=slew if slew2 is None else slew2,
+        options=options,
+    )
+    return response.vmin_late
+
+
+def sweep_skew(
+    load: float,
+    slew: float,
+    skews: Sequence[float],
+    process: Optional[ProcessParams] = None,
+    sizing: Optional[SensorSizing] = None,
+    threshold: float = VTH_INTERPRET,
+    options: Optional[TransientOptions] = None,
+) -> SensitivityCurve:
+    """Sweep ``tau`` and collect the ``Vmin`` curve for one (load, slew)."""
+    skew_array = np.asarray(list(skews), dtype=float)
+    vmins = np.array(
+        [
+            vmin_for_skew(
+                tau, load, slew, process=process, sizing=sizing, options=options
+            )
+            for tau in skew_array
+        ]
+    )
+    return SensitivityCurve(
+        load=load, slew=slew, skews=skew_array, vmins=vmins, threshold=threshold
+    )
+
+
+def extract_tau_min(
+    load: float,
+    slew: float = ns(0.2),
+    process: Optional[ProcessParams] = None,
+    sizing: Optional[SensorSizing] = None,
+    threshold: float = VTH_INTERPRET,
+    tau_hi: float = ns(2.0),
+    tolerance: float = ns(0.002),
+    options: Optional[TransientOptions] = None,
+) -> float:
+    """Sensitivity ``tau_min`` by bisection on the ``Vmin`` crossing.
+
+    More precise than reading it off a coarse sweep; used wherever a single
+    number per load is needed (Tab. 1 classification, ablations).
+    """
+    def vmin(tau: float) -> float:
+        return vmin_for_skew(
+            tau, load, slew, process=process, sizing=sizing, options=options
+        )
+
+    lo, hi = 0.0, tau_hi
+    v_hi = vmin(hi)
+    if v_hi <= threshold:
+        raise ValueError(
+            f"Vmin at tau = {hi:.3e} s is {v_hi:.3f} V <= threshold; "
+            "increase tau_hi"
+        )
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if vmin(mid) > threshold:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def sensitivity_family(
+    loads: Sequence[float],
+    slews: Sequence[float],
+    skews: Sequence[float],
+    process: Optional[ProcessParams] = None,
+    sizing: Optional[SensorSizing] = None,
+    threshold: float = VTH_INTERPRET,
+    options: Optional[TransientOptions] = None,
+) -> List[SensitivityCurve]:
+    """The full Fig.-4 family: one curve per (load, slew) combination."""
+    curves: List[SensitivityCurve] = []
+    for load in loads:
+        for slew in slews:
+            curves.append(
+                sweep_skew(
+                    load, slew, skews,
+                    process=process, sizing=sizing,
+                    threshold=threshold, options=options,
+                )
+            )
+    return curves

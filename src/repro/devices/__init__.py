@@ -1,0 +1,41 @@
+"""Device models: level-1 MOSFETs, passives, independent sources, process data.
+
+These models are the electrical substrate replacing the foundry SPICE decks
+used in the paper.  The level-1 (Shichman-Hodges) MOSFET equations capture
+every first-order effect the sensing circuit relies on: ratioed conduction,
+threshold clamping, channel-length modulation, and series-stack division.
+"""
+
+from repro.devices.process import (
+    ProcessParams,
+    TransistorParams,
+    corner_process,
+    nominal_process,
+    perturbed_process,
+)
+from repro.devices.mosfet import Mosfet, MosfetType
+from repro.devices.passives import Capacitor, Resistor
+from repro.devices.sources import (
+    ClockSource,
+    DCSource,
+    PulseSource,
+    PWLSource,
+    clock_pair,
+)
+
+__all__ = [
+    "ProcessParams",
+    "TransistorParams",
+    "nominal_process",
+    "perturbed_process",
+    "corner_process",
+    "Mosfet",
+    "MosfetType",
+    "Capacitor",
+    "Resistor",
+    "DCSource",
+    "PWLSource",
+    "PulseSource",
+    "ClockSource",
+    "clock_pair",
+]

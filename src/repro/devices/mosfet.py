@@ -1,0 +1,150 @@
+"""Level-1 (Shichman-Hodges) MOSFET model with analytic derivatives.
+
+The model is evaluated in *model space*: for a PMOS all terminal voltages are
+negated so the same equations serve both polarities, and drain/source are
+swapped when ``vds < 0`` so the equations only ever see ``vds >= 0``.  The
+transformation bookkeeping lives in the analog engine; this module provides
+the raw I/V surface and the device description object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.devices.process import TransistorParams
+
+
+class MosfetType(enum.Enum):
+    """Device polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+    @property
+    def sign(self) -> int:
+        """+1 for NMOS, -1 for PMOS (voltage-space transform factor)."""
+        return 1 if self is MosfetType.NMOS else -1
+
+
+def level1_ids(
+    vgs: np.ndarray,
+    vds: np.ndarray,
+    vt: np.ndarray,
+    beta: np.ndarray,
+    lam: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drain current and small-signal derivatives of the level-1 model.
+
+    All arguments are model-space quantities (``vds >= 0`` expected, ``vt``
+    positive).  Works elementwise on arrays of any matching shape.
+
+    Returns
+    -------
+    (ids, gm, gds):
+        Drain-to-source current, ``d ids / d vgs`` and ``d ids / d vds``.
+
+    Notes
+    -----
+    The channel-length-modulation factor ``(1 + lam * vds)`` is applied in
+    both the triode and saturation regions so the current and its first
+    derivative are continuous across the ``vds = vgs - vt`` boundary, which
+    keeps Newton iterations well behaved.
+    """
+    vgs = np.asarray(vgs, dtype=float)
+    vds = np.asarray(vds, dtype=float)
+    vov = vgs - vt
+    on = vov > 0.0
+    triode = on & (vds < vov)
+
+    clm = 1.0 + lam * vds
+    vov_on = np.where(on, vov, 0.0)
+
+    # Saturation expressions (used wherever the device is on and not triode).
+    ids_sat = 0.5 * beta * vov_on**2 * clm
+    gm_sat = beta * vov_on * clm
+    gds_sat = 0.5 * beta * vov_on**2 * lam
+
+    # Triode expressions.
+    core = vov_on * vds - 0.5 * vds**2
+    ids_tri = beta * core * clm
+    gm_tri = beta * vds * clm
+    gds_tri = beta * ((vov_on - vds) * clm + core * lam)
+
+    ids = np.where(on, np.where(triode, ids_tri, ids_sat), 0.0)
+    gm = np.where(on, np.where(triode, gm_tri, gm_sat), 0.0)
+    gds = np.where(on, np.where(triode, gds_tri, gds_sat), 0.0)
+    return ids, gm, gds
+
+
+@dataclass
+class Mosfet:
+    """A MOSFET instance in a netlist.
+
+    The electrical parameters are resolved against a
+    :class:`~repro.devices.process.TransistorParams` card at construction
+    time, so a netlist built for a Monte Carlo sample carries its perturbed
+    parameters with it.
+
+    Attributes
+    ----------
+    name:
+        Instance name, unique within a netlist (e.g. ``"a"`` .. ``"l"`` for
+        the sensing circuit of Fig. 1).
+    drain, gate, source:
+        Node names.
+    mtype:
+        :class:`MosfetType` polarity.
+    w, l:
+        Drawn width and length in metres.
+    card:
+        Model card providing ``vt0``, ``kp``, ``lam``.
+    stuck_open:
+        Fault flag - the device never conducts (broken channel).
+    stuck_on:
+        Fault flag - the gate behaves as if tied to the turn-on rail.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    mtype: MosfetType
+    w: float
+    l: float
+    card: TransistorParams
+    stuck_open: bool = False
+    stuck_on: bool = False
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.l <= 0:
+            raise ValueError(f"MOSFET {self.name}: W and L must be positive")
+        if self.stuck_open and self.stuck_on:
+            raise ValueError(f"MOSFET {self.name}: cannot be both stuck-open and stuck-on")
+
+    @property
+    def beta(self) -> float:
+        """Effective transconductance factor ``kp * W / L`` in A/V^2."""
+        return self.card.kp * self.w / self.l
+
+    @property
+    def vt_magnitude(self) -> float:
+        """Threshold magnitude ``|vt0|`` (model space uses positive vt)."""
+        return abs(self.card.vt0)
+
+    @property
+    def gate_capacitance(self) -> float:
+        """Lumped gate-oxide capacitance estimate, farads."""
+        return self.card.cox_per_area * self.w * self.l
+
+    @property
+    def junction_capacitance(self) -> float:
+        """Lumped drain/source junction capacitance estimate, farads."""
+        return self.card.cj_per_width * self.w
+
+    def nodes(self) -> Tuple[str, str, str]:
+        """Terminal node names ``(drain, gate, source)``."""
+        return (self.drain, self.gate, self.source)

@@ -1,0 +1,55 @@
+"""Linear passive devices: resistors and capacitors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass
+class Resistor:
+    """A two-terminal linear resistor.
+
+    Used for interconnect segments, bridging-fault resistances (the paper
+    uses 100 ohm), and low-impedance ties for node stuck-at injection.
+    """
+
+    name: str
+    a: str
+    b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"Resistor {self.name}: resistance must be positive")
+
+    @property
+    def conductance(self) -> float:
+        """1 / R in siemens."""
+        return 1.0 / self.resistance
+
+    def nodes(self) -> Tuple[str, str]:
+        """Terminal node names."""
+        return (self.a, self.b)
+
+
+@dataclass
+class Capacitor:
+    """A two-terminal linear capacitor.
+
+    The paper's load sweep (80 / 160 / 240 fF on ``y1`` and ``y2``) is
+    modelled with instances of this class to ground.
+    """
+
+    name: str
+    a: str
+    b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(f"Capacitor {self.name}: capacitance must be non-negative")
+
+    def nodes(self) -> Tuple[str, str]:
+        """Terminal node names."""
+        return (self.a, self.b)

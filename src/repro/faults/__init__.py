@@ -1,0 +1,38 @@
+"""Fault models and fault-universe machinery.
+
+The paper analyses the sensor's testability against "a set of realistic
+faults, including stuck-ats, transistor faults and bridgings" (ref. [10],
+Abraham & Fuchs).  This package provides:
+
+* fault descriptors that inject themselves into a *copy* of a netlist;
+* fault-universe enumeration over a netlist;
+* the IDDQ observable (quiescent supply current) used for the faults that
+  escape logic detection.
+"""
+
+from repro.faults.models import (
+    BridgingFault,
+    Fault,
+    NodeStuckAt,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+from repro.faults.universe import (
+    FaultUniverse,
+    apply_layout_hardening,
+    enumerate_faults,
+)
+from repro.faults.iddq import IddqProbe, quiescent_current
+
+__all__ = [
+    "Fault",
+    "NodeStuckAt",
+    "TransistorStuckOpen",
+    "TransistorStuckOn",
+    "BridgingFault",
+    "FaultUniverse",
+    "enumerate_faults",
+    "apply_layout_hardening",
+    "IddqProbe",
+    "quiescent_current",
+]

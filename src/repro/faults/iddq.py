@@ -1,0 +1,72 @@
+"""The IDDQ observable: quiescent supply current.
+
+Healthy static CMOS draws only leakage in the quiescent state; a conducting
+fight (stuck-on conflict, resistive bridge between opposite-value nodes,
+hard stuck-at against a driver) draws milliamperes.  The paper falls back on
+IDDQ testing for the stuck-on and bridging faults its sensing outputs cannot
+flag logically (Sec. 3, refs. [12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.analog.engine import TransientResult
+
+#: Default IDDQ pass/fail threshold, amperes.  Healthy quiescent current in
+#: this library is set by the engine's conditioning conductances (~nA);
+#: defective circuits draw > 100 uA through a 100 ohm bridge or a stuck-on
+#: fight, so 10 uA separates the populations by orders of magnitude.
+DEFAULT_IDDQ_THRESHOLD = 10e-6
+
+
+@dataclass(frozen=True)
+class IddqProbe:
+    """Quiescent-current measurement plan over a transient run.
+
+    Attributes
+    ----------
+    windows:
+        ``(t0, t1)`` intervals (seconds) that are quiescent in the
+        fault-free circuit - typically the tail of each clock half-phase.
+    threshold:
+        Current above which the device fails the IDDQ test.
+    """
+
+    windows: Tuple[Tuple[float, float], ...]
+    threshold: float = DEFAULT_IDDQ_THRESHOLD
+
+    def measure(self, result: TransientResult, supply: str = "vdd") -> float:
+        """Largest mean supply current over the quiescent windows."""
+        wave = result.source_current(supply)
+        return max(abs(wave.mean(t0, t1)) for t0, t1 in self.windows)
+
+    def failing(self, result: TransientResult, supply: str = "vdd") -> bool:
+        """True when the quiescent current exceeds the threshold."""
+        return self.measure(result, supply) > self.threshold
+
+
+def quiescent_windows(
+    edges: Sequence[float], fraction: float = 0.3
+) -> List[Tuple[float, float]]:
+    """Build quiescent windows from a list of phase-boundary times.
+
+    Each window is the last ``fraction`` of the interval preceding every
+    boundary - the circuit has settled, the next edge has not begun.
+    """
+    windows: List[Tuple[float, float]] = []
+    for start, end in zip(edges[:-1], edges[1:]):
+        width = (end - start) * fraction
+        windows.append((end - width, end))
+    return windows
+
+
+def quiescent_current(
+    result: TransientResult,
+    windows: Sequence[Tuple[float, float]],
+    supply: str = "vdd",
+) -> float:
+    """Largest mean supply current over ``windows`` (amperes)."""
+    wave = result.source_current(supply)
+    return max(abs(wave.mean(t0, t1)) for t0, t1 in windows)

@@ -1,0 +1,171 @@
+"""Fault descriptors.
+
+Each fault knows how to inject itself into a copy of a netlist, leaving the
+pristine design untouched.  Electrical semantics:
+
+* **node stuck-at** - the node is tied to the rail through a very low
+  resistance (a hard short in layout terms), so conflicting drivers show up
+  both as wrong logic values and as static supply current;
+* **transistor stuck-open** - the channel never conducts (flagged on the
+  device; the compiler drops it);
+* **transistor stuck-on** - the channel conducts regardless of the gate
+  (the compiler remaps the gate to the turn-on rail), reproducing the
+  "typically analog behaviour" of conflicting CMOS networks the paper
+  cites from Malaiya & Su;
+* **bridging** - a finite resistance between two nodes; the paper studies
+  a 100 ohm bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import GROUND, Netlist
+
+
+class Fault:
+    """Base class for injectable faults."""
+
+    def inject(self, netlist: Netlist) -> Netlist:
+        """Return a faulty copy of ``netlist``."""
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        """Short category tag (``"stuck-at"``, ``"stuck-open"``, ...)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"
+
+
+#: Resistance of the hard tie used for node stuck-at faults, ohms.
+STUCK_AT_RESISTANCE = 5.0
+
+#: Bridge resistance used by the paper's analysis, ohms.
+DEFAULT_BRIDGE_RESISTANCE = 100.0
+
+
+@dataclass(frozen=True)
+class NodeStuckAt(Fault):
+    """Node tied to a logic value (0 -> ground, 1 -> ``vdd_node``)."""
+
+    node: str
+    value: int
+    vdd_node: str = "vdd"
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    @property
+    def kind(self) -> str:
+        return "stuck-at"
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"node {self.node} stuck-at-{self.value}"
+
+    def inject(self, netlist: Netlist) -> Netlist:
+        """Tie the node to its rail through a hard short, in a copy."""
+        faulty = netlist.copy()
+        rail = self.vdd_node if self.value == 1 else GROUND
+        if self.node == rail:
+            return faulty
+        faulty.add_resistor(
+            f"fault_sa_{self.node}_{self.value}", self.node, rail, STUCK_AT_RESISTANCE
+        )
+        faulty.name = f"{netlist.name}+{self.describe()}"
+        return faulty
+
+
+@dataclass(frozen=True)
+class TransistorStuckOpen(Fault):
+    """Transistor channel permanently open (never conducts)."""
+
+    transistor: str
+
+    @property
+    def kind(self) -> str:
+        return "stuck-open"
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"transistor {self.transistor} stuck-open"
+
+    def inject(self, netlist: Netlist) -> Netlist:
+        """Flag the device's channel as permanently open, in a copy."""
+        faulty = netlist.copy()
+        device = faulty.find_mosfet(self.transistor)
+        if device is None:
+            raise KeyError(f"no transistor named {self.transistor!r}")
+        device.stuck_open = True
+        faulty.name = f"{netlist.name}+{self.describe()}"
+        return faulty
+
+
+@dataclass(frozen=True)
+class TransistorStuckOn(Fault):
+    """Transistor channel permanently conducting."""
+
+    transistor: str
+
+    @property
+    def kind(self) -> str:
+        return "stuck-on"
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"transistor {self.transistor} stuck-on"
+
+    def inject(self, netlist: Netlist) -> Netlist:
+        """Flag the device's channel as permanently conducting, in a copy."""
+        faulty = netlist.copy()
+        device = faulty.find_mosfet(self.transistor)
+        if device is None:
+            raise KeyError(f"no transistor named {self.transistor!r}")
+        device.stuck_on = True
+        faulty.name = f"{netlist.name}+{self.describe()}"
+        return faulty
+
+
+@dataclass(frozen=True)
+class BridgingFault(Fault):
+    """Resistive bridge between two nodes (default 100 ohm, as in Sec. 3)."""
+
+    node_a: str
+    node_b: str
+    resistance: float = DEFAULT_BRIDGE_RESISTANCE
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError("bridge endpoints must differ")
+        if self.resistance <= 0:
+            raise ValueError("bridge resistance must be positive")
+
+    @property
+    def kind(self) -> str:
+        return "bridging"
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"bridge {self.node_a}-{self.node_b} "
+            f"({self.resistance:.0f} ohm)"
+        )
+
+    def inject(self, netlist: Netlist) -> Netlist:
+        """Add the bridge resistor between the two nodes, in a copy."""
+        faulty = netlist.copy()
+        faulty.add_resistor(
+            f"fault_br_{self.node_a}_{self.node_b}",
+            self.node_a,
+            self.node_b,
+            self.resistance,
+        )
+        faulty.name = f"{netlist.name}+{self.describe()}"
+        return faulty

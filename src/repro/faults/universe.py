@@ -1,0 +1,150 @@
+"""Fault-universe enumeration.
+
+Mirrors the implicit universe of the paper's Sec. 3 on a transistor-level
+netlist:
+
+* node stuck-at-0/1 on every circuit node (free nodes: outputs and the
+  internal pull-up / pull-down nodes);
+* stuck-open and stuck-on on every transistor;
+* a resistive bridge between every unordered pair of *signal* nodes
+  (free nodes plus the clock inputs - bridges to the rails are the
+  stuck-at faults already enumerated above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, List, Optional, Sequence
+
+from repro.circuit.netlist import GROUND, Netlist
+from repro.faults.models import (
+    BridgingFault,
+    Fault,
+    NodeStuckAt,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+
+
+@dataclass
+class FaultUniverse:
+    """The enumerated faults of one netlist, grouped by kind."""
+
+    stuck_at: List[NodeStuckAt] = field(default_factory=list)
+    stuck_open: List[TransistorStuckOpen] = field(default_factory=list)
+    stuck_on: List[TransistorStuckOn] = field(default_factory=list)
+    bridging: List[BridgingFault] = field(default_factory=list)
+
+    def all_faults(self) -> List[Fault]:
+        """Every fault, stuck-ats first (the paper's presentation order)."""
+        return [*self.stuck_at, *self.stuck_open, *self.stuck_on, *self.bridging]
+
+    def by_kind(self, kind: str) -> Sequence[Fault]:
+        """Faults of one category tag."""
+        groups = {
+            "stuck-at": self.stuck_at,
+            "stuck-open": self.stuck_open,
+            "stuck-on": self.stuck_on,
+            "bridging": self.bridging,
+        }
+        if kind not in groups:
+            raise KeyError(f"unknown fault kind {kind!r}")
+        return groups[kind]
+
+    def __len__(self) -> int:
+        return len(self.all_faults())
+
+
+def enumerate_faults(
+    netlist: Netlist,
+    stuck_at_nodes: Optional[Iterable[str]] = None,
+    bridge_nodes: Optional[Iterable[str]] = None,
+    bridge_resistance: float = 100.0,
+    vdd_node: str = "vdd",
+    skip_connected_bridges: bool = True,
+) -> FaultUniverse:
+    """Enumerate the fault universe of ``netlist``.
+
+    Parameters
+    ----------
+    stuck_at_nodes:
+        Nodes receiving stuck-at-0/1 faults; defaults to all free nodes.
+    bridge_nodes:
+        Nodes among which all unordered pairs are bridged; defaults to the
+        free nodes plus any driven node that is not a supply rail (i.e. the
+        clock inputs).
+    bridge_resistance:
+        Bridge resistance, ohms (paper: 100).
+    skip_connected_bridges:
+        Drop bridges between nodes already joined by a single transistor
+        channel or resistor - layout-adjacent by construction, and a bridge
+        in parallel with a conducting channel is not a distinct defect
+        class in the paper's inductive fault analysis.
+    """
+    free = netlist.free_nodes()
+    sa_nodes = list(stuck_at_nodes) if stuck_at_nodes is not None else list(free)
+
+    if bridge_nodes is None:
+        signals = [
+            n for n in netlist.driven_nodes() if n not in (GROUND, vdd_node)
+        ]
+        bridge_candidates = list(free) + signals
+    else:
+        bridge_candidates = list(bridge_nodes)
+
+    adjacent = set()
+    if skip_connected_bridges:
+        for m in netlist.mosfets:
+            adjacent.add(frozenset((m.drain, m.source)))
+        for r in netlist.resistors:
+            adjacent.add(frozenset((r.a, r.b)))
+
+    universe = FaultUniverse()
+    for node in sa_nodes:
+        universe.stuck_at.append(NodeStuckAt(node, 0, vdd_node=vdd_node))
+        universe.stuck_at.append(NodeStuckAt(node, 1, vdd_node=vdd_node))
+    for m in netlist.mosfets:
+        universe.stuck_open.append(TransistorStuckOpen(m.name))
+        universe.stuck_on.append(TransistorStuckOn(m.name))
+    for a, b in combinations(sorted(bridge_candidates), 2):
+        if frozenset((a, b)) in adjacent:
+            continue
+        universe.bridging.append(BridgingFault(a, b, resistance=bridge_resistance))
+    return universe
+
+
+#: The faults the paper proposes to rule out at the layout level: the two
+#: statically undetectable stuck-opens "can be avoided by implementing the
+#: transistors by means of suitable layout schemes" (ref. [11], Koeppe),
+#: and critical bridges' "occurrence probability should be reduced by
+#: acting at the layout level" (ref. [14], Casimiro et al.).
+HARDENED_STUCK_OPENS = ("c", "h")
+HARDENED_BRIDGES = (frozenset(("y1", "y2")),)
+
+
+def apply_layout_hardening(
+    universe: FaultUniverse,
+    stuck_open_exclusions: Iterable[str] = HARDENED_STUCK_OPENS,
+    bridge_exclusions: Iterable[frozenset] = HARDENED_BRIDGES,
+) -> FaultUniverse:
+    """Fault universe of the layout-hardened sensor.
+
+    Returns a new universe with the hardened-away defect mechanisms
+    removed - modelling refs. [11]/[14]: those faults can no longer
+    *occur*, so they leave the universe rather than being detected.
+    """
+    open_skip = set(stuck_open_exclusions)
+    bridge_skip = {frozenset(pair) for pair in bridge_exclusions}
+    return FaultUniverse(
+        stuck_at=list(universe.stuck_at),
+        stuck_open=[
+            f for f in universe.stuck_open if f.transistor not in open_skip
+        ],
+        stuck_on=list(universe.stuck_on),
+        bridging=[
+            f
+            for f in universe.bridging
+            if frozenset((f.node_a, f.node_b)) not in bridge_skip
+        ],
+    )

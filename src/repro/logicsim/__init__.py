@@ -1,0 +1,27 @@
+"""Event-driven gate-level logic simulation.
+
+Substrate for the paper's Sec.-1 motivation: a clock-distribution fault
+that delays a flip-flop's sampling "cannot be immediately assimilated to
+delay faults inside the combinational part of the circuit, because a
+delayed flip-flop's response may be masked by its delayed sampling".  The
+simulator models combinational gates with transport delays and edge-
+triggered D flip-flops with per-flop clock arrival times, setup/hold
+checking, and clk-to-q delay - enough to demonstrate masking quantitatively
+and to host the on-line checker demo.
+"""
+
+from repro.logicsim.gates import Gate, GateType
+from repro.logicsim.flipflop import DFlipFlop, TimingViolation
+from repro.logicsim.circuit import LogicCircuit, SimulationTrace
+from repro.logicsim.synth import build_pipeline, delay_chain
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "DFlipFlop",
+    "TimingViolation",
+    "LogicCircuit",
+    "SimulationTrace",
+    "build_pipeline",
+    "delay_chain",
+]

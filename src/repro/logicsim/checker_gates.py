@@ -1,0 +1,108 @@
+"""Gate-level realisation of the two-rail checker tree.
+
+The behavioural :class:`~repro.testing.checker.TwoRailChecker` compresses
+rail pairs functionally; this module builds the same tree out of AND/OR
+gates in the event-driven simulator, so the on-line architecture can be
+simulated together with the rest of the chip logic (and so the classic
+4-gate cell realisation is itself under test).
+
+Cell equations (inputs ``(a0, a1)``, ``(b0, b1)``)::
+
+    z0 = a0 b0 + a1 b1
+    z1 = a0 b1 + a1 b0
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.logicsim.circuit import LogicCircuit
+from repro.logicsim.gates import GateType
+from repro.units import ns
+
+
+@dataclass
+class CheckerCircuit:
+    """A balanced gate-level two-rail checker over ``n`` input pairs.
+
+    Input nets: ``in{k}_0`` / ``in{k}_1`` for pair ``k``.  Output nets:
+    ``out_0`` / ``out_1``.  The output pair is complementary exactly when
+    every input pair is.
+    """
+
+    n: int
+    gate_delay: float = ns(0.2)
+    circuit: LogicCircuit = field(init=False)
+    depth: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("checker needs at least one input pair")
+        self.circuit = LogicCircuit(name=f"checker{self.n}")
+        level: List[Tuple[str, str]] = [
+            (f"in{k}_0", f"in{k}_1") for k in range(self.n)
+        ]
+        cell = 0
+        depth = 0
+        while len(level) > 1:
+            nxt: List[Tuple[str, str]] = []
+            for i in range(0, len(level) - 1, 2):
+                a, b = level[i], level[i + 1]
+                z = (f"c{cell}_0", f"c{cell}_1")
+                self._add_cell(cell, a, b, z)
+                cell += 1
+                nxt.append(z)
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+            depth += 1
+        self.depth = max(depth, 1)
+        final = level[0]
+        self.circuit.add_gate(
+            "obuf0", GateType.BUF, [final[0]], "out_0", self.gate_delay
+        )
+        self.circuit.add_gate(
+            "obuf1", GateType.BUF, [final[1]], "out_1", self.gate_delay
+        )
+
+    def _add_cell(
+        self,
+        index: int,
+        a: Tuple[str, str],
+        b: Tuple[str, str],
+        z: Tuple[str, str],
+    ) -> None:
+        d = self.gate_delay
+        c = self.circuit
+        c.add_gate(f"cell{index}_p00", GateType.AND, [a[0], b[0]],
+                   f"cell{index}_t00", d)
+        c.add_gate(f"cell{index}_p11", GateType.AND, [a[1], b[1]],
+                   f"cell{index}_t11", d)
+        c.add_gate(f"cell{index}_or0", GateType.OR,
+                   [f"cell{index}_t00", f"cell{index}_t11"], z[0], d)
+        c.add_gate(f"cell{index}_p01", GateType.AND, [a[0], b[1]],
+                   f"cell{index}_t01", d)
+        c.add_gate(f"cell{index}_p10", GateType.AND, [a[1], b[0]],
+                   f"cell{index}_t10", d)
+        c.add_gate(f"cell{index}_or1", GateType.OR,
+                   [f"cell{index}_t01", f"cell{index}_t10"], z[1], d)
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, pairs: Sequence[Tuple[int, int]]) -> Tuple[int, int]:
+        """Simulate the tree for static input pairs; returns the output
+        pair after settling."""
+        if len(pairs) != self.n:
+            raise ValueError(f"expected {self.n} pairs, got {len(pairs)}")
+        stimuli = {}
+        for k, (r0, r1) in enumerate(pairs):
+            stimuli[f"in{k}_0"] = [(0.0, int(r0))]
+            stimuli[f"in{k}_1"] = [(0.0, int(r1))]
+        settle = (2 * self.depth + 4) * self.gate_delay
+        trace = self.circuit.simulate(stimuli, clock_edges=[], t_end=settle)
+        return trace.final("out_0"), trace.final("out_1")
+
+    def alarm(self, pairs: Sequence[Tuple[int, int]]) -> bool:
+        """True when the settled output pair is non-complementary."""
+        z0, z1 = self.evaluate(pairs)
+        return z0 == z1

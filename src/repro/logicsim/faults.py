@@ -1,0 +1,161 @@
+"""Gate-level stuck-at fault injection and TSC property verification.
+
+Self-checking design (refs. [6], [7] of the paper) demands that the
+checking hardware itself be *totally self-checking* (TSC) with respect to
+its fault model:
+
+* **fault-secure** - for every modelled fault and every *code* input, the
+  output is either correct or a non-code word (errors never masquerade as
+  valid outputs);
+* **self-testing** - for every modelled fault there exists a code input
+  that produces a non-code output (every fault is eventually exposed by
+  normal operation).
+
+:func:`verify_tsc` checks both properties exhaustively for single net
+stuck-at faults on a gate-level circuit with rail-pair outputs - used on
+the two-rail checker tree that collects the sensors' indications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logicsim.circuit import LogicCircuit
+
+
+@dataclass(frozen=True)
+class NetStuckAt:
+    """A net forced to a constant logic value."""
+
+    net: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("stuck-at value must be 0 or 1")
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return f"net {self.net} stuck-at-{self.value}"
+
+
+def evaluate_with_fault(
+    circuit: LogicCircuit,
+    inputs: Dict[str, int],
+    outputs: Sequence[str],
+    fault: Optional[NetStuckAt] = None,
+    settle: float = 1e-7,
+) -> Tuple[int, ...]:
+    """Settled output values for static inputs under an optional fault.
+
+    The fault is modelled by overriding the net's initial value and
+    re-forcing it against every later driver event: combinational
+    circuits settle to the faulty fixed point.
+    """
+    stimuli = {net: [(0.0, value)] for net, value in inputs.items()}
+    initial = dict(inputs)
+    if fault is not None:
+        initial[fault.net] = fault.value
+        # Re-assert the forced value after any driver writes it.
+        forced = [(k * settle / 64.0, fault.value) for k in range(64)]
+        stimuli[fault.net] = forced
+    trace = circuit.simulate(
+        stimuli, clock_edges=[], t_end=settle, initial=initial
+    )
+    return tuple(trace.final(net) for net in outputs)
+
+
+def enumerate_net_faults(circuit: LogicCircuit) -> List[NetStuckAt]:
+    """Single stuck-at faults on every net of the circuit."""
+    faults: List[NetStuckAt] = []
+    for net in circuit.nets():
+        faults.append(NetStuckAt(net, 0))
+        faults.append(NetStuckAt(net, 1))
+    return faults
+
+
+@dataclass
+class TscReport:
+    """Outcome of a TSC verification."""
+
+    fault_secure_violations: List[Tuple[NetStuckAt, Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    untested_faults: List[NetStuckAt] = field(default_factory=list)
+    checked_faults: int = 0
+
+    @property
+    def is_fault_secure(self) -> bool:
+        """No fault ever produced an incorrect *code* output."""
+        return not self.fault_secure_violations
+
+    @property
+    def is_self_testing(self) -> bool:
+        """Every fault is exposed by at least one code input."""
+        return not self.untested_faults
+
+    @property
+    def is_tsc(self) -> bool:
+        """Totally self-checking: both properties hold."""
+        return self.is_fault_secure and self.is_self_testing
+
+
+def verify_tsc(
+    circuit: LogicCircuit,
+    code_inputs: Iterable[Dict[str, int]],
+    output_pair: Tuple[str, str],
+    faults: Optional[Sequence[NetStuckAt]] = None,
+) -> TscReport:
+    """Exhaustively verify the TSC properties.
+
+    Parameters
+    ----------
+    circuit:
+        Gate-level circuit whose output is the rail pair ``output_pair``.
+    code_inputs:
+        The input code space (every input assignment that occurs in
+        fault-free operation).
+    faults:
+        Fault list; defaults to all single net stuck-ats except on
+        primary inputs (input faults belong to the upstream circuit's
+        analysis).
+    """
+    code_inputs = list(code_inputs)
+    if not code_inputs:
+        raise ValueError("need at least one code input")
+    if faults is None:
+        primary = set(circuit.primary_inputs())
+        faults = [
+            f for f in enumerate_net_faults(circuit) if f.net not in primary
+        ]
+
+    golden: Dict[int, Tuple[int, ...]] = {}
+    for index, assignment in enumerate(code_inputs):
+        golden[index] = evaluate_with_fault(
+            circuit, assignment, output_pair, fault=None
+        )
+        z0, z1 = golden[index]
+        if z0 == z1:
+            raise ValueError(
+                f"fault-free output non-code for input {assignment}; "
+                "the given inputs are not all code words"
+            )
+
+    report = TscReport()
+    for fault in faults:
+        report.checked_faults += 1
+        exposed = False
+        for index, assignment in enumerate(code_inputs):
+            observed = evaluate_with_fault(
+                circuit, assignment, output_pair, fault=fault
+            )
+            z0, z1 = observed
+            if z0 == z1:
+                exposed = True            # non-code output: detected
+            elif observed != golden[index]:
+                report.fault_secure_violations.append((fault, observed))
+                break
+        if not exposed:
+            report.untested_faults.append(fault)
+    return report

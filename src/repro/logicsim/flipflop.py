@@ -1,0 +1,98 @@
+"""Edge-triggered D flip-flop with clock-arrival and setup/hold modelling.
+
+The clock pin of each flop is fed by the clock distribution network, so
+its *clock arrival offset* relative to the nominal edge is exactly the
+quantity the paper's sensing circuit monitors.  A flop samples its D input
+at ``edge + clock_offset``; data changing inside the setup/hold window is
+recorded as a :class:`TimingViolation` (and the sampled value is the
+pre-window one, a deterministic pessimistic choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    """A setup or hold violation observed at a flip-flop."""
+
+    flop: str
+    edge_time: float
+    data_change_time: float
+    kind: str  # "setup" or "hold"
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return (
+            f"{self.kind} violation at {self.flop}: data changed "
+            f"{abs(self.edge_time - self.data_change_time) * 1e12:.0f} ps "
+            f"{'before' if self.data_change_time < self.edge_time else 'after'} "
+            "the sampling edge"
+        )
+
+
+@dataclass
+class DFlipFlop:
+    """A rising-edge D flip-flop.
+
+    Attributes
+    ----------
+    name:
+        Instance name.
+    d, q:
+        Data input / output net names.
+    clock_offset:
+        Arrival time of the clock edge at this flop relative to the
+        nominal edge (the clock tree insertion delay difference; faults
+        change it).
+    setup, hold:
+        Timing window half-widths, seconds.
+    clk_to_q:
+        Clock-to-output delay, seconds.
+    init:
+        Power-up output value.
+    """
+
+    name: str
+    d: str
+    q: str
+    clock_offset: float = 0.0
+    setup: float = 100e-12
+    hold: float = 50e-12
+    clk_to_q: float = 200e-12
+    init: int = 0
+    state: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.setup < 0 or self.hold < 0 or self.clk_to_q < 0:
+            raise ValueError(f"flop {self.name}: timing values must be >= 0")
+        self.state = self.init
+
+    def sample_time(self, nominal_edge: float) -> float:
+        """Actual sampling instant for a nominal clock edge."""
+        return nominal_edge + self.clock_offset
+
+    def check_window(
+        self, nominal_edge: float, last_d_change: Optional[float]
+    ) -> Optional[TimingViolation]:
+        """Setup/hold check against the last D transition time."""
+        if last_d_change is None:
+            return None
+        t_sample = self.sample_time(nominal_edge)
+        if t_sample - self.setup < last_d_change <= t_sample:
+            return TimingViolation(
+                flop=self.name,
+                edge_time=t_sample,
+                data_change_time=last_d_change,
+                kind="setup",
+            )
+        if t_sample < last_d_change < t_sample + self.hold:
+            return TimingViolation(
+                flop=self.name,
+                edge_time=t_sample,
+                data_change_time=last_d_change,
+                kind="hold",
+            )
+        return None

@@ -1,0 +1,94 @@
+"""Combinational gate library with transport delays."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+
+class GateType(enum.Enum):
+    """Supported combinational functions."""
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+
+
+def _reduce_and(bits: Sequence[int]) -> int:
+    return int(all(bits))
+
+
+def _reduce_or(bits: Sequence[int]) -> int:
+    return int(any(bits))
+
+
+def _reduce_xor(bits: Sequence[int]) -> int:
+    return sum(bits) % 2
+
+
+_EVAL: Dict[GateType, Callable[[Sequence[int]], int]] = {
+    GateType.BUF: lambda bits: bits[0],
+    GateType.NOT: lambda bits: 1 - bits[0],
+    GateType.AND: _reduce_and,
+    GateType.OR: _reduce_or,
+    GateType.NAND: lambda bits: 1 - _reduce_and(bits),
+    GateType.NOR: lambda bits: 1 - _reduce_or(bits),
+    GateType.XOR: _reduce_xor,
+    GateType.XNOR: lambda bits: 1 - _reduce_xor(bits),
+}
+
+_ARITY: Dict[GateType, Tuple[int, int]] = {
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, 64),
+    GateType.OR: (2, 64),
+    GateType.NAND: (2, 64),
+    GateType.NOR: (2, 64),
+    GateType.XOR: (2, 64),
+    GateType.XNOR: (2, 64),
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name.
+    gtype:
+        Function.
+    inputs:
+        Input net names, in order.
+    output:
+        Output net name.
+    delay:
+        Transport delay, seconds.
+    """
+
+    name: str
+    gtype: GateType
+    inputs: Tuple[str, ...]
+    output: str
+    delay: float
+
+    def __post_init__(self) -> None:
+        lo, hi = _ARITY[self.gtype]
+        if not lo <= len(self.inputs) <= hi:
+            raise ValueError(
+                f"gate {self.name}: {self.gtype.value} takes {lo}..{hi} inputs, "
+                f"got {len(self.inputs)}"
+            )
+        if self.delay < 0:
+            raise ValueError(f"gate {self.name}: delay must be non-negative")
+
+    def evaluate(self, values: Sequence[int]) -> int:
+        """Output value for the given input values (0/1)."""
+        return _EVAL[self.gtype](values)

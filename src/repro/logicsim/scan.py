@@ -1,0 +1,109 @@
+"""Gate-level scan chain.
+
+A structural realisation of the off-line readout: each scan cell is a D
+flip-flop whose input is a 2-to-1 multiplexer (built from gates) selecting
+between the *capture* data (an indicator flag) and the previous cell's
+output (*shift* mode), controlled by ``scan_en``.  This grounds the
+behavioural :class:`~repro.testing.scanpath.ScanPath` in the same logic
+substrate used by the pipeline experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.logicsim.circuit import LogicCircuit, SimulationTrace
+from repro.logicsim.flipflop import DFlipFlop
+from repro.logicsim.gates import GateType
+from repro.units import ns
+
+
+@dataclass
+class ScanChainCircuit:
+    """A gate-level scan chain over ``n`` capture inputs.
+
+    Net conventions: capture inputs ``cap0 .. cap{n-1}``, scan enable
+    ``scan_en``, serial input ``scan_in``, serial output ``scan_out``
+    (the last cell's Q).
+    """
+
+    n: int
+    gate_delay: float = ns(0.2)
+    clk_to_q: float = ns(0.2)
+    circuit: LogicCircuit = field(init=False)
+    cells: List[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("scan chain needs at least one cell")
+        self.circuit = LogicCircuit(name=f"scan{self.n}")
+        self.cells = []
+        previous_q = "scan_in"
+        for k in range(self.n):
+            cap = f"cap{k}"
+            d_net = f"sd{k}"
+            q_net = f"sq{k}"
+            # mux: d = (scan_en AND prev_q) OR (NOT scan_en AND cap)
+            self.circuit.add_gate(
+                f"muxa{k}", GateType.AND, ["scan_en", previous_q],
+                f"ma{k}", self.gate_delay,
+            )
+            self.circuit.add_gate(
+                f"nse{k}", GateType.NOT, ["scan_en"], f"nsen{k}",
+                self.gate_delay,
+            )
+            self.circuit.add_gate(
+                f"muxb{k}", GateType.AND, [f"nsen{k}", cap],
+                f"mb{k}", self.gate_delay,
+            )
+            self.circuit.add_gate(
+                f"muxo{k}", GateType.OR, [f"ma{k}", f"mb{k}"],
+                d_net, self.gate_delay,
+            )
+            flop = DFlipFlop(
+                name=f"sff{k}", d=d_net, q=q_net, clk_to_q=self.clk_to_q
+            )
+            self.circuit.add_flop(flop)
+            self.cells.append(flop.name)
+            previous_q = q_net
+        self.circuit.add_gate(
+            "outbuf", GateType.BUF, [previous_q], "scan_out", self.gate_delay
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_capture_and_shift(
+        self,
+        captured: Sequence[int],
+        period: float = ns(10.0),
+        scan_in_bits: Sequence[int] = (),
+    ) -> Tuple[List[int], SimulationTrace]:
+        """One capture cycle followed by ``n`` shift cycles.
+
+        ``captured`` are the values on the capture inputs (the indicator
+        flags); the returned list is the serial stream observed on
+        ``scan_out`` after each shift clock - cell ``n-1`` first (it sits
+        next to the output), matching physical scan order.
+        """
+        if len(captured) != self.n:
+            raise ValueError(f"expected {self.n} capture bits")
+        total_cycles = 1 + self.n
+        edges = [(k + 1) * period for k in range(total_cycles)]
+
+        stimuli: Dict[str, List[Tuple[float, int]]] = {
+            "scan_en": [(0.0, 0), (1.5 * period, 1)],
+            "scan_in": [(0.0, 0)],
+        }
+        for k, bit in enumerate(captured):
+            stimuli[f"cap{k}"] = [(0.0, int(bit))]
+        for k, bit in enumerate(scan_in_bits):
+            stimuli["scan_in"].append(((1.5 + k) * period, int(bit)))
+
+        trace = self.circuit.simulate(
+            stimuli, edges, t_end=(total_cycles + 1) * period
+        )
+        stream = []
+        for k in range(self.n):
+            t_read = (2 + k) * period - 0.1 * period
+            stream.append(trace.value_at("scan_out", t_read))
+        return stream, trace

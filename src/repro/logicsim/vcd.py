@@ -1,0 +1,115 @@
+"""VCD (Value Change Dump) export of logic simulation traces.
+
+VCD is the universal waveform interchange format of digital EDA; exporting
+:class:`~repro.logicsim.circuit.SimulationTrace` lets any external viewer
+(GTKWave etc.) inspect the pipeline/scan/checker simulations produced by
+this library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.logicsim.circuit import SimulationTrace
+
+#: Printable identifier characters per the VCD grammar.
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for signal ``index`` (base-94 encoding)."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    digits: List[str] = []
+    while True:
+        digits.append(_ID_CHARS[index % len(_ID_CHARS)])
+        index //= len(_ID_CHARS)
+        if index == 0:
+            break
+    return "".join(reversed(digits))
+
+
+def to_vcd(
+    trace: SimulationTrace,
+    nets: Optional[Iterable[str]] = None,
+    timescale: str = "1ps",
+    time_unit: float = 1e-12,
+    module: str = "repro",
+) -> str:
+    """Serialise ``trace`` as a VCD document string.
+
+    Parameters
+    ----------
+    nets:
+        Signals to dump (default: every recorded net, sorted).
+    timescale / time_unit:
+        VCD timescale declaration and its value in seconds; change times
+        are quantised to this unit.
+    """
+    nets = sorted(nets) if nets is not None else sorted(trace.changes)
+    for net in nets:
+        if net not in trace.changes:
+            raise KeyError(f"net {net!r} not present in trace")
+
+    ids: Dict[str, str] = {net: _identifier(k) for k, net in enumerate(nets)}
+    lines: List[str] = [
+        "$date repro logic simulation $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for net in nets:
+        lines.append(f"$var wire 1 {ids[net]} {net} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+
+    events: List[Tuple[int, str, int]] = []
+    for net in nets:
+        for t, value in trace.changes[net]:
+            events.append((int(round(t / time_unit)), net, value))
+    events.sort(key=lambda e: e[0])
+
+    lines.append("$dumpvars")
+    current: Dict[str, Optional[int]] = {net: None for net in nets}
+    last_time: Optional[int] = None
+    for tick, net, value in events:
+        if current[net] == value:
+            continue
+        if tick != last_time:
+            if last_time is not None or tick > 0:
+                lines.append(f"#{tick}")
+            last_time = tick
+        lines.append(f"{value}{ids[net]}")
+        current[net] = value
+    lines.append("")
+    return "\n".join(lines)
+
+
+def parse_vcd_values(text: str) -> Dict[str, List[Tuple[int, int]]]:
+    """Minimal VCD reader for round-trip testing.
+
+    Returns per-net ``(tick, value)`` change lists.  Supports only the
+    single-bit subset :func:`to_vcd` emits.
+    """
+    names: Dict[str, str] = {}
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+    tick = 0
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("$var"):
+            tokens = line.split()
+            names[tokens[3]] = tokens[4]
+            changes[tokens[4]] = []
+            continue
+        if line.startswith("$") or line.startswith("$dumpvars"):
+            continue
+        if line.startswith("#"):
+            tick = int(line[1:])
+            continue
+        if line[0] in "01":
+            value = int(line[0])
+            ident = line[1:]
+            net = names.get(ident)
+            if net is not None:
+                changes[net].append((tick, value))
+    return changes

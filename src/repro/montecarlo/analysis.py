@@ -1,0 +1,130 @@
+"""Monte Carlo scatter (Fig. 5) and error probabilities (Tab. 1).
+
+Definitions from Sec. 2 of the paper, relative to the *nominal*
+sensitivity ``tau_min`` of the considered load:
+
+* ``p_loose`` - probability of **losing** an error indication:
+  ``tau > tau_min`` but the sample's ``Vmin`` stays below the threshold
+  (the skew was real, the perturbed sensor missed it);
+* ``p_false`` - probability of a **false** error indication:
+  ``tau < tau_min`` but ``Vmin`` rises above the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.engine import TransientOptions
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SensorSizing, SkewSensor
+from repro.montecarlo.sampling import MonteCarloSample
+from repro.units import VTH_INTERPRET
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One (sample, skew) evaluation - a dot of the Fig.-5 scatterplot."""
+
+    skew: float
+    vmin: float
+    sample_index: int
+
+    def flags_error(self, threshold: float = VTH_INTERPRET) -> bool:
+        """Whether this point reads as an error indication."""
+        return self.vmin > threshold
+
+
+def scatter_analysis(
+    samples: Sequence[MonteCarloSample],
+    skews: Sequence[float],
+    sizing: Optional[SensorSizing] = None,
+    options: Optional[TransientOptions] = None,
+) -> List[ScatterPoint]:
+    """Evaluate ``Vmin`` for every (sample, skew) combination.
+
+    The skews may themselves be randomised by the caller; the paper sweeps
+    a deterministic grid per sample.
+    """
+    points: List[ScatterPoint] = []
+    for index, sample in enumerate(samples):
+        sensor = SkewSensor(
+            process=sample.process,
+            sizing=sizing or SensorSizing(),
+            load1=sample.load1,
+            load2=sample.load2,
+        )
+        for tau in skews:
+            response = simulate_sensor(
+                sensor,
+                skew=tau,
+                slew1=sample.slew1,
+                slew2=sample.slew2,
+                options=options,
+            )
+            points.append(
+                ScatterPoint(skew=tau, vmin=response.vmin_late, sample_index=index)
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class ErrorProbabilities:
+    """The Tab.-1 row for one nominal load."""
+
+    nominal_load: float
+    tau_min: float
+    p_loose: float
+    p_false: float
+    n_loose_trials: int
+    n_false_trials: int
+
+    def as_row(self) -> str:
+        """Formatted like the paper's table."""
+        return (
+            f"{self.nominal_load * 1e15:6.0f} fF   "
+            f"p_loose = {self.p_loose:.3f}   p_false = {self.p_false:.3f}"
+        )
+
+
+def error_probabilities(
+    points: Sequence[ScatterPoint],
+    nominal_load: float,
+    tau_min: float,
+    threshold: float = VTH_INTERPRET,
+    guard_band: float = 0.0,
+) -> ErrorProbabilities:
+    """Classify scatter points into the Tab.-1 probabilities.
+
+    Parameters
+    ----------
+    points:
+        Output of :func:`scatter_analysis`.
+    tau_min:
+        Nominal sensitivity of the considered load (from
+        :func:`repro.core.sensitivity.extract_tau_min`).
+    guard_band:
+        Half-width of an excluded band around ``tau_min``; points with
+        ``|tau - tau_min| <= guard_band`` are ambiguous by definition and
+        counted in neither probability.  The paper uses no guard band.
+    """
+    loose_bad = loose_all = false_bad = false_all = 0
+    for point in points:
+        if point.skew > tau_min + guard_band:
+            loose_all += 1
+            if point.vmin < threshold:
+                loose_bad += 1
+        elif point.skew < tau_min - guard_band:
+            false_all += 1
+            if point.vmin > threshold:
+                false_bad += 1
+    return ErrorProbabilities(
+        nominal_load=nominal_load,
+        tau_min=tau_min,
+        p_loose=loose_bad / loose_all if loose_all else float("nan"),
+        p_false=false_bad / false_all if false_all else float("nan"),
+        n_loose_trials=loose_all,
+        n_false_trials=false_all,
+    )

@@ -1,0 +1,106 @@
+"""Clock-jitter sensitivity of the monitoring scheme.
+
+The sensor compares the *same nominal edge* on two branches, so generator
+jitter (common to both clocks) cancels; what it sees is the *differential*
+jitter the branches accumulate independently (buffer noise, supply noise).
+A sensor whose tolerance ``tau_min`` sits too close to the differential
+jitter floor latches false alarms during perfectly healthy operation -
+another face of the Tab.-1 ``p_false`` and a constraint on the "suitable
+tolerance interval" of Sec. 2.
+
+:func:`false_alarm_rate` measures, by multi-cycle electrical simulation,
+the probability that a latching indicator flags at least once over an
+observation window when the only disturbance is branch jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analog.engine import TransientOptions, transient
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import jittery_clock
+from repro.units import VTH_INTERPRET, ns
+
+
+@dataclass(frozen=True)
+class JitterTrial:
+    """Per-cycle codes of one jittery multi-cycle run."""
+
+    codes: Tuple[Tuple[int, int], ...]
+
+    @property
+    def false_alarm(self) -> bool:
+        """Whether any cycle produced an error indication."""
+        return any(code in ((0, 1), (1, 0)) for code in self.codes)
+
+
+def simulate_jittery_cycles(
+    sensor: SkewSensor,
+    rms_jitter: float,
+    rng: np.random.Generator,
+    cycles: int = 3,
+    period: float = ns(20.0),
+    slew: float = ns(0.2),
+    settle: float = ns(2.0),
+    static_skew: float = 0.0,
+    threshold: float = VTH_INTERPRET,
+    options: Optional[TransientOptions] = None,
+) -> JitterTrial:
+    """One trial: both branch clocks carry independent per-edge jitter.
+
+    Returns the threshold-interpreted ``(y1, y2)`` code sampled late in
+    every clock-high phase.
+    """
+    phi1 = jittery_clock(
+        period=period, slew=slew, n_cycles=cycles,
+        rms_jitter=rms_jitter, rng=rng, delay=settle, vdd=sensor.vdd,
+    )
+    phi2 = jittery_clock(
+        period=period, slew=slew, n_cycles=cycles,
+        rms_jitter=rms_jitter, rng=rng, delay=settle,
+        skew=static_skew, vdd=sensor.vdd,
+    )
+    netlist = sensor.build(phi1=phi1, phi2=phi2)
+    result = transient(
+        netlist,
+        t_stop=settle + cycles * period,
+        record=["y1", "y2"],
+        initial=sensor.dc_guess(),
+        options=options,
+    )
+    y1 = result.wave("y1")
+    y2 = result.wave("y2")
+    codes: List[Tuple[int, int]] = []
+    for k in range(cycles):
+        t_sample = settle + k * period + 0.4 * period
+        codes.append(
+            (
+                1 if y1.at(t_sample) > threshold else 0,
+                1 if y2.at(t_sample) > threshold else 0,
+            )
+        )
+    return JitterTrial(codes=tuple(codes))
+
+
+def false_alarm_rate(
+    rms_jitter: float,
+    trials: int = 10,
+    seed: int = 0,
+    sensor: Optional[SkewSensor] = None,
+    cycles: int = 3,
+    options: Optional[TransientOptions] = None,
+) -> float:
+    """Fraction of trials in which healthy jittery clocks raise an alarm."""
+    sensor = sensor or SkewSensor()
+    alarms = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + 7919 * trial)
+        outcome = simulate_jittery_cycles(
+            sensor, rms_jitter, rng, cycles=cycles, options=options
+        )
+        alarms += outcome.false_alarm
+    return alarms / trials

@@ -1,0 +1,93 @@
+"""Sampling of Monte Carlo circuit instances.
+
+Each sample fixes: a perturbed process corner (every model-card parameter
+uniform +/-r around nominal), two independently perturbed load
+capacitances, and two independent clock slews drawn uniformly from the
+paper's [0.1 ns, 0.4 ns] interval ("both the input slews and the load have
+been considered independent, in order to account for asymmetric
+conditions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.devices.process import ProcessParams, nominal_process, perturbed_process
+from repro.units import ns
+
+
+@dataclass(frozen=True)
+class MonteCarloSample:
+    """One randomised sensor instance."""
+
+    process: ProcessParams
+    load1: float
+    load2: float
+    slew1: float
+    slew2: float
+
+
+def sample_population(
+    n: int,
+    nominal_load: float,
+    rng: Optional[np.random.Generator] = None,
+    relative_variation: float = 0.15,
+    slew_low: float = ns(0.1),
+    slew_high: float = ns(0.4),
+    base: Optional[ProcessParams] = None,
+    balanced: bool = False,
+) -> List[MonteCarloSample]:
+    """Draw ``n`` samples around ``nominal_load``.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    nominal_load:
+        The nominal output load (the paper repeats the analysis for each
+        of 80 / 160 / 240 fF).
+    relative_variation:
+        Half-width of the uniform relative window (paper: 0.15).
+    slew_low, slew_high:
+        Clock slew interval (paper: [0.1 ns, 0.4 ns]).
+    balanced:
+        When False (default, the paper's Monte Carlo setup) the two loads
+        and the two slews are drawn *independently*, deliberately modelling
+        asymmetric conditions.  When True they are drawn once and shared -
+        the situation the scheme's placement criterion 2 engineers
+        ("balanced connection to the sensing circuit"): only common-mode
+        variation remains and the sensor's differential response is a pure
+        skew measurement.
+    """
+    if n < 1:
+        raise ValueError("population size must be >= 1")
+    rng = rng or np.random.default_rng()
+    base = base or nominal_process()
+
+    samples: List[MonteCarloSample] = []
+    for _ in range(n):
+        process = perturbed_process(rng, relative_variation, base=base)
+        load1 = nominal_load * (
+            1.0 + rng.uniform(-relative_variation, relative_variation)
+        )
+        slew1 = rng.uniform(slew_low, slew_high)
+        if balanced:
+            load2, slew2 = load1, slew1
+        else:
+            load2 = nominal_load * (
+                1.0 + rng.uniform(-relative_variation, relative_variation)
+            )
+            slew2 = rng.uniform(slew_low, slew_high)
+        samples.append(
+            MonteCarloSample(
+                process=process,
+                load1=load1,
+                load2=load2,
+                slew1=slew1,
+                slew2=slew2,
+            )
+        )
+    return samples

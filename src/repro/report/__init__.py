@@ -1,0 +1,26 @@
+"""Plain-text reporting: ASCII waveform/curve rendering and tables.
+
+The reproduction environment is headless, so every figure-like artefact is
+rendered as text: waveforms (Figs. 2-3), Vmin-vs-tau curves (Fig. 4),
+scatter summaries (Fig. 5) and coverage tables (Sec. 3).
+"""
+
+from repro.report.render import ascii_curve, ascii_waveform, format_table
+from repro.report.aggregate import build_report, collect_results, write_report
+from repro.report.summaries import (
+    sensitivity_report,
+    testability_report_text,
+    waveform_report,
+)
+
+__all__ = [
+    "ascii_waveform",
+    "ascii_curve",
+    "format_table",
+    "waveform_report",
+    "sensitivity_report",
+    "testability_report_text",
+    "build_report",
+    "collect_results",
+    "write_report",
+]

@@ -1,0 +1,100 @@
+"""Low-level ASCII rendering primitives."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.waveform import Waveform
+
+
+def ascii_waveform(
+    wave: Waveform,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    rows: int = 12,
+    cols: int = 64,
+    v_min: float = 0.0,
+    v_max: float = 5.5,
+    char: str = "*",
+) -> str:
+    """Render a waveform as an ASCII raster.
+
+    One column per time step, one ``char`` per column at the quantised
+    voltage row.  Rows run top (``v_max``) to bottom (``v_min``).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("raster needs at least 2x2 cells")
+    t0 = wave.t_start if t0 is None else t0
+    t1 = wave.t_stop if t1 is None else t1
+    if t1 <= t0:
+        raise ValueError("empty time window")
+    grid = [[" "] * cols for _ in range(rows)]
+    span = v_max - v_min
+    for k in range(cols):
+        t = t0 + (t1 - t0) * k / (cols - 1)
+        fraction = (wave.at(t) - v_min) / span
+        row = rows - 1 - int(np.clip(fraction, 0.0, 0.999) * rows)
+        grid[row][k] = char
+    return "\n".join("".join(line) for line in grid)
+
+
+def ascii_curve(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    rows: int = 12,
+    cols: int = 48,
+    marker: str = "o",
+    y_line: Optional[float] = None,
+) -> str:
+    """Scatter/curve raster with an optional horizontal reference line
+    (used for the Vth threshold in Fig.-4 style plots)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size == 0 or xs.size != ys.size:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    candidates = ys if y_line is None else np.append(ys, y_line)
+    y_lo, y_hi = float(candidates.min()), float(candidates.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def cell(x: float, y: float):
+        col = int(np.clip((x - x_lo) / (x_hi - x_lo), 0.0, 0.999) * cols)
+        row = rows - 1 - int(np.clip((y - y_lo) / (y_hi - y_lo), 0.0, 0.999) * rows)
+        return row, col
+
+    if y_line is not None:
+        row = cell(x_lo, y_line)[0]
+        for k in range(cols):
+            grid[row][k] = "-"
+    for x, y in zip(xs, ys):
+        row, col = cell(x, y)
+        grid[row][col] = marker
+    return "\n".join("".join(line) for line in grid)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric-looking cells."""
+    table: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        table.append([_fmt(cell) for cell in row])
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(table[0]), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in table[1:])
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,82 @@
+"""Composite text reports built from library results."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analog.engine import TransientOptions
+from repro.core.response import SensorResponse
+from repro.core.sensitivity import SensitivityCurve
+from repro.report.render import ascii_curve, ascii_waveform, format_table
+from repro.testing.testability import TestabilityReport
+from repro.units import VTH_INTERPRET, to_ns
+
+
+def waveform_report(
+    response: SensorResponse,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """Fig.-2/3 style report: numbers plus ASCII rasters of both outputs."""
+    lines = [
+        f"skew tau = {to_ns(response.skew):+.3f} ns   "
+        f"code = {response.code}   "
+        f"Vmin(y1) = {response.vmin_y1:.2f} V   "
+        f"Vmin(y2) = {response.vmin_y2:.2f} V",
+        "",
+        "y1:",
+        ascii_waveform(response.wave("y1"), t0, t1),
+        "",
+        "y2:",
+        ascii_waveform(response.wave("y2"), t0, t1),
+    ]
+    return "\n".join(lines)
+
+
+def sensitivity_report(
+    curves: Sequence[SensitivityCurve],
+    threshold: float = VTH_INTERPRET,
+) -> str:
+    """Fig.-4 style report: per-curve table plus an ASCII curve raster for
+    the first curve of each load."""
+    rows = []
+    for curve in curves:
+        tau = curve.tau_min
+        rows.append(
+            (
+                f"{curve.load * 1e15:.0f} fF",
+                f"{curve.slew * 1e9:.1f} ns",
+                f"{to_ns(tau):.3f} ns" if tau is not None else "beyond sweep",
+            )
+        )
+    out: List[str] = [
+        format_table(["load", "slew", "tau_min"], rows),
+        "",
+        f"Vmin vs tau (threshold line at {threshold:.2f} V):",
+    ]
+    seen = set()
+    for curve in curves:
+        if curve.load in seen:
+            continue
+        seen.add(curve.load)
+        out.append(f"  C = {curve.load * 1e15:.0f} fF:")
+        out.append(
+            ascii_curve(
+                curve.skews * 1e9, curve.vmins, y_line=threshold
+            )
+        )
+    return "\n".join(out)
+
+
+def testability_report_text(report: TestabilityReport) -> str:
+    """Sec.-3 style coverage table plus escape lists."""
+    rows = []
+    for kind, n, cov, cov_iddq in report.summary_rows():
+        rows.append((kind, n, f"{cov * 100:.0f} %", f"{cov_iddq * 100:.0f} %"))
+    out = [format_table(["fault class", "n", "logic", "with IDDQ"], rows), ""]
+    for kind in ("stuck-at", "stuck-open", "stuck-on", "bridging"):
+        escapes = report.undetected(kind)
+        if escapes:
+            names = ", ".join(v.fault.describe() for v in escapes)
+            out.append(f"{kind} escapes: {names}")
+    return "\n".join(out)

@@ -1,0 +1,31 @@
+"""The testing scheme built around the sensing circuit.
+
+Off-line use: sensor responses are latched by compact error indicators and
+shifted out through a scan path.  On-line (self-checking) use: indicator
+outputs feed a two-rail checker.  This package also contains the Sec.-3
+testability analysis of the sensor itself.
+"""
+
+from repro.testing.indicator import ErrorIndicator
+from repro.testing.checker import TwoRailChecker
+from repro.testing.scanpath import ScanPath
+from repro.testing.scheme import ClockTestingScheme, SensorPlacement
+from repro.testing.coverage import CoverageSummary, coverage
+from repro.testing.testability import (
+    FaultVerdict,
+    TestabilityReport,
+    analyze_sensor_testability,
+)
+
+__all__ = [
+    "ErrorIndicator",
+    "TwoRailChecker",
+    "ScanPath",
+    "ClockTestingScheme",
+    "SensorPlacement",
+    "coverage",
+    "CoverageSummary",
+    "FaultVerdict",
+    "TestabilityReport",
+    "analyze_sensor_testability",
+]

@@ -1,0 +1,91 @@
+"""Two-rail checker for the on-line (self-checking) application.
+
+In on-line mode the indicator outputs feed a checker (Sec. 2).  The
+standard self-checking building block is the two-rail checker (Carter &
+Schneider, ref. [6]): it compresses pairs of complementary rails into one
+output pair that stays complementary exactly while every input pair is
+complementary.  Our sensor naturally produces a two-rail-compatible pair:
+in fault-free operation ``(y1, y2)`` is ``(0, 0)`` or ``(1, 1)`` - so the
+pair ``(y1, NOT y2)`` is complementary, and a skew error breaks the
+complementarity, propagating through the checker tree to the final alarm.
+
+The checker is *self-checking* in the standard sense: any single stuck-at
+on its internal rails makes the output non-complementary for some
+fault-free input, so checker faults cannot silently mask clock errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+def two_rail_cell(
+    a: Tuple[int, int], b: Tuple[int, int]
+) -> Tuple[int, int]:
+    """One two-rail checker cell (the classic 4-gate realisation).
+
+    Inputs and output are rail pairs ``(x, xbar)``; the output is
+    complementary iff both inputs are.
+    """
+    (a0, a1), (b0, b1) = a, b
+    z0 = (a0 & b0) | (a1 & b1)
+    z1 = (a0 & b1) | (a1 & b0)
+    return (z0, z1)
+
+
+@dataclass
+class TwoRailChecker:
+    """A balanced tree of two-rail cells with optional injected faults.
+
+    Attributes
+    ----------
+    n_inputs:
+        Number of input rail pairs.
+    stuck_cells:
+        Map from cell index (level-order) to a forced output pair,
+        modelling an internal checker fault for self-testing analysis.
+    """
+
+    n_inputs: int
+    stuck_cells: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise ValueError("checker needs at least one input pair")
+
+    def evaluate(self, pairs: Sequence[Tuple[int, int]]) -> Tuple[int, int]:
+        """Compress rail pairs down the tree; returns the final pair."""
+        if len(pairs) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} rail pairs, got {len(pairs)}"
+            )
+        level: List[Tuple[int, int]] = list(pairs)
+        cell_index = 0
+        while len(level) > 1:
+            nxt: List[Tuple[int, int]] = []
+            for i in range(0, len(level) - 1, 2):
+                out = two_rail_cell(level[i], level[i + 1])
+                if cell_index in self.stuck_cells:
+                    out = self.stuck_cells[cell_index]
+                cell_index += 1
+                nxt.append(out)
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def alarm(self, pairs: Sequence[Tuple[int, int]]) -> bool:
+        """True when the compressed output is non-complementary."""
+        z0, z1 = self.evaluate(pairs)
+        return z0 == z1
+
+    @staticmethod
+    def encode_sensor_code(code: Tuple[int, int]) -> Tuple[int, int]:
+        """Map a sensor ``(y1, y2)`` code onto a two-rail pair.
+
+        Fault-free codes ``(0, 0)`` / ``(1, 1)`` map to complementary
+        pairs; the error codes map to ``00`` / ``11``.
+        """
+        y1, y2 = code
+        return (y1, 1 - y2)

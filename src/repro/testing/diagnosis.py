@@ -1,0 +1,146 @@
+"""Diagnosis: localising the faulty clock branch from latched indicators.
+
+After a test session (or an on-line event) the scan-out delivers, per
+monitored pair, whether it latched and *which clock was late* (the 01/10
+code distinguishes directions).  Because pairs share sinks, intersecting
+these observations localises the fault:
+
+* a sink reported *late* in every latched pair it belongs to - and never
+  reported early - is a candidate victim (something slowed its branch);
+* a sink reported early everywhere is a candidate for a fast path (e.g.
+  a bridging short of its wire);
+* pairs that stayed quiet exonerate both of their sinks relative to each
+  other (their mutual skew stayed inside tolerance).
+
+The result is a ranked candidate list plus the set of tree nodes shared by
+all candidate victims' root paths - the deepest structure the evidence can
+implicate (a buffer fault slows a whole subtree, so all its sinks latch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.clocktree.tree import ClockTree
+from repro.testing.scheme import ClockTestingScheme
+
+
+@dataclass
+class SinkEvidence:
+    """Observation tallies for one monitored sink."""
+
+    late_votes: int = 0
+    early_votes: int = 0
+    quiet_votes: int = 0
+
+    @property
+    def consistent_late(self) -> bool:
+        """Reported late at least once and never early."""
+        return self.late_votes > 0 and self.early_votes == 0
+
+
+@dataclass
+class Diagnosis:
+    """Outcome of localisation."""
+
+    evidence: Dict[str, SinkEvidence] = field(default_factory=dict)
+    late_candidates: List[str] = field(default_factory=list)
+    early_candidates: List[str] = field(default_factory=list)
+    implicated_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No indicator latched - nothing to diagnose."""
+        return not self.late_candidates and not self.early_candidates
+
+
+def diagnose(
+    scheme: ClockTestingScheme, tree: Optional[ClockTree] = None
+) -> Diagnosis:
+    """Localise the fault from the scheme's latched indicators.
+
+    Uses each indicator's ``first_error`` direction: code ``(0, 1)`` means
+    the pair's ``phi2`` side (``sink_b``) was late; ``(1, 0)`` means
+    ``sink_a`` was.  ``tree`` defaults to the scheme's design tree and is
+    used to compute the implicated common path.
+    """
+    tree = tree or scheme.tree
+    diagnosis = Diagnosis()
+    for placement in scheme.placements:
+        a, b = placement.pair.sink_a, placement.pair.sink_b
+        for sink in (a, b):
+            diagnosis.evidence.setdefault(sink, SinkEvidence())
+        indicator = placement.indicator
+        if not indicator.latched:
+            diagnosis.evidence[a].quiet_votes += 1
+            diagnosis.evidence[b].quiet_votes += 1
+            continue
+        if indicator.first_error == (0, 1):
+            late, early = b, a
+        elif indicator.first_error == (1, 0):
+            late, early = a, b
+        else:
+            continue
+        diagnosis.evidence[late].late_votes += 1
+        diagnosis.evidence[early].early_votes += 1
+
+    for sink, tally in sorted(diagnosis.evidence.items()):
+        if tally.consistent_late:
+            diagnosis.late_candidates.append(sink)
+        elif tally.early_votes > 0 and tally.late_votes == 0:
+            diagnosis.early_candidates.append(sink)
+    diagnosis.late_candidates.sort(
+        key=lambda s: -diagnosis.evidence[s].late_votes
+    )
+
+    if diagnosis.late_candidates:
+        diagnosis.implicated_nodes = _common_path(
+            tree, diagnosis.late_candidates
+        )
+    return diagnosis
+
+
+def _common_path(tree: ClockTree, sinks: List[str]) -> List[str]:
+    """Tree node names shared by every candidate's root path, deepest
+    last (the deepest entry is the most specific implicated structure)."""
+    shared: Optional[List[str]] = None
+    for sink in sinks:
+        path = [n.name for n in tree.path_to(tree.node(sink))]
+        if shared is None:
+            shared = path
+        else:
+            keep: List[str] = []
+            for ours, theirs in zip(shared, path):
+                if ours == theirs:
+                    keep.append(ours)
+                else:
+                    break
+            shared = keep
+    if shared is None:
+        return []
+    if len(sinks) == 1:
+        # A single victim implicates its own full path.
+        return [n.name for n in tree.path_to(tree.node(sinks[0]))]
+    return shared
+
+
+def diagnosis_report(diagnosis: Diagnosis) -> str:
+    """Human-readable summary."""
+    if diagnosis.clean:
+        return "no indicators latched: clock distribution within tolerance"
+    lines: List[str] = []
+    if diagnosis.late_candidates:
+        lines.append(
+            "late (slowed) sinks: " + ", ".join(diagnosis.late_candidates)
+        )
+    if diagnosis.early_candidates:
+        lines.append(
+            "early (sped-up) sinks: " + ", ".join(diagnosis.early_candidates)
+        )
+    if diagnosis.implicated_nodes:
+        lines.append(
+            "implicated path (deepest last): "
+            + " -> ".join(diagnosis.implicated_nodes)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Compact latching error indicator (ref. [9], Metra/Favalli/Ricco).
+
+Once the sensing circuit has been placed, "simple error indicators capable
+of latching on error indications can be used" (Sec. 2).  The indicator
+watches the threshold-interpreted ``(y1, y2)`` pair each clock phase and
+latches as soon as the pair leaves the fault-free code space; the latched
+flag persists until explicitly reset (scan-out in off-line testing, checker
+acknowledgement on-line).
+
+The fault-free code space of the sensor is ``{(0, 0), (1, 1)}``: both
+outputs low (after simultaneous rising edges - the sub-threshold clamp) or
+both high (idle / recovered).  ``(0, 1)`` and ``(1, 0)`` are the skew error
+indications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.units import VTH_INTERPRET
+
+#: Codes the sensor emits in fault-free operation.
+VALID_CODES = ((0, 0), (1, 1))
+
+
+@dataclass
+class ErrorIndicator:
+    """Latching indicator attached to one sensing circuit.
+
+    Attributes
+    ----------
+    name:
+        Identifier (usually names the monitored wire pair).
+    threshold:
+        Voltage threshold for interpreting the analog outputs.
+    latched:
+        Current latch state.
+    history:
+        Every observed code, for diagnosis.
+    """
+
+    name: str = "indicator"
+    threshold: float = VTH_INTERPRET
+    latched: bool = False
+    first_error: Optional[Tuple[int, int]] = None
+    history: List[Tuple[int, int]] = field(default_factory=list)
+
+    def observe_voltages(self, v_y1: float, v_y2: float) -> bool:
+        """Interpret analog outputs and update the latch.
+
+        Returns the new latch state.
+        """
+        code = (
+            1 if v_y1 > self.threshold else 0,
+            1 if v_y2 > self.threshold else 0,
+        )
+        return self.observe_code(code)
+
+    def observe_code(self, code: Tuple[int, int]) -> bool:
+        """Update the latch from an already-interpreted code."""
+        self.history.append(code)
+        if code not in VALID_CODES and not self.latched:
+            self.latched = True
+            self.first_error = code
+        return self.latched
+
+    def reset(self) -> None:
+        """Clear the latch (after scan-out or checker acknowledgement)."""
+        self.latched = False
+        self.first_error = None
+        self.history.clear()
+
+    @property
+    def direction(self) -> Optional[str]:
+        """Which clock was late, when known: ``"phi2"`` for ``(0, 1)``,
+        ``"phi1"`` for ``(1, 0)``."""
+        if self.first_error == (0, 1):
+            return "phi2"
+        if self.first_error == (1, 0):
+            return "phi1"
+        return None

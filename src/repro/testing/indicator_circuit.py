@@ -1,0 +1,158 @@
+"""Transistor-level compact latching error indicator (ref. [9]).
+
+The behavioural :class:`~repro.testing.indicator.ErrorIndicator` is enough
+for scheme-level studies; this module provides an electrical realisation in
+the spirit of the paper's reference [9] (Metra, Favalli, Ricco, *Compact
+and Highly Testable Error Indicator*), so the whole chain - sensing circuit
+plus indicator - can be validated in one transistor-level simulation.
+
+Topology (12 transistors):
+
+* two input inverters produce ``y1b``, ``y2b``;
+* a storage node ``st`` is precharged high through a PMOS (active-low
+  ``prech``) during the clock-low phase;
+* two series NMOS branches ``(y1, y2b)`` and ``(y1b, y2)`` discharge
+  ``st`` when the sensor pair is a *non-code* word (``01`` / ``10``) -
+  i.e. the XOR of the interpreted outputs;
+* a weak PMOS keeper (gated by the output) holds ``st`` against transient
+  leakage during the simultaneous output transitions of normal operation;
+* an output inverter makes ``err = NOT(st)``: the flag rises on an error
+  indication and *stays up* until the next precharge - the latching
+  behaviour the scan path / checker needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.circuit.netlist import Netlist
+from repro.devices.mosfet import MosfetType
+from repro.devices.process import ProcessParams, nominal_process
+from repro.units import fF, um
+
+
+@dataclass
+class IndicatorCircuit:
+    """Builder for the latching indicator netlist.
+
+    Node convention (all names prefixed with ``prefix``): inputs ``y1``,
+    ``y2`` and ``prech`` are *not* prefixed - they are expected to be
+    wired to the sensor outputs and the precharge strobe.
+
+    Attributes
+    ----------
+    process:
+        Model cards.
+    w_n, w_p:
+        Discharge / inverter device widths.
+    w_keeper:
+        Weak keeper PMOS width (must lose against a real discharge but
+        win against transient glitch currents).
+    c_store:
+        Explicit storage capacitance on ``st`` - glitch filtering.
+    prefix:
+        Name prefix for internal nodes/devices (lets several indicators
+        coexist in one netlist).
+    """
+
+    process: Optional[ProcessParams] = None
+    w_n: float = um(2.4)
+    w_p: float = um(4.8)
+    w_keeper: float = um(1.2)
+    length: float = um(1.2)
+    c_store: float = fF(30)
+    prefix: str = "ind"
+
+    def __post_init__(self) -> None:
+        if self.process is None:
+            self.process = nominal_process()
+
+    # ------------------------------------------------------------------ #
+    def node(self, name: str) -> str:
+        """Prefixed internal node name."""
+        return f"{self.prefix}_{name}"
+
+    @property
+    def output(self) -> str:
+        """The error flag node (high = error latched)."""
+        return self.node("err")
+
+    @property
+    def storage(self) -> str:
+        """The dynamic storage node."""
+        return self.node("st")
+
+    def dc_guess(self) -> Dict[str, float]:
+        """Idle state: storage precharged high, flag low."""
+        vdd = self.process.vdd
+        return {
+            self.storage: vdd,
+            self.output: 0.0,
+            self.node("y1b"): 0.0,
+            self.node("y2b"): 0.0,
+            self.node("m1"): vdd,
+            self.node("m2"): vdd,
+        }
+
+    # ------------------------------------------------------------------ #
+    def build_into(
+        self,
+        netlist: Netlist,
+        y1: str = "y1",
+        y2: str = "y2",
+        prech: str = "prech",
+    ) -> str:
+        """Add the indicator to ``netlist``, returning the flag node.
+
+        ``y1`` / ``y2`` are the monitored (sensor output) nodes; ``prech``
+        is the active-low precharge strobe.
+        """
+        p = self.process
+        pre = self.node
+
+        def inverter(tag: str, inp: str, out: str) -> None:
+            netlist.add_mosfet(
+                pre(f"{tag}_p"), out, inp, "vdd",
+                MosfetType.PMOS, self.w_p, self.length, p.pmos,
+            )
+            netlist.add_mosfet(
+                pre(f"{tag}_n"), out, inp, "0",
+                MosfetType.NMOS, self.w_n, self.length, p.nmos,
+            )
+
+        inverter("inv1", y1, pre("y1b"))
+        inverter("inv2", y2, pre("y2b"))
+
+        st = self.storage
+        netlist.add_mosfet(
+            pre("mpre"), st, prech, "vdd",
+            MosfetType.PMOS, self.w_p, self.length, p.pmos,
+        )
+        # Discharge branch 1: y1 AND NOT y2.
+        netlist.add_mosfet(
+            pre("md1a"), st, y1, pre("m1"),
+            MosfetType.NMOS, self.w_n, self.length, p.nmos,
+        )
+        netlist.add_mosfet(
+            pre("md1b"), pre("m1"), pre("y2b"), "0",
+            MosfetType.NMOS, self.w_n, self.length, p.nmos,
+        )
+        # Discharge branch 2: NOT y1 AND y2.
+        netlist.add_mosfet(
+            pre("md2a"), st, pre("y1b"), pre("m2"),
+            MosfetType.NMOS, self.w_n, self.length, p.nmos,
+        )
+        netlist.add_mosfet(
+            pre("md2b"), pre("m2"), y2, "0",
+            MosfetType.NMOS, self.w_n, self.length, p.nmos,
+        )
+        # Storage, keeper, output flag.
+        netlist.add_capacitor(pre("cst"), st, "0", self.c_store)
+        inverter("invo", st, self.output)
+        netlist.add_mosfet(
+            pre("mkeep"), st, self.output, "vdd",
+            MosfetType.PMOS, self.w_keeper, self.length, p.pmos,
+        )
+        netlist.add_capacitor(pre("cout"), self.output, "0", fF(10))
+        return self.output

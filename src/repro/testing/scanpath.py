@@ -1,0 +1,64 @@
+"""Scan-path readout for off-line testing.
+
+In the off-line application the latched indicator responses "could be
+driven through a scan path" (Sec. 2).  The scan path is a serial shift
+register: at capture, every indicator's latch is loaded in parallel; the
+tester then shifts the chain out one bit per scan clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.testing.indicator import ErrorIndicator
+
+
+@dataclass
+class ScanPath:
+    """A serial scan chain over a set of error indicators.
+
+    The chain order is the placement order; bit 0 is the first indicator
+    scanned out.
+    """
+
+    indicators: List[ErrorIndicator] = field(default_factory=list)
+    _register: List[int] = field(default_factory=list)
+
+    def attach(self, indicator: ErrorIndicator) -> None:
+        """Append an indicator to the chain."""
+        self.indicators.append(indicator)
+
+    def __len__(self) -> int:
+        return len(self.indicators)
+
+    def capture(self) -> None:
+        """Parallel-load every indicator latch into the shift register."""
+        self._register = [1 if ind.latched else 0 for ind in self.indicators]
+
+    def shift_out(self, scan_in: Sequence[int] = ()) -> List[int]:
+        """Shift the whole chain out, optionally shifting ``scan_in`` in.
+
+        Returns the captured bits in chain order.  ``scan_in`` (padded
+        with zeros) becomes the new register contents, which is how a
+        tester clears the chain between test sessions.
+        """
+        out = list(self._register)
+        pad = list(scan_in) + [0] * (len(self.indicators) - len(scan_in))
+        self._register = pad[: len(self.indicators)]
+        return out
+
+    def read(self) -> List[int]:
+        """Capture and shift out in one call (the common test-flow step)."""
+        self.capture()
+        return self.shift_out()
+
+    def flagged(self) -> List[str]:
+        """Names of indicators currently latched."""
+        return [ind.name for ind in self.indicators if ind.latched]
+
+    def reset_all(self) -> None:
+        """Reset every indicator and clear the register."""
+        for ind in self.indicators:
+            ind.reset()
+        self._register = [0] * len(self.indicators)

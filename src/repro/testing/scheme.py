@@ -1,0 +1,203 @@
+"""The full testing scheme of Fig. 6.
+
+Sensing circuits are attached to critical couples of clock wires in the
+distribution tree; each sensor's outputs feed a latching error indicator;
+indicators are read either through a scan path (off-line testing) or a
+two-rail checker (on-line / self-checking operation).
+
+Two evaluation modes are provided per monitored pair:
+
+* **behavioural** (default): the pair's skew, computed by the Elmore
+  timing of the (possibly faulted) tree, is compared against the sensor's
+  calibrated sensitivity ``tau_min`` - fast enough to sweep hundreds of
+  fault scenarios;
+* **electrical**: the transistor-level sensor is simulated with the
+  actual skewed clock pair - the ground truth used to validate the
+  behavioural mode and to produce waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analog.engine import TransientOptions
+from repro.clocktree.rc import WireModel, elmore_delays
+from repro.clocktree.skew import CriticalPair, select_critical_pairs
+from repro.clocktree.tree import ClockTree
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SkewSensor
+from repro.testing.checker import TwoRailChecker
+from repro.testing.indicator import ErrorIndicator
+from repro.testing.scanpath import ScanPath
+from repro.units import VTH_INTERPRET, ns
+
+
+@dataclass
+class SensorPlacement:
+    """One sensor wired to a monitored pair of clock sinks."""
+
+    pair: CriticalPair
+    sensor: SkewSensor
+    tau_min: float
+    indicator: ErrorIndicator = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.indicator is None:
+            self.indicator = ErrorIndicator(
+                name=f"{self.pair.sink_a}/{self.pair.sink_b}"
+            )
+
+
+@dataclass
+class PairObservation:
+    """Result of evaluating one monitored pair under one tree state."""
+
+    placement: SensorPlacement
+    skew: float
+    code: Tuple[int, int]
+
+    @property
+    def flagged(self) -> bool:
+        """True when the sensor emitted an error indication."""
+        return self.code not in ((0, 0), (1, 1))
+
+
+class ClockTestingScheme:
+    """Sensors + indicators + readout over one clock tree.
+
+    Parameters
+    ----------
+    tree:
+        The monitored clock distribution.
+    placements:
+        Monitored pairs with their sensors; build with
+        :meth:`plan` for automatic critical-pair selection.
+    model, source_resistance:
+        Timing model (must match the one used at design time).
+    """
+
+    def __init__(
+        self,
+        tree: ClockTree,
+        placements: Sequence[SensorPlacement],
+        model: Optional[WireModel] = None,
+        source_resistance: float = 100.0,
+    ) -> None:
+        self.tree = tree
+        self.placements = list(placements)
+        self.model = model or WireModel()
+        self.source_resistance = source_resistance
+        self.scan_path = ScanPath()
+        for placement in self.placements:
+            self.scan_path.attach(placement.indicator)
+        self.checker = TwoRailChecker(n_inputs=max(1, len(self.placements)))
+        self._nominal = elmore_delays(tree, self.model, source_resistance)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def plan(
+        cls,
+        tree: ClockTree,
+        tau_min: float,
+        max_distance: float,
+        top_k: int = 8,
+        sensor_factory=SkewSensor,
+        model: Optional[WireModel] = None,
+        source_resistance: float = 100.0,
+    ) -> "ClockTestingScheme":
+        """Select critical pairs and place one sensor on each.
+
+        ``tau_min`` is the calibrated sensitivity of the sensor (obtain it
+        from :func:`repro.core.sensitivity.extract_tau_min` for the load
+        the sensor sees).
+        """
+        pairs = select_critical_pairs(
+            tree, max_distance=max_distance, top_k=top_k,
+            model=model, source_resistance=source_resistance,
+        )
+        placements = [
+            SensorPlacement(pair=p, sensor=sensor_factory(), tau_min=tau_min)
+            for p in pairs
+        ]
+        return cls(tree, placements, model=model, source_resistance=source_resistance)
+
+    # ------------------------------------------------------------------ #
+    def observe(
+        self,
+        tree_state: Optional[ClockTree] = None,
+        electrical: bool = False,
+        slew: float = ns(0.2),
+        threshold: float = VTH_INTERPRET,
+        options: Optional[TransientOptions] = None,
+    ) -> List[PairObservation]:
+        """Evaluate every monitored pair under ``tree_state`` and update
+        the indicators.
+
+        ``tree_state`` defaults to the design (fault-free) tree; pass the
+        output of a tree-fault ``apply`` to model a defect.
+        """
+        state = tree_state or self.tree
+        delays = elmore_delays(state, self.model, self.source_resistance)
+        observations: List[PairObservation] = []
+        for placement in self.placements:
+            pair = placement.pair
+            skew = delays[pair.sink_b] - delays[pair.sink_a]
+            if electrical:
+                response = simulate_sensor(
+                    placement.sensor, skew=skew, slew1=slew, slew2=slew,
+                    threshold=threshold, options=options,
+                )
+                code = response.code
+            else:
+                code = self._behavioural_code(skew, placement.tau_min)
+            placement.indicator.observe_code(code)
+            observations.append(
+                PairObservation(placement=placement, skew=skew, code=code)
+            )
+        return observations
+
+    @staticmethod
+    def _behavioural_code(skew: float, tau_min: float) -> Tuple[int, int]:
+        """Calibrated-threshold model of the sensor response."""
+        if skew > tau_min:
+            return (0, 1)
+        if skew < -tau_min:
+            return (1, 0)
+        return (0, 0)
+
+    # ------------------------------------------------------------------ #
+    def scan_out(self) -> List[int]:
+        """Off-line readout: capture and shift the scan chain."""
+        return self.scan_path.read()
+
+    def online_alarm(self) -> bool:
+        """On-line readout: compress indicator states through the two-rail
+        checker; True when an error is signalled."""
+        if not self.placements:
+            return False
+        pairs = [
+            TwoRailChecker.encode_sensor_code(
+                placement.indicator.history[-1]
+                if placement.indicator.history
+                else (1, 1)
+            )
+            for placement in self.placements
+        ]
+        return self.checker.alarm(pairs)
+
+    def flagged_pairs(self) -> List[str]:
+        """Names of monitored pairs whose indicators latched."""
+        return self.scan_path.flagged()
+
+    def reset(self) -> None:
+        """Clear all indicators (between test sessions)."""
+        self.scan_path.reset_all()
+
+    def nominal_skews(self) -> Dict[str, float]:
+        """Design skew per monitored pair name."""
+        return {
+            p.indicator.name: self._nominal[p.pair.sink_b]
+            - self._nominal[p.pair.sink_a]
+            for p in self.placements
+        }

@@ -1,0 +1,81 @@
+"""Unit helpers and physical constants.
+
+All internal quantities in this library are plain SI floats (volts, seconds,
+farads, amperes, metres, ohms).  These helpers exist so that call sites read
+like the paper: ``fF(80)``, ``ns(0.4)``, ``um(1.2)``.
+"""
+
+from __future__ import annotations
+
+#: Supply voltage used throughout the paper's evaluation (5 V CMOS, 1.2 um).
+VDD = 5.0
+
+#: Logic interpretation threshold used by the paper: a gate with logic
+#: threshold VDD/2, derated by a 10 % worst-case parameter variation,
+#: giving 2.75 V (Sec. 2).
+VTH_INTERPRET = 0.5 * VDD * 1.1
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * 1e-12
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def fF(value: float) -> float:  # noqa: N802 - deliberate SI capitalisation
+    """Femtofarads to farads."""
+    return value * 1e-15
+
+
+def pF(value: float) -> float:  # noqa: N802
+    """Picofarads to farads."""
+    return value * 1e-12
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimetres to metres."""
+    return value * 1e-3
+
+
+def ohm(value: float) -> float:
+    """Ohms (identity; for symmetry at call sites)."""
+    return float(value)
+
+
+def kohm(value: float) -> float:
+    """Kiloohms to ohms."""
+    return value * 1e3
+
+
+def mA(value: float) -> float:  # noqa: N802
+    """Milliamperes to amperes."""
+    return value * 1e-3
+
+
+def uA(value: float) -> float:  # noqa: N802
+    """Microamperes to amperes."""
+    return value * 1e-6
+
+
+def to_ns(seconds: float) -> float:
+    """Seconds to nanoseconds (for reporting)."""
+    return seconds * 1e9
+
+
+def to_fF(farads: float) -> float:  # noqa: N802
+    """Farads to femtofarads (for reporting)."""
+    return farads * 1e15

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Electrical simulations dominate test runtime, so the expensive reference
+runs (no-skew response, skewed response, testability subsets) are
+session-scoped and shared across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analog.engine import TransientOptions
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SkewSensor
+from repro.devices.process import nominal_process
+from repro.units import fF, ns
+
+
+@pytest.fixture(scope="session")
+def process():
+    """Nominal 1.2 um process corner."""
+    return nominal_process()
+
+
+@pytest.fixture(scope="session")
+def fast_options():
+    """Transient options tuned for test speed (still accurate to ~10 mV)."""
+    return TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+@pytest.fixture(scope="session")
+def sensor():
+    """Default sensor with the paper's middle load (160 fF)."""
+    return SkewSensor(load1=fF(160), load2=fF(160))
+
+
+@pytest.fixture(scope="session")
+def no_skew_response(sensor, fast_options):
+    """Reference no-skew simulation (Fig. 2 situation)."""
+    return simulate_sensor(sensor, skew=0.0, options=fast_options)
+
+
+@pytest.fixture(scope="session")
+def skewed_response(sensor, fast_options):
+    """Reference 1 ns skew simulation (Fig. 3 situation)."""
+    return simulate_sensor(sensor, skew=ns(1.0), options=fast_options)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for reproducible randomised tests."""
+    return np.random.default_rng(12345)

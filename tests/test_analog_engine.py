@@ -1,0 +1,321 @@
+"""Analog engine: compilation, DC operating point, transient accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.analog.compile import CompiledCircuit
+from repro.analog.dcop import dc_operating_point
+from repro.analog.engine import TransientOptions, transient
+from repro.circuit.netlist import Netlist
+from repro.devices.mosfet import MosfetType
+from repro.devices.process import nominal_process
+from repro.devices.sources import PWLSource
+from repro.units import ns
+
+
+def _divider(r1=1000.0, r2=3000.0):
+    net = Netlist(name="divider")
+    net.drive_dc("vdd", 4.0)
+    net.add_resistor("r1", "vdd", "mid", r1)
+    net.add_resistor("r2", "mid", "0", r2)
+    return net
+
+
+def _inverter(load=100e-15):
+    p = nominal_process()
+    net = Netlist(name="inv")
+    net.drive_dc("vdd", 5.0)
+    net.add_mosfet("mp", "out", "in", "vdd", MosfetType.PMOS, 4e-6, 1.2e-6, p.pmos)
+    net.add_mosfet("mn", "out", "in", "0", MosfetType.NMOS, 2e-6, 1.2e-6, p.nmos)
+    net.add_capacitor("cl", "out", "0", load)
+    return net
+
+
+# --------------------------------------------------------------------- #
+# Compilation
+# --------------------------------------------------------------------- #
+
+def test_compile_orders_free_nodes_first():
+    c = CompiledCircuit.compile(_divider())
+    assert c.n_free == 1
+    assert c.node_index["mid"] == 0
+    assert c.n_total == 3
+
+
+def test_conductance_stamp_symmetry():
+    c = CompiledCircuit.compile(_divider())
+    assert np.allclose(c.G, c.G.T)
+    # Row sums vanish apart from the tiny conditioning gmin terms.
+    assert np.all(np.abs(c.G.sum(axis=1)) < 1e-6)
+
+
+def test_capacitance_stamp():
+    c = CompiledCircuit.compile(_inverter(load=100e-15))
+    out = c.node_index["out"]
+    gnd = c.node_index["0"]
+    assert c.C[out, out] >= 100e-15
+    assert c.C[out, gnd] <= -100e-15
+
+
+def test_device_currents_satisfy_kcl():
+    """Total static current summed over all nodes is zero (charge
+    conservation of the stamping)."""
+    c = CompiledCircuit.compile(_inverter())
+    v = c.source_voltages(0.0)
+    v[c.node_index["in"]] = 2.5
+    v[c.node_index["out"]] = 1.7
+    f, _ = c.device_currents(v)
+    assert abs(f.sum()) < 1e-12
+
+
+def test_jacobian_matches_finite_difference():
+    c = CompiledCircuit.compile(_inverter())
+    v = c.source_voltages(0.0)
+    v[c.node_index["in"]] = 2.2
+    v[c.node_index["out"]] = 3.1
+    f0, j = c.device_currents(v)
+    h = 1e-7
+    for k in range(c.n_total):
+        vp = v.copy()
+        vp[k] += h
+        fp, _ = c.device_currents(vp, with_jacobian=False)
+        assert np.allclose((fp - f0) / h, j[:, k], rtol=1e-3, atol=1e-9)
+
+
+def test_stuck_open_removes_device():
+    net = _inverter()
+    net.find_mosfet("mn").stuck_open = True
+    c = CompiledCircuit.compile(net)
+    assert c.m_d.size == 1  # only the PMOS left
+
+
+def test_stuck_on_remaps_gate():
+    net = _inverter()
+    net.find_mosfet("mn").stuck_on = True
+    c = CompiledCircuit.compile(net)
+    # NMOS gate must point at the vdd node now.
+    nmos_gate = c.m_g[c.m_sign > 0]
+    assert nmos_gate[0] == c.node_index["vdd"]
+
+
+# --------------------------------------------------------------------- #
+# DC operating point
+# --------------------------------------------------------------------- #
+
+def test_dcop_resistive_divider():
+    c = CompiledCircuit.compile(_divider())
+    v = dc_operating_point(c)
+    assert v[c.node_index["mid"]] == pytest.approx(3.0, abs=1e-3)
+
+
+def test_dcop_inverter_rails():
+    net = _inverter()
+    net.drive_dc("in", 0.0)
+    c = CompiledCircuit.compile(net)
+    v = dc_operating_point(c)
+    assert v[c.node_index["out"]] == pytest.approx(5.0, abs=0.01)
+
+    net2 = _inverter()
+    net2.drive_dc("in", 5.0)
+    c2 = CompiledCircuit.compile(net2)
+    v2 = dc_operating_point(c2)
+    assert v2[c2.node_index["out"]] == pytest.approx(0.0, abs=0.01)
+
+
+def test_dcop_inverter_midpoint_between_rails():
+    net = _inverter()
+    net.drive_dc("in", 2.5)
+    c = CompiledCircuit.compile(net)
+    v = dc_operating_point(c)
+    assert 0.5 < v[c.node_index["out"]] < 4.5
+
+
+def test_dcop_honours_initial_guess_for_bistable():
+    """Cross-coupled inverter pair settles to the state nearest the
+    provided initial condition."""
+    p = nominal_process()
+    net = Netlist(name="latch")
+    net.drive_dc("vdd", 5.0)
+    for a, b in (("x", "y"), ("y", "x")):
+        net.add_mosfet(f"mp{a}", a, b, "vdd", MosfetType.PMOS, 4e-6, 1.2e-6, p.pmos)
+        net.add_mosfet(f"mn{a}", a, b, "0", MosfetType.NMOS, 2e-6, 1.2e-6, p.nmos)
+    net.add_capacitor("cx", "x", "0", 10e-15)
+    net.add_capacitor("cy", "y", "0", 10e-15)
+    c = CompiledCircuit.compile(net)
+    v = dc_operating_point(c, initial={"x": 5.0, "y": 0.0})
+    assert v[c.node_index["x"]] > 4.0
+    assert v[c.node_index["y"]] < 1.0
+
+
+# --------------------------------------------------------------------- #
+# Transient
+# --------------------------------------------------------------------- #
+
+def test_rc_step_response_matches_analytic():
+    """R into C driven by a fast step: v(t) = V (1 - exp(-t/RC))."""
+    net = Netlist(name="rc")
+    r, cap = 10e3, 100e-15  # tau = 1 ns
+    net.drive("in", PWLSource([0.0, 1e-12], [0.0, 1.0]))
+    net.add_resistor("r", "in", "out", r)
+    net.add_capacitor("c", "out", "0", cap)
+    result = transient(net, t_stop=ns(5), record=["out"])
+    wave = result.wave("out")
+    tau = r * cap
+    for t in (0.5e-9, 1e-9, 2e-9, 4e-9):
+        expected = 1.0 - np.exp(-t / tau)
+        assert wave.at(t) == pytest.approx(expected, abs=0.01)
+
+
+def test_inverter_transient_switches():
+    net = _inverter()
+    net.drive("in", PWLSource([0.0, 2e-9, 2.1e-9], [0.0, 0.0, 5.0]))
+    result = transient(net, t_stop=ns(6), record=["out", "in"])
+    out = result.wave("out")
+    assert out.at(ns(1.5)) == pytest.approx(5.0, abs=0.05)
+    assert out.at(ns(5.5)) == pytest.approx(0.0, abs=0.05)
+    # Falling crossing of mid-rail happens shortly after the input edge.
+    t_cross = out.first_crossing(2.5, rising=False)
+    assert ns(2.0) < t_cross < ns(3.0)
+
+
+def test_transient_lands_on_breakpoints():
+    net = _inverter()
+    net.drive("in", PWLSource([0.0, 2e-9, 2.1e-9], [0.0, 0.0, 5.0]))
+    result = transient(net, t_stop=ns(4), record=["in"])
+    assert any(np.isclose(result.times, 2e-9, atol=1e-15))
+    assert any(np.isclose(result.times, 2.1e-9, atol=1e-15))
+
+
+def test_transient_records_requested_nodes_only():
+    net = _inverter()
+    net.drive_dc("in", 0.0)
+    result = transient(net, t_stop=ns(1), record=["out"])
+    assert set(result.voltages) == {"out"}
+    with pytest.raises(KeyError):
+        result.wave("in")
+
+
+def test_transient_rejects_unknown_record_node():
+    net = _inverter()
+    net.drive_dc("in", 0.0)
+    with pytest.raises(KeyError):
+        transient(net, t_stop=ns(1), record=["nope"])
+
+
+def test_source_current_of_quiescent_inverter_is_tiny():
+    net = _inverter()
+    net.drive_dc("in", 0.0)
+    result = transient(
+        net, t_stop=ns(2), record=["out"], record_currents=["vdd"]
+    )
+    i = result.source_current("vdd")
+    assert abs(i.final_value()) < 1e-6
+
+
+def test_source_current_sees_switching_charge():
+    net = _inverter()
+    net.drive("in", PWLSource([0.0, 1e-9, 1.1e-9, 3e-9, 3.1e-9], [5, 5, 0, 0, 5]))
+    result = transient(
+        net, t_stop=ns(5), record=["out"], record_currents=["vdd"]
+    )
+    i = result.source_current("vdd")
+    # Rising output (after input falls at 1 ns) pulls charge from vdd.
+    assert i.window_max(ns(1.0), ns(2.0)) > 1e-5
+
+
+def test_custom_options_respected():
+    net = _divider()
+    options = TransientOptions(dt_max=50e-12)
+    result = transient(net, t_stop=ns(1), options=options)
+    assert np.max(np.diff(result.times)) <= 50e-12 + 1e-18
+
+
+def test_delivered_charge_of_switching_inverter():
+    """Charging the 100 fF load through the PMOS draws ~ C * VDD from the
+    supply (plus parasitics)."""
+    net = _inverter(load=100e-15)
+    net.drive("in", PWLSource([0.0, 1e-9, 1.1e-9], [5.0, 5.0, 0.0]))
+    result = transient(
+        net, t_stop=ns(4), record=["out"], record_currents=["vdd"]
+    )
+    charge = result.delivered_charge("vdd", 0.9e-9, 4e-9)
+    expected = 100e-15 * 5.0
+    assert charge == pytest.approx(expected, rel=0.15)
+
+
+def test_delivered_energy_scales_with_vdd():
+    net = _inverter(load=100e-15)
+    net.drive("in", PWLSource([0.0, 1e-9, 1.1e-9], [5.0, 5.0, 0.0]))
+    result = transient(
+        net, t_stop=ns(4), record=["out"], record_currents=["vdd"]
+    )
+    charge = result.delivered_charge("vdd", 0.9e-9, 4e-9)
+    energy = result.delivered_energy("vdd", 5.0, 0.9e-9, 4e-9)
+    assert energy == pytest.approx(5.0 * charge)
+    # CV^2 scale: 100 fF * 25 V^2 = 2.5 pJ.
+    assert energy == pytest.approx(2.5e-12, rel=0.2)
+
+
+def test_sensor_per_cycle_energy_is_small():
+    """DFT cost: one sensor cycle costs a few pJ - negligible next to the
+    clock tree it monitors."""
+    from repro.core.response import simulate_sensor
+    from repro.core.sensing import SkewSensor
+    from repro.units import fF
+
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    response = simulate_sensor(
+        sensor, skew=0.0, record_currents=True,
+        options=TransientOptions(dt_max=200e-12, reltol=5e-3),
+    )
+    energy = response.result.delivered_energy("vdd", 5.0)
+    assert 0.1e-12 < energy < 50e-12
+
+
+def test_transient_options_validation():
+    with pytest.raises(ValueError):
+        TransientOptions(dt_max=1e-12, dt_start=1e-11)
+    with pytest.raises(ValueError):
+        TransientOptions(dt_min=0.0)
+    with pytest.raises(ValueError):
+        TransientOptions(reltol=-1.0)
+    with pytest.raises(ValueError):
+        TransientOptions(max_newton=1)
+    with pytest.raises(ValueError):
+        TransientOptions(lte_reject=0.5)
+
+
+def test_step_underflow_raises_convergence_error():
+    """A hopeless tolerance setup surfaces as ConvergenceError rather than
+    hanging or silently returning garbage."""
+    from repro.analog.dcop import ConvergenceError
+
+    net = _inverter()
+    net.drive("in", PWLSource([0.0, 1e-9, 1.1e-9], [0.0, 0.0, 5.0]))
+    options = TransientOptions(
+        dt_min=1e-12, dt_start=1e-12, dt_max=2e-12,
+        max_newton=2, vntol=1e-15, lte_reject=1.0001,
+    )
+    with pytest.raises(ConvergenceError):
+        transient(net, t_stop=ns(4), record=["out"], options=options)
+
+
+def test_record_currents_requires_driven_node():
+    net = _inverter()
+    net.drive_dc("in", 0.0)
+    with pytest.raises(KeyError):
+        transient(net, t_stop=ns(1), record_currents=["out"])
+
+
+def test_compiled_circuit_reuse():
+    """Passing a pre-compiled circuit skips recompilation and matches."""
+    from repro.analog.compile import CompiledCircuit
+
+    net = _inverter()
+    net.drive("in", PWLSource([0.0, 1e-9, 1.1e-9], [0.0, 0.0, 5.0]))
+    compiled = CompiledCircuit.compile(net)
+    a = transient(net, t_stop=ns(3), record=["out"])
+    b = transient(net, t_stop=ns(3), record=["out"], compiled=compiled)
+    assert a.wave("out").at(ns(2.5)) == pytest.approx(
+        b.wave("out").at(ns(2.5)), abs=1e-6
+    )

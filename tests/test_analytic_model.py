@@ -1,0 +1,62 @@
+"""First-order analytic sensitivity model vs the simulator."""
+
+import pytest
+
+from repro.analog.engine import TransientOptions
+from repro.core.model import (
+    effective_output_capacitance,
+    estimate_fall_current,
+    estimate_tau_min,
+)
+from repro.core.sensing import SensorSizing
+from repro.core.sensitivity import extract_tau_min
+from repro.units import fF, ns, um
+
+FAST = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+def test_effective_capacitance_exceeds_external_load():
+    assert effective_output_capacitance(fF(160)) > fF(160)
+
+
+def test_effective_capacitance_grows_with_width():
+    small = effective_output_capacitance(fF(160), SensorSizing(w_n=um(1.2)))
+    large = effective_output_capacitance(fF(160), SensorSizing(w_n=um(4.8)))
+    assert large > small
+
+
+def test_fall_current_scales_with_width():
+    narrow = estimate_fall_current(SensorSizing(w_n=um(1.2)))
+    wide = estimate_fall_current(SensorSizing(w_n=um(4.8)))
+    assert wide == pytest.approx(4 * narrow)
+
+
+def test_estimate_rejects_threshold_below_vtn():
+    with pytest.raises(ValueError):
+        estimate_tau_min(fF(160), threshold=0.5)
+
+
+@pytest.mark.parametrize("load_ff", [80, 160, 240])
+def test_model_matches_simulation_across_loads(load_ff):
+    """The closed form predicts the simulated tau_min within ~15 %."""
+    est = estimate_tau_min(fF(load_ff))
+    meas = extract_tau_min(fF(load_ff), tolerance=ns(0.004), options=FAST)
+    assert est == pytest.approx(meas, rel=0.15)
+
+
+@pytest.mark.parametrize("w_um", [1.2, 3.0, 8.0])
+def test_model_matches_simulation_across_sizings(w_um):
+    sizing = SensorSizing(w_n=um(w_um), w_p=um(2 * w_um))
+    est = estimate_tau_min(fF(160), sizing=sizing)
+    meas = extract_tau_min(
+        fF(160), sizing=sizing, tolerance=ns(0.004), options=FAST
+    )
+    assert est == pytest.approx(meas, rel=0.15)
+
+
+def test_model_threshold_trend_matches_ablation_direction():
+    """Lower Vth -> smaller tau_min (finer sensitivity): the model's Vth
+    direction agrees with the measured threshold ablation."""
+    low = estimate_tau_min(fF(160), threshold=2.2)
+    high = estimate_tau_min(fF(160), threshold=3.3)
+    assert low < high

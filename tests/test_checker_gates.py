@@ -1,0 +1,69 @@
+"""Gate-level two-rail checker vs the behavioural reference."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logicsim.checker_gates import CheckerCircuit
+from repro.testing.checker import TwoRailChecker
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        CheckerCircuit(n=0)
+
+
+def test_input_count_enforced():
+    checker = CheckerCircuit(n=2)
+    with pytest.raises(ValueError):
+        checker.evaluate([(0, 1)])
+
+
+def test_single_pair_passthrough():
+    checker = CheckerCircuit(n=1)
+    assert checker.evaluate([(0, 1)]) == (0, 1)
+    assert checker.evaluate([(1, 1)]) == (1, 1)
+    assert checker.alarm([(1, 1)])
+    assert not checker.alarm([(1, 0)])
+
+
+def test_two_pairs_exhaustive_against_behavioural():
+    gate_level = CheckerCircuit(n=2)
+    behavioural = TwoRailChecker(n_inputs=2)
+    for bits in product((0, 1), repeat=4):
+        pairs = [(bits[0], bits[1]), (bits[2], bits[3])]
+        assert gate_level.evaluate(pairs) == behavioural.evaluate(pairs), pairs
+
+
+def test_odd_width_tree():
+    gate_level = CheckerCircuit(n=3)
+    behavioural = TwoRailChecker(n_inputs=3)
+    pairs = [(0, 1), (1, 0), (1, 1)]
+    assert gate_level.evaluate(pairs) == behavioural.evaluate(pairs)
+    assert gate_level.alarm(pairs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1)),
+        min_size=1, max_size=6,
+    )
+)
+def test_gate_level_matches_behavioural_property(pairs):
+    """The synthesised tree computes exactly the behavioural function for
+    every input combination and width."""
+    gate_level = CheckerCircuit(n=len(pairs))
+    behavioural = TwoRailChecker(n_inputs=len(pairs))
+    assert gate_level.evaluate(pairs) == behavioural.evaluate(pairs)
+
+
+def test_alarm_iff_any_error_code():
+    gate_level = CheckerCircuit(n=4)
+    complementary = [(0, 1), (1, 0)]
+    for combo in product(complementary, repeat=4):
+        assert not gate_level.alarm(list(combo))
+    bad = [(0, 1), (1, 0), (0, 0), (1, 0)]
+    assert gate_level.alarm(bad)

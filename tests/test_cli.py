@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_waves_command(capsys):
+    assert main(["waves", "--skew", "0.6", "--load", "160"]) == 0
+    out = capsys.readouterr().out
+    assert "code = (0, 1)" in out
+    assert "y1:" in out
+
+
+def test_waves_no_skew(capsys):
+    assert main(["waves", "--skew", "0.0"]) == 0
+    assert "code = (0, 0)" in capsys.readouterr().out
+
+
+def test_sensitivity_command(capsys):
+    assert main([
+        "sensitivity", "--loads", "160", "--points", "4", "--tau-max", "0.4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tau_min" in out
+    assert "160 fF" in out
+
+
+def test_scheme_command_healthy(capsys):
+    assert main(["scheme", "--levels", "2", "--sensors", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "checker   : ok" in out
+
+
+def test_scheme_command_with_fault(capsys):
+    # Find a monitored sink first.
+    assert main(["scheme", "--levels", "2", "--sensors", "1"]) == 0
+    out = capsys.readouterr().out
+    pair_line = [l for l in out.splitlines() if "skew" in l][0]
+    victim = pair_line.split()[0].split("/")[0]
+
+    assert main([
+        "scheme", "--levels", "2", "--sensors", "1",
+        "--open-node", victim, "--open-ohms", "9000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ALARM" in out
+    assert "1" in out.split("scan path :")[1]
+
+
+def test_export_command_stdout(capsys):
+    assert main(["export"]) == 0
+    out = capsys.readouterr().out
+    assert ".MODEL" in out
+    assert out.rstrip().endswith(".END")
+
+
+def test_export_command_file(tmp_path, capsys):
+    target = tmp_path / "sensor.sp"
+    assert main(["export", "-o", str(target)]) == 0
+    text = target.read_text()
+    assert "Ma nA phi2 vdd" in text
+    # The exported deck re-imports cleanly.
+    from repro.circuit.spice import from_spice
+
+    netlist = from_spice(text)
+    assert len(netlist.mosfets) == 10

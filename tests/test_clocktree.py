@@ -1,0 +1,193 @@
+"""Clock tree datastructure, H-tree, Elmore timing."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import (
+    WireModel,
+    elmore_delays,
+    sink_delays,
+    stage_load,
+    subtree_capacitance,
+)
+from repro.clocktree.tree import Buffer, ClockTree, TreeNode, Wire, manhattan
+
+
+def test_manhattan_distance():
+    assert manhattan((0.0, 0.0), (3.0, 4.0)) == 7.0
+
+
+def test_tree_walk_and_sinks():
+    root = TreeNode(name="r", position=(0, 0))
+    a = root.add_child(TreeNode(name="a", position=(1, 0), wire=Wire(1.0)))
+    b = root.add_child(TreeNode(name="b", position=(0, 1), wire=Wire(1.0)))
+    a.add_child(TreeNode(name="a1", position=(2, 0), wire=Wire(1.0)))
+    tree = ClockTree(root=root)
+    names = [n.name for n in tree.walk()]
+    assert names[0] == "r"
+    assert {s.name for s in tree.sinks()} == {"a1", "b"}
+    assert tree.depth() == 3
+    assert tree.total_wire_length() == 3.0
+
+
+def test_add_child_requires_wire():
+    root = TreeNode(name="r", position=(0, 0))
+    with pytest.raises(ValueError):
+        root.add_child(TreeNode(name="x", position=(1, 0)))
+
+
+def test_node_lookup():
+    tree = build_h_tree(levels=1)
+    assert tree.node("root") is tree.root
+    with pytest.raises(KeyError):
+        tree.node("nonexistent")
+
+
+def test_path_to_root_chain():
+    tree = build_h_tree(levels=2)
+    sink = tree.sinks()[0]
+    path = tree.path_to(sink)
+    assert path[0] is tree.root
+    assert path[-1] is sink
+
+
+# --------------------------------------------------------------------- #
+# H-tree
+# --------------------------------------------------------------------- #
+
+def test_h_tree_sink_count():
+    for levels in (1, 2, 3):
+        tree = build_h_tree(levels=levels)
+        assert len(tree.sinks()) == 4**levels
+
+
+def test_h_tree_zero_skew_by_symmetry():
+    tree = build_h_tree(levels=3, buffer=Buffer())
+    delays = sink_delays(tree)
+    values = np.array(list(delays.values()))
+    assert values.max() - values.min() < 1e-15
+
+
+def test_h_tree_path_lengths_equal():
+    tree = build_h_tree(levels=2)
+    lengths = []
+    for sink in tree.sinks():
+        lengths.append(
+            sum(n.wire.length for n in tree.path_to(sink) if n.wire is not None)
+        )
+    assert max(lengths) == pytest.approx(min(lengths))
+
+
+def test_h_tree_sinks_within_die():
+    chip = 10e-3
+    tree = build_h_tree(levels=3, chip_size=chip)
+    for sink in tree.sinks():
+        x, y = sink.position
+        assert 0.0 <= x <= chip
+        assert 0.0 <= y <= chip
+
+
+def test_h_tree_buffer_every():
+    sparse = build_h_tree(levels=2, buffer=Buffer(), buffer_every=2)
+    dense = build_h_tree(levels=2, buffer=Buffer(), buffer_every=1)
+    count = lambda t: sum(1 for n in t.walk() if n.buffer is not None)
+    assert count(dense) > count(sparse)
+
+
+def test_h_tree_validation():
+    with pytest.raises(ValueError):
+        build_h_tree(levels=0)
+    with pytest.raises(ValueError):
+        build_h_tree(levels=1, buffer_every=0)
+
+
+# --------------------------------------------------------------------- #
+# Elmore timing
+# --------------------------------------------------------------------- #
+
+def hand_tree():
+    """root --(wire L1)-- mid --(wire L2)-- leaf, with a sink cap."""
+    root = TreeNode(name="root", position=(0, 0))
+    mid = root.add_child(
+        TreeNode(name="mid", position=(1e-3, 0), wire=Wire(1e-3))
+    )
+    mid.add_child(
+        TreeNode(
+            name="leaf", position=(2e-3, 0), wire=Wire(1e-3),
+            sink_capacitance=100e-15,
+        )
+    )
+    return ClockTree(root=root)
+
+
+def test_elmore_matches_hand_calculation():
+    tree = hand_tree()
+    model = WireModel()
+    rs = 100.0
+    r = model.resistance_per_length * 1e-3
+    c = model.capacitance_per_length * 1e-3
+    cl = 100e-15
+
+    expected_root = rs * (2 * c + cl)
+    expected_mid = expected_root + r * (0.5 * c + c + cl)
+    expected_leaf = expected_mid + r * (0.5 * c + cl)
+
+    delays = elmore_delays(tree, model, source_resistance=rs)
+    assert delays["root"] == pytest.approx(expected_root, rel=1e-12)
+    assert delays["mid"] == pytest.approx(expected_mid, rel=1e-12)
+    assert delays["leaf"] == pytest.approx(expected_leaf, rel=1e-12)
+
+
+def test_elmore_monotone_down_the_tree():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    delays = elmore_delays(tree)
+    for node in tree.walk():
+        if node.parent is not None:
+            assert delays[node.name] >= delays[node.parent.name]
+
+
+def test_buffer_isolates_downstream_capacitance():
+    """Adding load behind a buffer must not change upstream delay."""
+    light = hand_tree()
+    light.node("mid").buffer = Buffer()
+    heavy = hand_tree()
+    heavy.node("mid").buffer = Buffer()
+    heavy.node("leaf").sink_capacitance = 1e-12  # 10x load
+
+    d_light = elmore_delays(light)
+    d_heavy = elmore_delays(heavy)
+    assert d_light["root"] == pytest.approx(d_heavy["root"])
+    assert d_heavy["leaf"] > d_light["leaf"]
+
+
+def test_subtree_capacitance_with_buffer():
+    tree = hand_tree()
+    model = WireModel()
+    mid = tree.node("mid")
+    unbuffered = subtree_capacitance(mid, model)
+    mid.buffer = Buffer(input_capacitance=30e-15)
+    buffered = subtree_capacitance(mid, model)
+    assert buffered == pytest.approx(30e-15)
+    assert unbuffered > buffered
+
+
+def test_stage_load_ignores_own_buffer():
+    tree = hand_tree()
+    model = WireModel()
+    mid = tree.node("mid")
+    before = stage_load(mid, model)
+    mid.buffer = Buffer()
+    after = stage_load(mid, model)
+    assert before == pytest.approx(after)
+
+
+def test_extra_parasitics_increase_delay():
+    base = hand_tree()
+    slow = hand_tree()
+    slow.node("leaf").wire.extra_resistance = 5000.0
+    assert elmore_delays(slow)["leaf"] > elmore_delays(base)["leaf"]
+
+    noisy = hand_tree()
+    noisy.node("leaf").wire.extra_capacitance = 500e-15
+    assert elmore_delays(noisy)["leaf"] > elmore_delays(base)["leaf"]

@@ -1,0 +1,106 @@
+"""Netlist grafting (subcircuit composition)."""
+
+import pytest
+
+from repro.circuit.compose import graft, prefixed_guess
+from repro.circuit.netlist import Netlist
+from repro.circuit.validate import validate
+from repro.core.sensing import SkewSensor
+from repro.devices.mosfet import MosfetType
+from repro.devices.process import nominal_process
+
+
+def host_netlist():
+    net = Netlist(name="host")
+    net.drive_dc("vdd", 5.0)
+    net.drive_dc("clk_a", 0.0)
+    net.drive_dc("clk_b", 0.0)
+    net.add_capacitor("chost", "clk_a", "0", 1e-15)
+    return net
+
+
+def test_graft_prefixes_devices_and_internal_nodes():
+    host = host_netlist()
+    mapping = graft(
+        host, SkewSensor(parasitics=False).build(), prefix="s1",
+        connections={"phi1": "clk_a", "phi2": "clk_b"},
+    )
+    assert host.find_mosfet("s1_a") is not None
+    assert mapping["y1"] == "s1_y1"
+    assert mapping["phi1"] == "clk_a"
+    assert mapping["vdd"] == "vdd"      # shared rail
+    assert "s1_y1" in host.nodes()
+
+
+def test_graft_leaves_source_untouched():
+    host = host_netlist()
+    source = SkewSensor(parasitics=False).build()
+    n_before = len(source.mosfets)
+    graft(host, source, prefix="s1",
+          connections={"phi1": "clk_a", "phi2": "clk_b"})
+    assert len(source.mosfets) == n_before
+    assert source.find_mosfet("a").drain == "nA"
+
+
+def test_two_grafts_coexist_and_validate():
+    host = host_netlist()
+    source = SkewSensor(parasitics=False).build()
+    graft(host, source, prefix="s1",
+          connections={"phi1": "clk_a", "phi2": "clk_b"})
+    graft(host, source, prefix="s2",
+          connections={"phi1": "clk_a", "phi2": "clk_b"})
+    validate(host)
+    assert host.find_mosfet("s1_l") is not None
+    assert host.find_mosfet("s2_l") is not None
+
+
+def test_duplicate_prefix_rejected():
+    host = host_netlist()
+    source = SkewSensor(parasitics=False).build()
+    graft(host, source, prefix="s1",
+          connections={"phi1": "clk_a", "phi2": "clk_b"})
+    with pytest.raises(ValueError):
+        graft(host, source, prefix="s1",
+              connections={"phi1": "clk_a", "phi2": "clk_b"})
+
+
+def test_unmapped_driven_node_rejected():
+    host = host_netlist()
+    source = Netlist(name="sub")
+    source.drive_dc("bias", 2.0)
+    p = nominal_process()
+    source.add_mosfet("m1", "out", "bias", "0", MosfetType.NMOS,
+                      1e-6, 1e-6, p.nmos)
+    with pytest.raises(ValueError):
+        graft(host, source, prefix="x")
+
+
+def test_rails_can_be_prefixed_when_not_shared():
+    host = host_netlist()
+    host.drive_dc("vdd_island", 3.3)
+    source = Netlist(name="sub")
+    p = nominal_process()
+    source.add_mosfet("m1", "out", "in", "vdd", MosfetType.PMOS,
+                      1e-6, 1e-6, p.pmos)
+    source.add_capacitor("c1", "out", "0", 1e-15)
+    mapping = graft(
+        host, source, prefix="isl", share_rails=False,
+        connections={"vdd": "vdd_island", "0": "0", "in": "clk_a"},
+    )
+    assert mapping["vdd"] == "vdd_island"
+    assert host.find_mosfet("isl_m1").source == "vdd_island"
+
+
+def test_fault_flags_survive_graft():
+    host = host_netlist()
+    source = SkewSensor(parasitics=False).build()
+    source.find_mosfet("d").stuck_open = True
+    graft(host, source, prefix="s1",
+          connections={"phi1": "clk_a", "phi2": "clk_b"})
+    assert host.find_mosfet("s1_d").stuck_open
+
+
+def test_prefixed_guess_translation():
+    mapping = {"y1": "s1_y1", "y2": "s1_y2", "phi1": "clk_a"}
+    guess = prefixed_guess({"y1": 5.0, "y2": 0.0, "other": 1.0}, mapping)
+    assert guess == {"s1_y1": 5.0, "s1_y2": 0.0}

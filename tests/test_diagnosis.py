@@ -1,0 +1,93 @@
+"""Fault localisation from latched indicator directions."""
+
+import pytest
+
+from repro.clocktree.faults import BufferSlowdown, ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.tree import Buffer
+from repro.testing.diagnosis import diagnose, diagnosis_report
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns
+
+
+@pytest.fixture()
+def scheme():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    return ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=10e-3, top_k=8
+    )
+
+
+def test_clean_diagnosis_without_faults(scheme):
+    scheme.observe()
+    diagnosis = diagnose(scheme)
+    assert diagnosis.clean
+    assert "within tolerance" in diagnosis_report(diagnosis)
+
+
+def test_single_open_localised_to_victim(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    fault = ResistiveOpen(node=victim, extra_resistance=10_000.0)
+    scheme.observe(fault.apply(scheme.tree))
+    diagnosis = diagnose(scheme)
+    assert victim in diagnosis.late_candidates
+    assert victim not in diagnosis.early_candidates
+    # The victim's own path is implicated, ending at the victim.
+    assert diagnosis.implicated_nodes[-1] == victim or \
+        victim in diagnosis.implicated_nodes
+
+
+def test_victim_ranked_first_when_in_multiple_pairs(scheme):
+    """A sink monitored by several pairs accumulates late votes and ranks
+    above incidentally flagged partners."""
+    # Find a sink that appears in at least two monitored pairs.
+    counts = {}
+    for p in scheme.placements:
+        counts[p.pair.sink_a] = counts.get(p.pair.sink_a, 0) + 1
+        counts[p.pair.sink_b] = counts.get(p.pair.sink_b, 0) + 1
+    victim = max(counts, key=counts.get)
+    if counts[victim] < 2:
+        pytest.skip("placement has no shared sinks")
+    fault = ResistiveOpen(node=victim, extra_resistance=10_000.0)
+    scheme.observe(fault.apply(scheme.tree))
+    diagnosis = diagnose(scheme)
+    assert diagnosis.late_candidates[0] == victim
+
+
+def test_buffer_fault_implicates_shared_branch(scheme):
+    branch = next(
+        n.name for n in scheme.tree.walk()
+        if n.buffer is not None and n.parent is not None
+    )
+    fault = BufferSlowdown(node=branch, factor=1.5)
+    scheme.observe(fault.apply(scheme.tree))
+    diagnosis = diagnose(scheme)
+    assert not diagnosis.clean
+    # Every late candidate lies under the slowed branch.
+    under = {
+        s.name for s in scheme.tree.sinks()
+        if any(p.name == branch for p in scheme.tree.path_to(s))
+    }
+    assert set(diagnosis.late_candidates) <= under
+    assert branch in diagnosis.implicated_nodes
+
+
+def test_direction_separates_late_from_early(scheme):
+    victim = scheme.placements[0].pair.sink_b
+    fault = ResistiveOpen(node=victim, extra_resistance=10_000.0)
+    scheme.observe(fault.apply(scheme.tree))
+    diagnosis = diagnose(scheme)
+    partner = scheme.placements[0].pair.sink_a
+    assert victim in diagnosis.late_candidates
+    assert partner in diagnosis.early_candidates or \
+        partner not in diagnosis.late_candidates
+
+
+def test_report_mentions_candidates(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    scheme.observe(
+        ResistiveOpen(node=victim, extra_resistance=10_000.0).apply(scheme.tree)
+    )
+    text = diagnosis_report(diagnose(scheme))
+    assert victim in text
+    assert "late" in text

@@ -1,0 +1,131 @@
+"""Zero-skew DME routing baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocktree.dme import build_zero_skew_tree
+from repro.clocktree.rc import WireModel, sink_delays
+from repro.clocktree.tree import Buffer, manhattan
+
+
+def random_sinks(rng, n, span=8e-3, cap=50e-15):
+    return [
+        (f"s{k}", (float(rng.uniform(0, span)), float(rng.uniform(0, span))), cap)
+        for k in range(n)
+    ]
+
+
+def skew_spread(tree):
+    delays = np.array(list(sink_delays(tree).values()))
+    return float(delays.max() - delays.min()), float(delays.mean())
+
+
+def test_single_sink_tree():
+    tree = build_zero_skew_tree([("s0", (1e-3, 1e-3), 50e-15)])
+    assert [s.name for s in tree.sinks()] == ["s0"]
+
+
+def test_rejects_empty_sink_list():
+    with pytest.raises(ValueError):
+        build_zero_skew_tree([])
+
+
+def test_two_equal_sinks_tap_at_midpoint():
+    sinks = [("a", (0.0, 0.0), 50e-15), ("b", (2e-3, 0.0), 50e-15)]
+    tree = build_zero_skew_tree(sinks)
+    spread, _ = skew_spread(tree)
+    assert spread < 1e-18
+    assert tree.root.position == pytest.approx((1e-3, 0.0))
+
+
+def test_unequal_loads_shift_tap_toward_heavy_sink():
+    """The heavier sink needs less wire resistance in front of it."""
+    sinks = [("heavy", (0.0, 0.0), 500e-15), ("light", (2e-3, 0.0), 20e-15)]
+    tree = build_zero_skew_tree(sinks)
+    spread, _ = skew_spread(tree)
+    assert spread < 1e-16
+    assert tree.root.position[0] < 1e-3  # closer to the heavy sink
+
+
+def test_zero_skew_on_power_of_two_sinks():
+    rng = np.random.default_rng(3)
+    tree = build_zero_skew_tree(random_sinks(rng, 16))
+    spread, mean = skew_spread(tree)
+    assert spread < 1e-6 * mean
+
+
+def test_zero_skew_on_odd_sink_count():
+    """Odd counts exercise the carried-subtree path and later unequal-delay
+    merges (snaking)."""
+    rng = np.random.default_rng(4)
+    tree = build_zero_skew_tree(random_sinks(rng, 13))
+    spread, mean = skew_spread(tree)
+    assert spread < 1e-6 * mean
+
+
+def test_heterogeneous_loads_balanced():
+    rng = np.random.default_rng(5)
+    sinks = [
+        (f"s{k}", (float(rng.uniform(0, 5e-3)), float(rng.uniform(0, 5e-3))),
+         float(rng.uniform(20e-15, 300e-15)))
+        for k in range(9)
+    ]
+    tree = build_zero_skew_tree(sinks)
+    spread, mean = skew_spread(tree)
+    assert spread < 1e-6 * mean
+
+
+def test_root_buffer_preserves_zero_skew():
+    rng = np.random.default_rng(6)
+    tree = build_zero_skew_tree(random_sinks(rng, 8), root_buffer=Buffer())
+    spread, mean = skew_spread(tree)
+    assert spread < 1e-6 * mean
+    assert tree.root.buffer is not None
+
+
+def test_wire_length_at_least_spanning_distance():
+    """Snaking only ever adds wire: total length >= direct merge length."""
+    rng = np.random.default_rng(7)
+    sinks = random_sinks(rng, 8)
+    tree = build_zero_skew_tree(sinks)
+    for node in tree.walk():
+        for child in node.children:
+            direct = manhattan(node.position, child.position)
+            assert child.wire.length >= direct - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(2, 12),
+)
+def test_zero_skew_property_randomised(seed, n):
+    """DME invariant: every routed instance has (numerically) zero skew."""
+    rng = np.random.default_rng(seed)
+    sinks = [
+        (f"s{k}",
+         (float(rng.uniform(0, 6e-3)), float(rng.uniform(0, 6e-3))),
+         float(rng.uniform(10e-15, 200e-15)))
+        for k in range(n)
+    ]
+    tree = build_zero_skew_tree(sinks)
+    delays = np.array(list(sink_delays(tree).values()))
+    assert delays.max() - delays.min() <= max(1e-15, 1e-6 * delays.mean())
+
+
+def test_all_sinks_preserved():
+    rng = np.random.default_rng(8)
+    sinks = random_sinks(rng, 11)
+    tree = build_zero_skew_tree(sinks)
+    assert {s.name for s in tree.sinks()} == {name for name, _, _ in sinks}
+
+
+def test_custom_wire_model_consistency():
+    """Zero skew holds under the same model used for routing."""
+    model = WireModel(resistance_per_length=120e3, capacitance_per_length=250e-12)
+    rng = np.random.default_rng(9)
+    tree = build_zero_skew_tree(random_sinks(rng, 8), model=model)
+    delays = np.array(list(sink_delays(tree, model=model).values()))
+    assert delays.max() - delays.min() < 1e-6 * delays.mean()

@@ -1,0 +1,73 @@
+"""The dual (falling-edge) sensing circuit of footnote 1."""
+
+import pytest
+
+from repro.core.dual import DualSkewSensor, simulate_dual_sensor
+from repro.core.response import ERROR_NONE, ERROR_PHI1_LATE, ERROR_PHI2_LATE
+from repro.core.sensing import SkewSensor
+from repro.devices.mosfet import MosfetType
+from repro.devices.process import nominal_process
+from repro.units import VTH_INTERPRET, fF, ns
+
+
+@pytest.fixture(scope="module")
+def dual():
+    return DualSkewSensor(load1=fF(160), load2=fF(160))
+
+
+def test_polarities_are_complemented(dual):
+    """Every device has the opposite polarity of its Fig.-1 counterpart."""
+    base = {m.name: m.mtype for m in SkewSensor().build().mosfets}
+    complemented = {m.name: m.mtype for m in dual.build().mosfets}
+    for name, mtype in base.items():
+        assert complemented[name] is not mtype
+
+
+def test_rails_are_swapped(dual):
+    """The gated network hangs from ground; the feedback stack from VDD."""
+    by_name = {m.name: m for m in dual.build().mosfets}
+    assert by_name["a"].source == "0" and by_name["a"].mtype is MosfetType.NMOS
+    assert by_name["e"].source == "vdd" and by_name["e"].mtype is MosfetType.PMOS
+
+
+def test_idle_guess_complemented(dual):
+    guess = dual.dc_guess()
+    assert guess["y1"] == 0.0
+    assert guess["pA"] == dual.vdd
+
+
+def test_no_skew_clamps_near_complementary_threshold(dual, fast_options):
+    """Outputs rise together and clamp near VDD - |VTp| (the dual of the
+    NMOS-threshold clamp)."""
+    response = simulate_dual_sensor(dual, skew=0.0, options=fast_options)
+    assert response.code == ERROR_NONE
+    vtp = abs(nominal_process().pmos.vt0)
+    # vmin fields hold VDD - Vmax: the clamp distance from VDD.
+    assert 0.8 * vtp < response.vmin_y1 < 2.0 * vtp
+    assert response.vmin_y1 == pytest.approx(response.vmin_y2, abs=0.05)
+
+
+def test_phi2_late_falling_edge_gives_01(dual, fast_options):
+    response = simulate_dual_sensor(dual, skew=ns(1.0), options=fast_options)
+    assert response.code == ERROR_PHI2_LATE
+    assert response.vmin_y1 < 0.5            # y1 rose fully
+    assert response.vmin_y2 > VTH_INTERPRET  # y2 held low
+
+
+def test_phi1_late_falling_edge_gives_10(dual, fast_options):
+    response = simulate_dual_sensor(dual, skew=-ns(1.0), options=fast_options)
+    assert response.code == ERROR_PHI1_LATE
+
+
+def test_dual_sensitivity_same_band(dual, fast_options):
+    """The complement detects skews in the same sub-nanosecond band."""
+    small = simulate_dual_sensor(dual, skew=ns(0.03), options=fast_options)
+    large = simulate_dual_sensor(dual, skew=ns(0.5), options=fast_options)
+    assert small.code == ERROR_NONE
+    assert large.code == ERROR_PHI2_LATE
+
+
+def test_full_swing_dual_not_implemented():
+    sensor = DualSkewSensor(full_swing=True)
+    with pytest.raises(NotImplementedError):
+        sensor.build()

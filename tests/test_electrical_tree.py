@@ -1,0 +1,118 @@
+"""Transistor/RC-level co-simulation of clock-tree paths."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.electrical import (
+    TreeNetlistBuilder,
+    buffer_inverter_sizing,
+    cosimulate_pair_with_sensor,
+    electrical_sink_arrivals,
+)
+from repro.clocktree.faults import ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.tree import Buffer
+from repro.devices.process import nominal_process
+from repro.devices.sources import ClockSource
+from repro.units import ns
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_h_tree(levels=2, buffer=Buffer())
+
+
+@pytest.fixture(scope="module")
+def pair(tree):
+    sinks = sorted(s.name for s in tree.sinks())
+    return sinks[0], sinks[1]
+
+
+def test_buffer_sizing_matches_drive_resistance():
+    process = nominal_process()
+    strong = buffer_inverter_sizing(Buffer(drive_resistance=200.0), process)
+    weak = buffer_inverter_sizing(Buffer(drive_resistance=800.0), process)
+    assert strong.w_n == pytest.approx(4 * weak.w_n)
+    assert strong.w_p > strong.w_n  # mobility compensation
+
+
+def test_builder_produces_valid_netlist(tree, pair):
+    clock = ClockSource(period=ns(20), slew=ns(0.2), delay=ns(2))
+    builder = TreeNetlistBuilder(tree, list(pair))
+    netlist = builder.build(clock)
+    assert set(builder.sink_nodes) == set(pair)
+    # Buffered paths contain MOSFETs; wires contain RC ladders.
+    assert len(netlist.mosfets) > 0
+    assert len(netlist.resistors) > len(netlist.mosfets) // 4
+
+
+def test_electrical_arrivals_match_elmore_scale(tree, pair, fast_options):
+    """Electrical and Elmore insertion delays agree to first order (the
+    Elmore estimate is the slower, upper-bound-flavoured one)."""
+    arrivals = electrical_sink_arrivals(
+        tree, list(pair), options=fast_options
+    )
+    elmore = sink_delays(tree)
+    for sink in pair:
+        ratio = arrivals[sink] / elmore[sink]
+        assert 0.5 < ratio <= 1.2, f"{sink}: {ratio}"
+
+
+def test_electrical_symmetric_paths_have_no_skew(tree, pair, fast_options):
+    arrivals = electrical_sink_arrivals(tree, list(pair), options=fast_options)
+    a, b = pair
+    assert arrivals[a] == pytest.approx(arrivals[b], abs=1e-12)
+
+
+def test_electrical_skew_from_injected_open(tree, pair, fast_options):
+    a, b = pair
+    faulty = ResistiveOpen(node=b, extra_resistance=10_000.0).apply(tree)
+    arrivals = electrical_sink_arrivals(faulty, [a, b], options=fast_options)
+    assert arrivals[b] - arrivals[a] > ns(0.1)
+
+
+def test_cosimulation_healthy_pair_no_error(tree, pair, fast_options):
+    code, result, node_map = cosimulate_pair_with_sensor(
+        tree, pair[0], pair[1], options=fast_options
+    )
+    assert code == (0, 0)
+    # Sensor outputs recover high at the end of the cycle.
+    assert result.wave(node_map["y1"]).final_value() > 4.5
+
+
+def test_cosimulation_detects_tree_defect(tree, pair, fast_options):
+    """The flagship full-stack run: generator -> buffered RC tree with a
+    resistive open -> sensing circuit -> 01 error indication."""
+    a, b = pair
+    faulty = ResistiveOpen(node=b, extra_resistance=10_000.0).apply(tree)
+    code, result, node_map = cosimulate_pair_with_sensor(
+        faulty, a, b, options=fast_options
+    )
+    assert code == (0, 1)
+
+
+def test_cosimulation_mirror_defect(tree, pair, fast_options):
+    a, b = pair
+    faulty = ResistiveOpen(node=a, extra_resistance=10_000.0).apply(tree)
+    code, _, _ = cosimulate_pair_with_sensor(faulty, a, b, options=fast_options)
+    assert code == (1, 0)
+
+
+def test_off_path_branches_load_the_paths(tree, pair, fast_options):
+    """Dropping the lumped side-branch loads must speed the paths up -
+    i.e. the builder really accounts for them."""
+    import copy
+
+    a, b = pair
+    pruned = copy.deepcopy(tree)
+    keep = set()
+    for name in (a, b):
+        for node in pruned.path_to(pruned.node(name)):
+            keep.add(id(node))
+    for node in pruned.walk():
+        node.children = [c for c in node.children if id(c) in keep]
+
+    loaded = electrical_sink_arrivals(tree, [a], options=fast_options)
+    unloaded = electrical_sink_arrivals(pruned, [a], options=fast_options)
+    assert unloaded[a] < loaded[a]

@@ -1,0 +1,156 @@
+"""Property-based tests on the analog engine.
+
+Randomised linear networks have exact closed-form answers; these tests pin
+the engine's core numerics (stamping, DC solve, integration) against them
+under hypothesis-generated topologies and values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.compile import CompiledCircuit
+from repro.analog.dcop import dc_operating_point
+from repro.analog.engine import transient
+from repro.circuit.netlist import Netlist
+from repro.devices.sources import PWLSource
+
+
+def ladder_netlist(resistances, v_in=5.0):
+    """A series resistor ladder from a source to ground."""
+    netlist = Netlist(name="ladder")
+    netlist.drive_dc("in", v_in)
+    previous = "in"
+    for k, r in enumerate(resistances):
+        nxt = "0" if k == len(resistances) - 1 else f"n{k}"
+        netlist.add_resistor(f"r{k}", previous, nxt, r)
+        previous = nxt
+    return netlist
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    resistances=st.lists(
+        st.floats(10.0, 1e6), min_size=2, max_size=6
+    ),
+    v_in=st.floats(-10.0, 10.0),
+)
+def test_ladder_dc_matches_voltage_divider(resistances, v_in):
+    """Every intermediate node sits at the exact divider voltage."""
+    netlist = ladder_netlist(resistances, v_in)
+    circuit = CompiledCircuit.compile(netlist)
+    v = dc_operating_point(circuit)
+    total = sum(resistances)
+    # The engine adds a GMIN = 1e-9 S conditioning shunt per free node,
+    # which loads high-impedance dividers by ~ v * GMIN * R.
+    gmin_bias = abs(v_in) * 1e-9 * total * len(resistances)
+    below = total
+    for k in range(len(resistances) - 1):
+        below -= resistances[k]
+        expected = v_in * below / total
+        node = circuit.node_index[f"n{k}"]
+        assert v[node] == pytest.approx(
+            expected, abs=1e-4 + 1e-4 * abs(v_in) + gmin_bias
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    resistances=st.lists(st.floats(100.0, 1e5), min_size=2, max_size=5),
+    v_in=st.floats(0.1, 10.0),
+)
+def test_dc_voltages_bounded_by_sources(resistances, v_in):
+    """Passivity: a resistive network cannot exceed its source range."""
+    netlist = ladder_netlist(resistances, v_in)
+    circuit = CompiledCircuit.compile(netlist)
+    v = dc_operating_point(circuit)
+    assert np.all(v[: circuit.n_free] <= v_in + 1e-6)
+    assert np.all(v[: circuit.n_free] >= -1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    r=st.floats(1e3, 1e5),
+    c=st.floats(1e-14, 1e-12),
+    v_step=st.floats(0.5, 5.0),
+)
+def test_rc_charging_is_monotone_and_converges(r, c, v_step):
+    """A first-order RC step response never overshoots and reaches the
+    final value."""
+    netlist = Netlist(name="rc")
+    netlist.drive("in", PWLSource([0.0, 1e-12], [0.0, v_step]))
+    netlist.add_resistor("r", "in", "out", r)
+    netlist.add_capacitor("c", "out", "0", c)
+    tau = r * c
+    result = transient(netlist, t_stop=8 * tau, record=["out"])
+    values = result.voltages["out"]
+    assert np.all(values <= v_step * (1 + 1e-3))
+    assert np.all(np.diff(values) >= -1e-6 * v_step)
+    assert values[-1] == pytest.approx(v_step, rel=2e-3)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    r1=st.floats(1e3, 1e5),
+    r2=st.floats(1e3, 1e5),
+    c=st.floats(1e-14, 5e-13),
+)
+def test_rc_divider_final_value(r1, r2, c):
+    """Driven RC divider settles to the resistive divider voltage."""
+    netlist = Netlist(name="rcdiv")
+    netlist.drive("in", PWLSource([0.0, 1e-12], [0.0, 5.0]))
+    netlist.add_resistor("r1", "in", "mid", r1)
+    netlist.add_resistor("r2", "mid", "0", r2)
+    netlist.add_capacitor("c", "mid", "0", c)
+    tau = (r1 * r2 / (r1 + r2)) * c
+    result = transient(netlist, t_stop=10 * tau, record=["mid"])
+    expected = 5.0 * r2 / (r1 + r2)
+    assert result.voltages["mid"][-1] == pytest.approx(expected, rel=5e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    scale=st.floats(0.5, 3.0),
+)
+def test_linearity_of_resistive_network(scale):
+    """Superposition: scaling the source scales every node voltage."""
+    base = ladder_netlist([1e3, 2e3, 3e3], v_in=2.0)
+    scaled = ladder_netlist([1e3, 2e3, 3e3], v_in=2.0 * scale)
+    cb = CompiledCircuit.compile(base)
+    cs = CompiledCircuit.compile(scaled)
+    vb = dc_operating_point(cb)
+    vs = dc_operating_point(cs)
+    for node in ("n0", "n1"):
+        assert vs[cs.node_index[node]] == pytest.approx(
+            scale * vb[cb.node_index[node]], rel=1e-4, abs=1e-5
+        )
+
+
+def test_charge_conservation_across_coupling_capacitor():
+    """A floating node coupled only capacitively follows its driver with
+    the capacitive divider ratio."""
+    netlist = Netlist(name="capdiv")
+    netlist.drive("in", PWLSource([0.0, 1e-10], [0.0, 4.0]))
+    netlist.add_capacitor("cc", "in", "float", 100e-15)
+    netlist.add_capacitor("cg", "float", "0", 300e-15)
+    result = transient(netlist, t_stop=1e-9, record=["float"])
+    # Divider: 100 / (100 + 300 + CMIN) of the 4 V step.
+    assert result.voltages["float"][-1] == pytest.approx(1.0, rel=0.02)
+
+
+def test_engine_handles_stiff_time_constants():
+    """Two RC corners 10^4 apart in one circuit: the adaptive stepper
+    resolves the fast one and still finishes the slow one."""
+    netlist = Netlist(name="stiff")
+    netlist.drive("in", PWLSource([0.0, 1e-12], [0.0, 1.0]))
+    netlist.add_resistor("rf", "in", "fast", 1e2)
+    netlist.add_capacitor("cf", "fast", "0", 1e-15)     # tau = 0.1 ps
+    netlist.add_resistor("rs", "in", "slow", 1e6)
+    netlist.add_capacitor("cs", "slow", "0", 1e-12)     # tau = 1 us... scaled
+    result = transient(netlist, t_stop=5e-9, record=["fast", "slow"])
+    assert result.voltages["fast"][-1] == pytest.approx(1.0, abs=1e-3)
+    expected_slow = 1.0 - np.exp(-5e-9 / 1e-6)
+    assert result.voltages["slow"][-1] == pytest.approx(
+        expected_slow, abs=5e-3
+    )

@@ -1,0 +1,216 @@
+"""Fault models, universe enumeration, and IDDQ machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensing import SkewSensor
+from repro.faults.models import (
+    BridgingFault,
+    NodeStuckAt,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+from repro.faults.universe import enumerate_faults
+from repro.faults.iddq import IddqProbe, quiescent_windows
+
+
+def sensor_netlist():
+    netlist = SkewSensor().build()
+    netlist.drive_dc("phi1", 0.0)
+    netlist.drive_dc("phi2", 0.0)
+    return netlist
+
+
+# --------------------------------------------------------------------- #
+# Fault descriptors
+# --------------------------------------------------------------------- #
+
+def test_stuck_at_injects_tie_resistor():
+    netlist = sensor_netlist()
+    faulty = NodeStuckAt("y1", 1).inject(netlist)
+    tie = [r for r in faulty.resistors if r.name.startswith("fault_sa_")]
+    assert len(tie) == 1
+    assert {tie[0].a, tie[0].b} == {"y1", "vdd"}
+    # Original untouched.
+    assert netlist.resistors == []
+
+
+def test_stuck_at_zero_ties_to_ground():
+    faulty = NodeStuckAt("y2", 0).inject(sensor_netlist())
+    tie = [r for r in faulty.resistors if r.name.startswith("fault_sa_")][0]
+    assert {tie.a, tie.b} == {"y2", "0"}
+
+
+def test_stuck_at_rejects_bad_value():
+    with pytest.raises(ValueError):
+        NodeStuckAt("y1", 2)
+
+
+def test_stuck_open_flags_device():
+    netlist = sensor_netlist()
+    faulty = TransistorStuckOpen("d").inject(netlist)
+    assert faulty.find_mosfet("d").stuck_open
+    assert not netlist.find_mosfet("d").stuck_open
+
+
+def test_stuck_on_flags_device():
+    faulty = TransistorStuckOn("e").inject(sensor_netlist())
+    assert faulty.find_mosfet("e").stuck_on
+
+
+def test_transistor_fault_unknown_name():
+    with pytest.raises(KeyError):
+        TransistorStuckOpen("zz").inject(sensor_netlist())
+
+
+def test_bridge_injects_resistor():
+    faulty = BridgingFault("y1", "y2").inject(sensor_netlist())
+    bridge = [r for r in faulty.resistors if r.name.startswith("fault_br_")][0]
+    assert bridge.resistance == 100.0
+
+
+def test_bridge_validation():
+    with pytest.raises(ValueError):
+        BridgingFault("y1", "y1")
+    with pytest.raises(ValueError):
+        BridgingFault("y1", "y2", resistance=0.0)
+
+
+def test_fault_kinds_and_descriptions():
+    assert NodeStuckAt("y1", 1).kind == "stuck-at"
+    assert TransistorStuckOpen("a").kind == "stuck-open"
+    assert TransistorStuckOn("a").kind == "stuck-on"
+    assert BridgingFault("y1", "y2").kind == "bridging"
+    assert "y1" in NodeStuckAt("y1", 1).describe()
+    assert "100" in BridgingFault("y1", "y2").describe()
+
+
+# --------------------------------------------------------------------- #
+# Universe enumeration
+# --------------------------------------------------------------------- #
+
+def test_universe_counts_on_sensor():
+    """The sensor has 6 circuit nodes and 10 transistors: 12 stuck-ats,
+    10 stuck-opens, 10 stuck-ons."""
+    universe = enumerate_faults(sensor_netlist())
+    assert len(universe.stuck_at) == 12
+    assert len(universe.stuck_open) == 10
+    assert len(universe.stuck_on) == 10
+    assert len(universe) == len(universe.all_faults())
+
+
+def test_universe_bridges_skip_channel_adjacent_pairs():
+    universe = enumerate_faults(sensor_netlist())
+    pairs = {frozenset((b.node_a, b.node_b)) for b in universe.bridging}
+    # nA-y1 are joined by transistors b and c: not a distinct bridge.
+    assert frozenset(("nA", "y1")) not in pairs
+    # y1-y2 is the paper's explicit hard case: present.
+    assert frozenset(("y1", "y2")) in pairs
+    # Clock inputs participate as signal nodes.
+    assert frozenset(("phi1", "phi2")) in pairs
+
+
+def test_universe_bridge_count_on_sensor():
+    """8 signal nodes -> C(8,2)=28 pairs minus the 4 channel-adjacent."""
+    universe = enumerate_faults(sensor_netlist())
+    assert len(universe.bridging) == 24
+
+
+def test_universe_custom_node_sets():
+    universe = enumerate_faults(
+        sensor_netlist(),
+        stuck_at_nodes=["y1"],
+        bridge_nodes=["y1", "y2", "nA"],
+        skip_connected_bridges=False,
+    )
+    assert len(universe.stuck_at) == 2
+    assert len(universe.bridging) == 3
+
+
+def test_universe_by_kind_rejects_unknown():
+    universe = enumerate_faults(sensor_netlist())
+    with pytest.raises(KeyError):
+        universe.by_kind("aging")
+
+
+def test_all_faults_injectable():
+    """Every enumerated fault injects into a valid netlist copy."""
+    netlist = sensor_netlist()
+    for fault in enumerate_faults(netlist).all_faults():
+        faulty = fault.inject(netlist)
+        assert faulty is not netlist
+
+
+# --------------------------------------------------------------------- #
+# IDDQ
+# --------------------------------------------------------------------- #
+
+def test_quiescent_windows_construction():
+    windows = quiescent_windows([0.0, 10.0, 20.0], fraction=0.2)
+    assert windows == [(8.0, 10.0), (18.0, 20.0)]
+
+
+def test_iddq_probe_measures_max_window_mean():
+    from repro.analog.engine import TransientResult
+
+    times = np.linspace(0.0, 10.0, 11)
+    current = np.zeros(11)
+    current[8:] = 5e-5  # elevated quiescent current late in the run
+    result = TransientResult(
+        times=times, voltages={}, source_currents={"vdd": current}
+    )
+    probe = IddqProbe(windows=((0.0, 2.0), (8.5, 10.0)), threshold=10e-6)
+    assert probe.measure(result) == pytest.approx(5e-5)
+    assert probe.failing(result)
+
+
+def test_iddq_probe_passes_clean_current():
+    from repro.analog.engine import TransientResult
+
+    times = np.linspace(0.0, 10.0, 11)
+    result = TransientResult(
+        times=times, voltages={}, source_currents={"vdd": np.full(11, 1e-9)}
+    )
+    probe = IddqProbe(windows=((0.0, 10.0),))
+    assert not probe.failing(result)
+
+
+# --------------------------------------------------------------------- #
+# Layout hardening (refs. [11] / [14])
+# --------------------------------------------------------------------- #
+
+def test_layout_hardening_removes_designated_faults():
+    from repro.faults.universe import apply_layout_hardening
+
+    universe = enumerate_faults(sensor_netlist())
+    hardened = apply_layout_hardening(universe)
+    opens = {f.transistor for f in hardened.stuck_open}
+    assert "c" not in opens and "h" not in opens
+    assert len(hardened.stuck_open) == 8
+    bridges = {frozenset((b.node_a, b.node_b)) for b in hardened.bridging}
+    assert frozenset(("y1", "y2")) not in bridges
+    assert len(hardened.bridging) == len(universe.bridging) - 1
+    # Untouched categories are preserved.
+    assert hardened.stuck_at == universe.stuck_at
+    assert hardened.stuck_on == universe.stuck_on
+
+
+def test_layout_hardening_lifts_stuck_open_coverage_to_full():
+    """With the two layout-avoidable stuck-opens gone, the remaining
+    stuck-open universe is 100 % covered - the paper's ref.-[11] payoff."""
+    from repro.faults.universe import apply_layout_hardening
+    from repro.testing.testability import (
+        ClockStimulus,
+        analyze_sensor_testability,
+    )
+
+    universe = apply_layout_hardening(enumerate_faults(sensor_netlist()))
+    universe.stuck_at = []
+    universe.stuck_on = []
+    universe.bridging = []
+    report = analyze_sensor_testability(
+        stimulus=ClockStimulus(cycles=1),
+        universe=universe,
+        check_skew_masking=False,
+    )
+    assert report.coverage("stuck-open") == 1.0

@@ -1,0 +1,118 @@
+"""Transistor-level latching error indicator co-simulated with the sensor."""
+
+import pytest
+
+from repro.analog.engine import transient
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import PWLSource, clock_pair
+from repro.testing.indicator_circuit import IndicatorCircuit
+from repro.units import fF, ns
+
+
+def build(skew, prech_release=ns(1.5)):
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    phi1, phi2 = clock_pair(ns(20), ns(0.2), ns(0.2), skew=skew, delay=ns(2))
+    netlist = sensor.build(phi1=phi1, phi2=phi2)
+    indicator = IndicatorCircuit()
+    flag = indicator.build_into(netlist, y1="y1", y2="y2", prech="prech")
+    netlist.drive(
+        "prech",
+        PWLSource([0.0, prech_release - ns(0.1), prech_release], [0, 0, 5]),
+    )
+    initial = dict(sensor.dc_guess())
+    initial.update(indicator.dc_guess())
+    return netlist, indicator, flag, initial
+
+
+def simulate(skew, fast_options, t_stop=ns(22)):
+    netlist, indicator, flag, initial = build(skew)
+    result = transient(
+        netlist,
+        t_stop=t_stop,
+        record=["y1", "y2", flag, indicator.storage],
+        initial=initial,
+        options=fast_options,
+    )
+    return result, indicator, flag
+
+
+def test_indicator_stays_quiet_without_skew(fast_options):
+    result, indicator, flag = simulate(0.0, fast_options)
+    err = result.wave(flag)
+    assert err.window_max(ns(2), ns(22)) < 1.0
+
+
+def test_indicator_keeper_recovers_transition_glitch(fast_options):
+    """The simultaneous output transitions of normal operation disturb the
+    dynamic storage node; the keeper must restore it above the output
+    inverter threshold."""
+    result, indicator, flag = simulate(0.0, fast_options)
+    st = result.wave(indicator.storage)
+    assert st.window_min(ns(2), ns(22)) > 2.3   # dips but never flips
+    assert st.final_value() > 4.5               # fully restored
+
+
+def test_indicator_latches_on_skew(fast_options):
+    result, indicator, flag = simulate(ns(1.0), fast_options)
+    err = result.wave(flag)
+    assert err.at(ns(6)) > 4.0
+
+
+def test_indicator_holds_after_sensor_recovers(fast_options):
+    """The sensor's static indication ends at the falling clock edge; the
+    indicator's whole purpose is to keep the flag up past that point."""
+    result, indicator, flag = simulate(ns(1.0), fast_options)
+    err = result.wave(flag)
+    y1 = result.wave("y1")
+    assert y1.final_value() > 4.5        # sensor recovered
+    assert err.at(ns(21)) > 4.0          # flag still latched
+
+
+def test_indicator_symmetric_for_both_directions(fast_options):
+    pos, _, flag_p = simulate(ns(1.0), fast_options)
+    neg, _, flag_n = simulate(-ns(1.0), fast_options)
+    assert pos.wave(flag_p).at(ns(15)) > 4.0
+    assert neg.wave(flag_n).at(ns(15)) > 4.0
+
+
+def test_precharge_resets_the_flag(fast_options):
+    """A second precharge pulse clears a latched error."""
+    netlist, indicator, flag, initial = build(ns(1.0))
+    netlist.drive(
+        "prech",
+        PWLSource(
+            [0.0, ns(1.4), ns(1.5), ns(16.0), ns(16.1), ns(18.0), ns(18.1)],
+            [0, 0, 5, 5, 0, 0, 5],
+        ),
+    )
+    result = transient(
+        netlist,
+        t_stop=ns(21),
+        record=[flag],
+        initial=initial,
+        options=fast_options,
+    )
+    err = result.wave(flag)
+    assert err.at(ns(10)) > 4.0    # latched during the event
+    assert err.at(ns(20)) < 1.0    # cleared by the reset strobe
+
+
+def test_two_indicators_coexist_via_prefix():
+    netlist = SkewSensor(parasitics=False).build()
+    netlist.drive_dc("phi1", 0.0)
+    netlist.drive_dc("phi2", 0.0)
+    netlist.drive_dc("prech", 5.0)
+    a = IndicatorCircuit(prefix="indA")
+    b = IndicatorCircuit(prefix="indB")
+    flag_a = a.build_into(netlist)
+    flag_b = b.build_into(netlist)
+    assert flag_a != flag_b
+    from repro.circuit.validate import validate
+    validate(netlist)  # no duplicate names
+
+
+def test_output_and_storage_names():
+    ind = IndicatorCircuit(prefix="x")
+    assert ind.output == "x_err"
+    assert ind.storage == "x_st"
+    assert "x_st" in ind.dc_guess()

@@ -1,0 +1,108 @@
+"""Intermittent faults and the on-line vs off-line detection argument."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.faults import ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.intermittent import (
+    IntermittentFault,
+    monitoring_campaign,
+)
+from repro.clocktree.tree import Buffer
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns
+
+
+@pytest.fixture()
+def scheme():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    return ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=8e-3, top_k=4
+    )
+
+
+def make_fault(scheme, **kwargs):
+    victim = scheme.placements[0].pair.sink_a
+    return IntermittentFault(
+        fault=ResistiveOpen(node=victim, extra_resistance=9000.0), **kwargs
+    )
+
+
+def test_activation_probability_validated():
+    fault = ResistiveOpen(node="x", extra_resistance=1.0)
+    with pytest.raises(ValueError):
+        IntermittentFault(fault=fault, activation_probability=1.5)
+
+
+def test_deterministic_schedule(scheme):
+    fault = make_fault(scheme, active_cycles=frozenset({2, 5}))
+    assert not fault.is_active(0)
+    assert fault.is_active(2)
+    assert fault.is_active(5)
+    assert "cycles [2, 5]" in fault.describe()
+
+
+def test_bernoulli_activation_reproducible(scheme):
+    fault = make_fault(scheme, activation_probability=0.5)
+    a = [fault.is_active(k, np.random.default_rng(7)) for k in range(5)]
+    b = [fault.is_active(k, np.random.default_rng(7)) for k in range(5)]
+    assert a == b
+
+
+def test_campaign_detects_scheduled_burst(scheme):
+    fault = make_fault(scheme, active_cycles=frozenset({3, 4}))
+    result = monitoring_campaign(scheme, fault, cycles=8)
+    assert result.online_first_detection == 3
+    assert result.online_alarm_cycles == [3, 4]
+    assert result.latched_at_end
+    assert result.active_cycles == [3, 4]
+
+
+def test_offline_session_misses_inactive_window(scheme):
+    """The paper's argument: an off-line test session between activations
+    sees a healthy tree; the concurrent monitor catches the burst."""
+    fault = make_fault(scheme, active_cycles=frozenset({5}))
+    result = monitoring_campaign(
+        scheme, fault, cycles=8, offline_test_cycle=0
+    )
+    assert not result.offline_session_detects
+    assert result.online_detects
+    assert result.latched_at_end
+
+
+def test_offline_session_lucky_timing(scheme):
+    fault = make_fault(scheme, active_cycles=frozenset({0}))
+    result = monitoring_campaign(
+        scheme, fault, cycles=4, offline_test_cycle=0
+    )
+    assert result.offline_session_detects
+
+
+def test_never_active_fault_never_flags(scheme):
+    fault = make_fault(scheme, active_cycles=frozenset())
+    result = monitoring_campaign(scheme, fault, cycles=5)
+    assert not result.online_detects
+    assert not result.latched_at_end
+
+
+def test_campaign_validates_cycle_count(scheme):
+    fault = make_fault(scheme, active_cycles=frozenset({0}))
+    with pytest.raises(ValueError):
+        monitoring_campaign(scheme, fault, cycles=0)
+
+
+def test_detection_probability_grows_with_observation(scheme):
+    """Longer on-line observation catches rarer faults: the monotone
+    advantage conventional one-shot testing cannot have."""
+    fault = make_fault(scheme, activation_probability=0.25)
+    hits_short = hits_long = 0
+    for seed in range(12):
+        rng = np.random.default_rng(seed)
+        short = monitoring_campaign(scheme, fault, cycles=2, rng=rng)
+        hits_short += short.online_detects
+        rng = np.random.default_rng(seed)
+        long = monitoring_campaign(scheme, fault, cycles=12, rng=rng)
+        hits_long += long.online_detects
+    assert hits_long >= hits_short
+    assert hits_long >= 10  # P(miss 12 cycles) = 0.75^12 ~ 3 %

@@ -1,0 +1,102 @@
+"""Jittery clock source and jitter false-alarm analysis."""
+
+import numpy as np
+import pytest
+
+from repro.devices.sources import jittery_clock
+from repro.montecarlo.jitter import (
+    JitterTrial,
+    false_alarm_rate,
+    simulate_jittery_cycles,
+)
+from repro.core.sensing import SkewSensor
+from repro.units import fF, ns
+
+
+def test_jittery_clock_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        jittery_clock(ns(20), ns(0.2), 0, 1e-12, rng)
+    with pytest.raises(ValueError):
+        jittery_clock(ns(20), ns(0.2), 2, -1e-12, rng)
+
+
+def test_zero_jitter_matches_ideal_edges():
+    rng = np.random.default_rng(0)
+    clk = jittery_clock(
+        ns(20), ns(0.2), 3, rms_jitter=0.0, rng=rng, delay=ns(2)
+    )
+    for k in range(3):
+        edge = ns(2) + k * ns(20)
+        assert clk.value(edge) == pytest.approx(0.0, abs=1e-9)
+        assert clk.value(edge + ns(0.2)) == pytest.approx(5.0, abs=1e-9)
+        assert clk.value(edge + ns(5)) == pytest.approx(5.0)
+        assert clk.value(edge + ns(15)) == pytest.approx(0.0)
+
+
+def test_jitter_moves_edges_within_clip():
+    rng = np.random.default_rng(1)
+    period = ns(20)
+    clk = jittery_clock(
+        period, ns(0.2), 5, rms_jitter=ns(0.5), rng=rng, delay=ns(2)
+    )
+    for k in range(5):
+        nominal = ns(2) + k * period
+        crossing = None
+        # Find the actual mid-swing crossing near the nominal edge.
+        for dt in np.linspace(-period / 6, period / 6, 2001):
+            if clk.value(nominal + dt) >= 2.5:
+                crossing = dt
+                break
+        assert crossing is not None
+        assert abs(crossing) <= period / 8 + ns(0.2)
+
+
+def test_jitter_reproducible_with_seed():
+    a = jittery_clock(ns(20), ns(0.2), 3, ns(0.1),
+                      np.random.default_rng(42), delay=ns(2))
+    b = jittery_clock(ns(20), ns(0.2), 3, ns(0.1),
+                      np.random.default_rng(42), delay=ns(2))
+    for t in np.linspace(0, ns(60), 50):
+        assert a.value(t) == b.value(t)
+
+
+def test_static_skew_combines_with_jitter():
+    rng = np.random.default_rng(2)
+    clk = jittery_clock(
+        ns(20), ns(0.2), 2, rms_jitter=0.0, rng=rng,
+        delay=ns(2), skew=ns(1),
+    )
+    assert clk.value(ns(2.5)) == pytest.approx(0.0, abs=1e-9)  # not risen yet
+    assert clk.value(ns(3.5)) == pytest.approx(5.0)
+
+
+def test_trial_false_alarm_property():
+    assert JitterTrial(codes=((0, 0), (0, 1))).false_alarm
+    assert not JitterTrial(codes=((0, 0), (1, 1))).false_alarm
+
+
+def test_quiet_clocks_raise_no_alarm(fast_options):
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    trial = simulate_jittery_cycles(
+        sensor, rms_jitter=1e-12, rng=np.random.default_rng(3),
+        cycles=2, options=fast_options,
+    )
+    assert not trial.false_alarm
+    assert len(trial.codes) == 2
+
+
+def test_huge_jitter_raises_alarm(fast_options):
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    trial = simulate_jittery_cycles(
+        sensor, rms_jitter=ns(0.5), rng=np.random.default_rng(4),
+        cycles=2, options=fast_options,
+    )
+    assert trial.false_alarm
+
+
+def test_false_alarm_rate_bounds(fast_options):
+    rate = false_alarm_rate(1e-12, trials=2, options=fast_options)
+    assert rate == 0.0
+    rate = false_alarm_rate(ns(0.5), trials=2, options=fast_options)
+    assert rate == 1.0

@@ -1,0 +1,122 @@
+"""Gate-level stuck-at injection and TSC verification of the checker."""
+
+from itertools import product
+
+import pytest
+
+from repro.logicsim.checker_gates import CheckerCircuit
+from repro.logicsim.circuit import LogicCircuit
+from repro.logicsim.faults import (
+    NetStuckAt,
+    enumerate_net_faults,
+    evaluate_with_fault,
+    verify_tsc,
+)
+from repro.logicsim.gates import GateType
+
+
+def test_stuck_at_value_validated():
+    with pytest.raises(ValueError):
+        NetStuckAt("x", 2)
+
+
+def test_fault_enumeration_covers_all_nets():
+    circuit = LogicCircuit()
+    circuit.add_gate("g", GateType.AND, ["a", "b"], "z", 1e-9)
+    faults = enumerate_net_faults(circuit)
+    assert len(faults) == 6  # a, b, z each stuck 0/1
+    assert NetStuckAt("z", 1) in faults
+
+
+def test_evaluate_without_fault():
+    circuit = LogicCircuit()
+    circuit.add_gate("g", GateType.AND, ["a", "b"], "z", 1e-9)
+    assert evaluate_with_fault(circuit, {"a": 1, "b": 1}, ["z"]) == (1,)
+    assert evaluate_with_fault(circuit, {"a": 1, "b": 0}, ["z"]) == (0,)
+
+
+def test_evaluate_with_output_fault():
+    circuit = LogicCircuit()
+    circuit.add_gate("g", GateType.AND, ["a", "b"], "z", 1e-9)
+    out = evaluate_with_fault(
+        circuit, {"a": 1, "b": 1}, ["z"], fault=NetStuckAt("z", 0)
+    )
+    assert out == (0,)
+
+
+def test_evaluate_with_internal_fault_propagates():
+    circuit = LogicCircuit()
+    circuit.add_gate("g1", GateType.AND, ["a", "b"], "m", 1e-9)
+    circuit.add_gate("g2", GateType.OR, ["m", "c"], "z", 1e-9)
+    out = evaluate_with_fault(
+        circuit, {"a": 0, "b": 0, "c": 0}, ["z"], fault=NetStuckAt("m", 1)
+    )
+    assert out == (1,)
+
+
+def _code_inputs(n):
+    complementary = [(0, 1), (1, 0)]
+    inputs = []
+    for combo in product(complementary, repeat=n):
+        assignment = {}
+        for k, (r0, r1) in enumerate(combo):
+            assignment[f"in{k}_0"] = r0
+            assignment[f"in{k}_1"] = r1
+        inputs.append(assignment)
+    return inputs
+
+
+def test_checker_is_totally_self_checking():
+    """The classic result (Carter & Schneider): the two-rail checker tree
+    is TSC for single stuck-ats under the full code space - the property
+    the paper's on-line mode relies on."""
+    checker = CheckerCircuit(n=2)
+    report = verify_tsc(
+        checker.circuit, _code_inputs(2), ("out_0", "out_1")
+    )
+    assert report.checked_faults > 10
+    assert report.is_fault_secure
+    assert report.is_self_testing
+    assert report.is_tsc
+
+
+def test_checker_three_pairs_tsc():
+    checker = CheckerCircuit(n=3)
+    report = verify_tsc(
+        checker.circuit, _code_inputs(3), ("out_0", "out_1")
+    )
+    assert report.is_tsc
+
+
+def test_reduced_code_space_breaks_self_testing():
+    """With only one code input applied, some faults are never exposed -
+    TSC holds only under sufficient input diversity."""
+    checker = CheckerCircuit(n=2)
+    report = verify_tsc(
+        checker.circuit, _code_inputs(2)[:1], ("out_0", "out_1")
+    )
+    assert not report.is_self_testing
+    assert report.untested_faults
+
+
+def test_verify_tsc_rejects_non_code_inputs():
+    checker = CheckerCircuit(n=2)
+    bad = {"in0_0": 1, "in0_1": 1, "in1_0": 0, "in1_1": 1}
+    with pytest.raises(ValueError):
+        verify_tsc(checker.circuit, [bad], ("out_0", "out_1"))
+
+
+def test_verify_tsc_rejects_empty_inputs():
+    checker = CheckerCircuit(n=2)
+    with pytest.raises(ValueError):
+        verify_tsc(checker.circuit, [], ("out_0", "out_1"))
+
+
+def test_custom_fault_list():
+    checker = CheckerCircuit(n=2)
+    only = [NetStuckAt("out_0", 1)]
+    report = verify_tsc(
+        checker.circuit, _code_inputs(2), ("out_0", "out_1"), faults=only
+    )
+    assert report.checked_faults == 1
+    assert report.is_tsc  # an output rail stuck-at is exposed by codes

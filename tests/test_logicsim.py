@@ -1,0 +1,243 @@
+"""Gate-level simulator: gates, flops, event ordering, pipelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logicsim.circuit import LogicCircuit
+from repro.logicsim.flipflop import DFlipFlop
+from repro.logicsim.gates import Gate, GateType
+from repro.logicsim.synth import at_speed_test, build_pipeline, delay_chain
+from repro.units import ns
+
+
+# --------------------------------------------------------------------- #
+# Gates
+# --------------------------------------------------------------------- #
+
+def test_gate_truth_tables():
+    cases = {
+        GateType.AND: [((0, 0), 0), ((1, 0), 0), ((1, 1), 1)],
+        GateType.OR: [((0, 0), 0), ((1, 0), 1), ((1, 1), 1)],
+        GateType.NAND: [((1, 1), 0), ((0, 1), 1)],
+        GateType.NOR: [((0, 0), 1), ((1, 0), 0)],
+        GateType.XOR: [((0, 1), 1), ((1, 1), 0)],
+        GateType.XNOR: [((0, 1), 0), ((1, 1), 1)],
+    }
+    for gtype, rows in cases.items():
+        gate = Gate("g", gtype, ("a", "b"), "z", 1e-9)
+        for inputs, expected in rows:
+            assert gate.evaluate(inputs) == expected, gtype
+
+
+def test_unary_gates():
+    assert Gate("n", GateType.NOT, ("a",), "z", 1e-9).evaluate([0]) == 1
+    assert Gate("b", GateType.BUF, ("a",), "z", 1e-9).evaluate([1]) == 1
+
+
+def test_gate_arity_enforced():
+    with pytest.raises(ValueError):
+        Gate("g", GateType.NOT, ("a", "b"), "z", 1e-9)
+    with pytest.raises(ValueError):
+        Gate("g", GateType.AND, ("a",), "z", 1e-9)
+
+
+def test_gate_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Gate("g", GateType.BUF, ("a",), "z", -1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(bits=st.lists(st.integers(0, 1), min_size=2, max_size=6))
+def test_demorgan_property(bits):
+    nand = Gate("g1", GateType.NAND, tuple("abcdef"[: len(bits)]), "z", 1e-9)
+    org = Gate("g2", GateType.OR, tuple("abcdef"[: len(bits)]), "z", 1e-9)
+    inverted = [1 - b for b in bits]
+    assert nand.evaluate(bits) == org.evaluate(inverted)
+
+
+# --------------------------------------------------------------------- #
+# Flip-flop timing checks
+# --------------------------------------------------------------------- #
+
+def test_flop_sample_time_includes_offset():
+    ff = DFlipFlop(name="f", d="d", q="q", clock_offset=ns(0.5))
+    assert ff.sample_time(ns(10)) == pytest.approx(ns(10.5))
+
+
+def test_setup_violation_window():
+    ff = DFlipFlop(name="f", d="d", q="q", setup=ns(0.1), hold=ns(0.05))
+    v = ff.check_window(ns(10), last_d_change=ns(9.95))
+    assert v is not None and v.kind == "setup"
+    assert ff.check_window(ns(10), last_d_change=ns(9.8)) is None
+
+
+def test_hold_violation_window():
+    ff = DFlipFlop(name="f", d="d", q="q", setup=ns(0.1), hold=ns(0.05))
+    v = ff.check_window(ns(10), last_d_change=ns(10.02))
+    assert v is not None and v.kind == "hold"
+
+
+def test_violation_description():
+    ff = DFlipFlop(name="f", d="d", q="q")
+    v = ff.check_window(ns(10), last_d_change=ns(9.95))
+    assert "setup" in v.describe()
+    assert "f" in v.describe()
+
+
+def test_flop_rejects_negative_timing():
+    with pytest.raises(ValueError):
+        DFlipFlop(name="f", d="d", q="q", setup=-1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Event-driven circuit
+# --------------------------------------------------------------------- #
+
+def test_gate_propagation_delay():
+    circuit = LogicCircuit()
+    circuit.add_gate("inv", GateType.NOT, ["a"], "z", ns(1))
+    trace = circuit.simulate({"a": [(ns(5), 1)]}, clock_edges=[], t_end=ns(10))
+    assert trace.value_at("z", ns(4.0)) == 1   # settled initial NOT(0)
+    assert trace.value_at("z", ns(5.5)) == 1   # input edge still propagating
+    assert trace.value_at("z", ns(6.5)) == 0   # one gate delay later
+
+
+def test_output_cannot_have_two_drivers():
+    circuit = LogicCircuit()
+    circuit.add_gate("g1", GateType.BUF, ["a"], "z", ns(1))
+    with pytest.raises(ValueError):
+        circuit.add_gate("g2", GateType.BUF, ["b"], "z", ns(1))
+    with pytest.raises(ValueError):
+        circuit.add_flop(DFlipFlop(name="f", d="d", q="z"))
+
+
+def test_primary_inputs_detected():
+    circuit = LogicCircuit()
+    circuit.add_gate("g", GateType.AND, ["a", "b"], "z", ns(1))
+    assert circuit.primary_inputs() == ["a", "b"]
+
+
+def test_flop_samples_on_edge():
+    circuit = LogicCircuit()
+    circuit.add_flop(DFlipFlop(name="f", d="d", q="q", clk_to_q=ns(0.2)))
+    stimuli = {"d": [(ns(3), 1)]}
+    trace = circuit.simulate(stimuli, clock_edges=[ns(2), ns(5)], t_end=ns(8))
+    assert trace.value_at("q", ns(4)) == 0      # sampled 0 at 2 ns
+    assert trace.value_at("q", ns(6)) == 1      # sampled 1 at 5 ns
+    assert trace.sampled["f"] == [(ns(2), 0), (ns(5), 1)]
+
+
+def test_flop_edge_coincident_data_uses_old_value():
+    circuit = LogicCircuit()
+    circuit.add_flop(DFlipFlop(name="f", d="d", q="q"))
+    trace = circuit.simulate(
+        {"d": [(ns(2), 1)]}, clock_edges=[ns(2)], t_end=ns(4)
+    )
+    assert trace.sampled["f"] == [(ns(2), 0)]
+
+
+def test_setup_violation_reported_in_trace():
+    circuit = LogicCircuit()
+    circuit.add_flop(
+        DFlipFlop(name="f", d="d", q="q", setup=ns(0.5), hold=ns(0.1))
+    )
+    trace = circuit.simulate(
+        {"d": [(ns(4.8), 1)]}, clock_edges=[ns(5)], t_end=ns(6)
+    )
+    assert any(v.kind == "setup" for v in trace.violations)
+
+
+def test_hold_violation_reported_in_trace():
+    circuit = LogicCircuit()
+    circuit.add_flop(
+        DFlipFlop(name="f", d="d", q="q", setup=ns(0.1), hold=ns(0.5))
+    )
+    trace = circuit.simulate(
+        {"d": [(ns(5.2), 1)]}, clock_edges=[ns(5)], t_end=ns(6)
+    )
+    assert any(v.kind == "hold" for v in trace.violations)
+
+
+def test_clock_offset_shifts_sampling():
+    circuit = LogicCircuit()
+    circuit.add_flop(
+        DFlipFlop(name="f", d="d", q="q", clock_offset=ns(1.0))
+    )
+    # Data arrives between nominal edge and delayed sampling instant.
+    trace = circuit.simulate(
+        {"d": [(ns(5.3), 1)]}, clock_edges=[ns(5)], t_end=ns(8)
+    )
+    (t_sample, sampled), = trace.sampled["f"]
+    assert t_sample == pytest.approx(ns(6.0))
+    assert sampled == 1  # delayed flop sees new data
+
+
+def test_transition_count():
+    circuit = LogicCircuit()
+    circuit.add_gate("inv", GateType.NOT, ["a"], "z", ns(0.1))
+    trace = circuit.simulate(
+        {"a": [(ns(1), 1), (ns(2), 0), (ns(3), 1)]}, clock_edges=[], t_end=ns(5)
+    )
+    assert trace.transition_count("a") == 3
+
+
+def test_unknown_stimulus_net_rejected():
+    circuit = LogicCircuit()
+    circuit.add_gate("g", GateType.BUF, ["a"], "z", ns(1))
+    with pytest.raises(KeyError):
+        circuit.simulate({"bogus": [(0.0, 1)]}, clock_edges=[], t_end=ns(1))
+
+
+# --------------------------------------------------------------------- #
+# Synthetic pipelines (Sec.-1 motivation)
+# --------------------------------------------------------------------- #
+
+def test_delay_chain_total_delay():
+    circuit = LogicCircuit()
+    delay_chain(circuit, "a", "z", ns(1.3), stage_delay=ns(0.25))
+    trace = circuit.simulate({"a": [(ns(2), 1)]}, clock_edges=[], t_end=ns(6))
+    t_out = None
+    for t, v in trace.changes["z"]:
+        if v == 1 and t > 0:
+            t_out = t
+            break
+    assert t_out == pytest.approx(ns(3.3), abs=1e-12)
+
+
+def test_pipeline_passes_at_speed_when_healthy():
+    circuit, flops = build_pipeline([ns(3), ns(3)])
+    result = at_speed_test(circuit, flops, period=ns(10))
+    assert result["passed"]
+    assert result["violations"] == []
+
+
+def test_pipeline_fails_when_path_too_slow():
+    circuit, flops = build_pipeline([ns(12), ns(3)])
+    result = at_speed_test(circuit, flops, period=ns(10))
+    assert not result["passed"]
+
+
+def test_clock_delay_fault_is_masked():
+    """The paper's Sec.-1 claim: a delayed flip-flop's response is masked
+    by its delayed sampling - the at-speed test still passes."""
+    circuit, flops = build_pipeline(
+        [ns(3), ns(3)], clock_offsets=[0.0, ns(2.0), 0.0]
+    )
+    result = at_speed_test(circuit, flops, period=ns(10))
+    assert result["passed"], "conventional testing must miss this fault"
+
+
+def test_large_clock_delay_finally_fails():
+    """Only when the stolen downstream slack is exhausted does the
+    conventional test notice anything."""
+    circuit, flops = build_pipeline(
+        [ns(3), ns(3)], clock_offsets=[0.0, ns(8.0), 0.0]
+    )
+    result = at_speed_test(circuit, flops, period=ns(10))
+    assert not result["passed"]
+
+
+def test_pipeline_offset_count_validated():
+    with pytest.raises(ValueError):
+        build_pipeline([ns(1)], clock_offsets=[0.0, 0.0, 0.0])

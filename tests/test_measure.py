@@ -1,0 +1,70 @@
+"""Derived waveform measurements."""
+
+import numpy as np
+import pytest
+
+from repro.analog.measure import (
+    crossing_time,
+    delay_between,
+    logic_value,
+    skew_between,
+)
+from repro.analog.waveform import Waveform
+
+
+def ramp(t0, t1, lo=0.0, hi=5.0, name="r"):
+    return Waveform(
+        times=np.array([0.0, t0, t1, t1 + 1.0]),
+        values=np.array([lo, lo, hi, hi]),
+        name=name,
+    )
+
+
+def test_crossing_time_wrapper():
+    w = ramp(1.0, 2.0)
+    assert crossing_time(w, 2.5) == pytest.approx(1.5)
+
+
+def test_delay_between_simple():
+    cause = ramp(1.0, 2.0)
+    effect = ramp(2.0, 3.0)
+    assert delay_between(cause, effect, 2.5) == pytest.approx(1.0)
+
+
+def test_delay_between_searches_after_cause():
+    """An effect crossing *before* the cause crossing is ignored."""
+    cause = ramp(2.0, 3.0)
+    early_effect = ramp(0.5, 1.0)
+    assert delay_between(cause, early_effect, 2.5) is None
+
+
+def test_delay_between_none_without_cause_crossing():
+    flat = Waveform(times=np.array([0.0, 1.0]), values=np.array([0.0, 0.0]))
+    effect = ramp(1.0, 2.0)
+    assert delay_between(flat, effect, 2.5) is None
+
+
+def test_skew_between_sign_convention():
+    """Positive skew = second signal lags (the paper's tau)."""
+    a = ramp(1.0, 1.2)
+    b = ramp(1.5, 1.7)
+    assert skew_between(a, b) == pytest.approx(0.5)
+    assert skew_between(b, a) == pytest.approx(-0.5)
+
+
+def test_skew_between_falling_edges():
+    a = Waveform(times=np.array([0.0, 1.0, 1.2, 5.0]), values=np.array([5, 5, 0, 0.0]))
+    b = Waveform(times=np.array([0.0, 2.0, 2.2, 5.0]), values=np.array([5, 5, 0, 0.0]))
+    assert skew_between(a, b, rising=False) == pytest.approx(1.0)
+
+
+def test_skew_none_when_signal_never_crosses():
+    a = ramp(1.0, 1.2)
+    flat = Waveform(times=np.array([0.0, 5.0]), values=np.array([0.0, 0.0]))
+    assert skew_between(a, flat) is None
+
+
+def test_logic_value_threshold():
+    assert logic_value(2.8, 2.75) == 1
+    assert logic_value(2.7, 2.75) == 0
+    assert logic_value(2.75, 2.75) == 0  # strictly above flags 1

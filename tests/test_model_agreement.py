@@ -1,0 +1,89 @@
+"""Cross-model agreement: behavioural scheme vs electrical ground truth.
+
+The Fig.-6 campaigns run on the calibrated behavioural sensor model
+(skew vs ``tau_min``); these tests sweep randomised tree faults and check
+that, away from the threshold's immediate neighbourhood, the behavioural
+verdict always matches the transistor-level sensor simulated with the
+same pair skew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.faults import CrosstalkCoupling, ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.tree import Buffer
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SkewSensor
+from repro.core.sensitivity import extract_tau_min
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import fF, ns
+
+
+@pytest.fixture(scope="module")
+def setup(fast_options):
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    tau_min = extract_tau_min(fF(160), tolerance=ns(0.005), options=fast_options)
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=tau_min, max_distance=8e-3, top_k=2
+    )
+    return tree, tau_min, scheme
+
+
+FAULT_CASES = [
+    ("open-2k", lambda victim: ResistiveOpen(victim, 2_000.0)),
+    ("open-9k", lambda victim: ResistiveOpen(victim, 9_000.0)),
+    ("open-20k", lambda victim: ResistiveOpen(victim, 20_000.0)),
+    ("xtalk-300f", lambda victim: CrosstalkCoupling(victim, 300e-15)),
+    ("xtalk-1200f", lambda victim: CrosstalkCoupling(victim, 1200e-15)),
+]
+
+
+@pytest.mark.parametrize("label,make_fault", FAULT_CASES)
+def test_behavioural_matches_electrical(setup, fast_options, label, make_fault):
+    tree, tau_min, scheme = setup
+    placement = scheme.placements[0]
+    victim = placement.pair.sink_b
+    fault = make_fault(victim)
+
+    delays = sink_delays(fault.apply(tree))
+    skew = delays[placement.pair.sink_b] - delays[placement.pair.sink_a]
+
+    # Skip the ambiguous band where both models legitimately dither.
+    if abs(abs(skew) - tau_min) < 0.25 * tau_min:
+        pytest.skip("skew inside the threshold's ambiguity band")
+
+    behavioural = ClockTestingScheme._behavioural_code(skew, tau_min)
+    response = simulate_sensor(
+        SkewSensor(load1=fF(160), load2=fF(160)), skew=skew,
+        options=fast_options,
+    )
+    assert behavioural == response.code, (
+        f"{label}: skew {skew:.3e}, behavioural {behavioural}, "
+        f"electrical {response.code}"
+    )
+
+
+def test_agreement_on_random_perturbations(setup, fast_options):
+    """Random process-variation trees: the two models agree on every pair
+    whose skew is clear of the ambiguity band."""
+    from repro.clocktree.faults import perturb_tree
+
+    tree, tau_min, scheme = setup
+    rng = np.random.default_rng(17)
+    checked = 0
+    for _ in range(4):
+        delays = sink_delays(perturb_tree(tree, rng, relative_variation=0.2))
+        placement = scheme.placements[0]
+        skew = delays[placement.pair.sink_b] - delays[placement.pair.sink_a]
+        if abs(abs(skew) - tau_min) < 0.25 * tau_min:
+            continue
+        behavioural = ClockTestingScheme._behavioural_code(skew, tau_min)
+        response = simulate_sensor(
+            SkewSensor(load1=fF(160), load2=fF(160)), skew=skew,
+            options=fast_options,
+        )
+        assert behavioural == response.code
+        checked += 1
+    assert checked >= 2, "too few clear-band samples; widen the trial set"

@@ -1,0 +1,155 @@
+"""Level-1 MOSFET model: regions, continuity, derivatives, device object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.mosfet import Mosfet, MosfetType, level1_ids
+from repro.devices.process import nominal_process
+
+VT, BETA, LAM = 0.75, 1e-3, 0.02
+
+
+def ids(vgs, vds):
+    return level1_ids(np.array(vgs), np.array(vds), VT, BETA, LAM)[0]
+
+
+def test_cutoff_region_zero_current():
+    assert ids(0.5, 3.0) == 0.0
+    assert ids(VT, 3.0) == 0.0
+
+
+def test_saturation_current_value():
+    vgs, vds = 3.0, 4.0
+    expected = 0.5 * BETA * (vgs - VT) ** 2 * (1 + LAM * vds)
+    assert np.isclose(ids(vgs, vds), expected)
+
+
+def test_triode_current_value():
+    vgs, vds = 3.0, 0.5
+    vov = vgs - VT
+    expected = BETA * (vov * vds - 0.5 * vds**2) * (1 + LAM * vds)
+    assert np.isclose(ids(vgs, vds), expected)
+
+
+def test_current_continuous_at_saturation_boundary():
+    vgs = 3.0
+    vds = vgs - VT
+    below = ids(vgs, vds - 1e-9)
+    above = ids(vgs, vds + 1e-9)
+    assert np.isclose(below, above, rtol=1e-6)
+
+
+def test_current_continuous_at_cutoff_boundary():
+    assert ids(VT + 1e-9, 2.0) < 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    vgs=st.floats(0.0, 5.0),
+    vds=st.floats(0.0, 5.0),
+)
+def test_current_non_negative(vgs, vds):
+    assert ids(vgs, vds) >= 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vgs=st.floats(0.0, 5.0),
+    vds1=st.floats(0.0, 5.0),
+    vds2=st.floats(0.0, 5.0),
+)
+def test_current_monotone_in_vds(vgs, vds1, vds2):
+    lo, hi = sorted((vds1, vds2))
+    assert ids(vgs, lo) <= ids(vgs, hi) + 1e-15
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    vds=st.floats(0.01, 5.0),
+    vgs1=st.floats(0.0, 5.0),
+    vgs2=st.floats(0.0, 5.0),
+)
+def test_current_monotone_in_vgs(vds, vgs1, vgs2):
+    lo, hi = sorted((vgs1, vgs2))
+    assert ids(lo, vds) <= ids(hi, vds) + 1e-15
+
+
+@settings(max_examples=50, deadline=None)
+@given(vgs=st.floats(0.0, 5.0), vds=st.floats(0.0, 5.0))
+def test_derivatives_match_finite_differences(vgs, vds):
+    """gm and gds agree with numerical differentiation away from the
+    region boundaries."""
+    h = 1e-6
+    vov = vgs - VT
+    # Skip points within 10*h of a region boundary.
+    if abs(vov) < 10 * h or abs(vds - vov) < 10 * h:
+        return
+    i0, gm, gds = level1_ids(
+        np.array(vgs), np.array(vds), VT, BETA, LAM
+    )
+    i_gp = ids(vgs + h, vds)
+    i_dp = ids(vgs, vds + h)
+    assert np.isclose(gm, (i_gp - i0) / h, rtol=1e-3, atol=1e-12)
+    assert np.isclose(gds, (i_dp - i0) / h, rtol=1e-3, atol=1e-12)
+
+
+def test_vectorised_evaluation_matches_scalar():
+    vgs = np.array([0.0, 1.0, 3.0, 5.0])
+    vds = np.array([1.0, 0.2, 4.0, 0.1])
+    batch = level1_ids(vgs, vds, VT, BETA, LAM)[0]
+    singles = [ids(g, d) for g, d in zip(vgs, vds)]
+    assert np.allclose(batch, singles)
+
+
+# --------------------------------------------------------------------- #
+# Mosfet device object
+# --------------------------------------------------------------------- #
+
+def _make(mtype=MosfetType.NMOS, **kwargs):
+    card = nominal_process().polarity(mtype is MosfetType.PMOS)
+    defaults = dict(
+        name="m1", drain="d", gate="g", source="s",
+        mtype=mtype, w=2e-6, l=1.2e-6, card=card,
+    )
+    defaults.update(kwargs)
+    return Mosfet(**defaults)
+
+
+def test_beta_scales_with_geometry():
+    narrow = _make(w=2e-6)
+    wide = _make(w=4e-6)
+    assert np.isclose(wide.beta, 2 * narrow.beta)
+
+
+def test_vt_magnitude_positive_for_pmos():
+    m = _make(mtype=MosfetType.PMOS)
+    assert m.vt_magnitude > 0
+
+
+def test_polarity_signs():
+    assert MosfetType.NMOS.sign == 1
+    assert MosfetType.PMOS.sign == -1
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        _make(w=0.0)
+    with pytest.raises(ValueError):
+        _make(l=-1e-6)
+
+
+def test_conflicting_fault_flags_rejected():
+    with pytest.raises(ValueError):
+        _make(stuck_open=True, stuck_on=True)
+
+
+def test_parasitic_estimates_positive():
+    m = _make()
+    assert m.gate_capacitance > 0
+    assert m.junction_capacitance > 0
+
+
+def test_nodes_tuple():
+    assert _make().nodes() == ("d", "g", "s")

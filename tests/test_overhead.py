@@ -1,0 +1,128 @@
+"""Scheme cost model: area, clock loading, induced skew; process corners."""
+
+import pytest
+
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.tree import Buffer
+from repro.core.overhead import scheme_overhead, sensor_overhead
+from repro.core.sensing import SensorSizing, SkewSensor
+from repro.devices.process import corner_process, nominal_process
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns, um
+
+
+def test_sensor_overhead_counts_ten_transistors():
+    cost = sensor_overhead()
+    assert cost.transistor_count == 10
+    assert cost.gate_area > 0
+    assert cost.active_area > cost.gate_area
+
+
+def test_sensor_input_capacitance_three_gates_per_clock():
+    """phi1 drives b, d, f; phi2 drives a, g, i."""
+    sensor = SkewSensor()
+    cost = sensor_overhead(sensor)
+    netlist = sensor.build()
+    expected1 = sum(
+        m.gate_capacitance for m in netlist.mosfets if m.gate == "phi1"
+    )
+    assert cost.input_capacitance_phi1 == pytest.approx(expected1)
+    assert cost.input_capacitance_phi1 > 0
+    # Symmetric circuit: both clock pins load equally.
+    assert cost.input_capacitance_phi1 == pytest.approx(
+        cost.input_capacitance_phi2
+    )
+
+
+def test_overhead_scales_with_sizing():
+    small = sensor_overhead(SkewSensor(sizing=SensorSizing(w_n=um(1.2))))
+    large = sensor_overhead(SkewSensor(sizing=SensorSizing(w_n=um(4.8))))
+    assert large.gate_area > small.gate_area
+    assert large.input_capacitance_phi1 > small.input_capacitance_phi1
+
+
+def test_scheme_overhead_totals():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=8e-3, top_k=4
+    )
+    cost = scheme_overhead(scheme)
+    assert cost.n_sensors == 4
+    assert cost.total_transistors == 40
+    assert cost.worst_added_load > 0
+    assert set(cost.added_load_per_sink) <= {
+        s.name for s in tree.sinks()
+    }
+
+
+def test_instrumentation_slows_monitored_sinks_only():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=8e-3, top_k=2
+    )
+    cost = scheme_overhead(scheme)
+    for sink, pristine in cost.pristine_delays.items():
+        instrumented = cost.instrumented_delays[sink]
+        if sink in cost.added_load_per_sink:
+            assert instrumented > pristine
+        else:
+            assert instrumented == pytest.approx(pristine, rel=1e-9)
+
+
+def test_induced_skew_below_sensitivity():
+    """The instrumentation must not trigger its own sensors."""
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=8e-3, top_k=6
+    )
+    cost = scheme_overhead(scheme)
+    assert cost.induced_skew < ns(0.12)
+
+
+def test_scheme_overhead_empty_placement():
+    tree = build_h_tree(levels=1)
+    scheme = ClockTestingScheme(tree, placements=[])
+    cost = scheme_overhead(scheme)
+    assert cost.n_sensors == 0
+    assert cost.worst_added_load == 0.0
+    assert cost.induced_skew == pytest.approx(0.0, abs=1e-18)
+
+
+# --------------------------------------------------------------------- #
+# Process corners
+# --------------------------------------------------------------------- #
+
+def test_corner_tt_is_nominal():
+    assert corner_process("tt") == nominal_process()
+
+
+def test_corner_ss_slows_both():
+    base = nominal_process()
+    ss = corner_process("ss")
+    assert ss.nmos.vt0 > base.nmos.vt0
+    assert ss.nmos.kp < base.nmos.kp
+    assert abs(ss.pmos.vt0) > abs(base.pmos.vt0)
+    assert ss.pmos.kp < base.pmos.kp
+
+
+def test_corner_ff_speeds_both():
+    base = nominal_process()
+    ff = corner_process("ff")
+    assert ff.nmos.vt0 < base.nmos.vt0
+    assert ff.nmos.kp > base.nmos.kp
+
+
+def test_mixed_corners():
+    sf = corner_process("sf")
+    assert sf.nmos.kp < nominal_process().nmos.kp
+    assert sf.pmos.kp > nominal_process().pmos.kp
+    fs = corner_process("fs")
+    assert fs.nmos.kp > nominal_process().nmos.kp
+    assert fs.pmos.kp < nominal_process().pmos.kp
+
+
+def test_corner_validation():
+    with pytest.raises(ValueError):
+        corner_process("xx")
+    with pytest.raises(ValueError):
+        corner_process("slow")

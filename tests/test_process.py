@@ -1,0 +1,77 @@
+"""Process parameter cards and Monte Carlo perturbation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.process import nominal_process, perturbed_process
+
+
+def test_nominal_polarities():
+    p = nominal_process()
+    assert p.nmos.vt0 > 0
+    assert p.pmos.vt0 < 0
+    assert p.nmos.kp > p.pmos.kp  # electron vs hole mobility
+
+
+def test_nominal_supply():
+    assert nominal_process().vdd == 5.0
+
+
+def test_polarity_lookup():
+    p = nominal_process()
+    assert p.polarity(is_pmos=False) is p.nmos
+    assert p.polarity(is_pmos=True) is p.pmos
+
+
+def test_perturbed_differs_from_nominal():
+    rng = np.random.default_rng(0)
+    p = perturbed_process(rng)
+    base = nominal_process()
+    assert p.nmos.vt0 != base.nmos.vt0
+    assert p.pmos.kp != base.pmos.kp
+
+
+def test_perturbed_is_reproducible():
+    a = perturbed_process(np.random.default_rng(7))
+    b = perturbed_process(np.random.default_rng(7))
+    assert a.nmos == b.nmos
+    assert a.pmos == b.pmos
+
+
+def test_zero_variation_is_identity():
+    rng = np.random.default_rng(0)
+    p = perturbed_process(rng, relative_variation=0.0)
+    base = nominal_process()
+    assert p.nmos.vt0 == base.nmos.vt0
+    assert p.pmos.lam == base.pmos.lam
+
+
+def test_negative_variation_rejected():
+    with pytest.raises(ValueError):
+        perturbed_process(np.random.default_rng(0), relative_variation=-0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), r=st.floats(0.0, 0.3))
+def test_perturbation_stays_in_band(seed, r):
+    """Every parameter lands within nominal * (1 +/- r) - the uniform
+    relative window the paper specifies."""
+    rng = np.random.default_rng(seed)
+    base = nominal_process()
+    p = perturbed_process(rng, relative_variation=r, base=base)
+    for card, ref in ((p.nmos, base.nmos), (p.pmos, base.pmos)):
+        for attr in ("vt0", "kp", "lam", "cox_per_area", "cj_per_width"):
+            value = getattr(card, attr)
+            nominal = getattr(ref, attr)
+            lo, hi = sorted((nominal * (1 - r), nominal * (1 + r)))
+            assert lo - 1e-18 <= value <= hi + 1e-18
+
+
+def test_perturbed_preserves_sign_of_vt():
+    """A 15 % variation never flips a threshold's polarity."""
+    for seed in range(20):
+        p = perturbed_process(np.random.default_rng(seed))
+        assert p.nmos.vt0 > 0
+        assert p.pmos.vt0 < 0

@@ -1,0 +1,159 @@
+"""ASCII rendering and composite reports."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import Waveform
+from repro.core.sensitivity import SensitivityCurve
+from repro.report.render import ascii_curve, ascii_waveform, format_table
+from repro.units import fF, ns
+
+
+def ramp_wave():
+    return Waveform(
+        times=np.array([0.0, 1.0, 2.0]),
+        values=np.array([0.0, 5.0, 0.0]),
+    )
+
+
+def test_ascii_waveform_dimensions():
+    art = ascii_waveform(ramp_wave(), rows=8, cols=20)
+    lines = art.split("\n")
+    assert len(lines) == 8
+    assert all(len(line) == 20 for line in lines)
+    assert art.count("*") == 20  # one mark per column
+
+
+def test_ascii_waveform_peak_at_top():
+    art = ascii_waveform(ramp_wave(), rows=6, cols=21, v_max=5.0)
+    lines = art.split("\n")
+    middle = 10
+    column = [line[middle] for line in lines]
+    assert column[0] == "*"  # 5 V peak lands on the top row
+
+
+def test_ascii_waveform_validates():
+    with pytest.raises(ValueError):
+        ascii_waveform(ramp_wave(), rows=1)
+    with pytest.raises(ValueError):
+        ascii_waveform(ramp_wave(), t0=2.0, t1=1.0)
+
+
+def test_ascii_curve_contains_markers_and_line():
+    art = ascii_curve([0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0], y_line=1.5)
+    assert "o" in art
+    assert "-" in art
+
+
+def test_ascii_curve_validates():
+    with pytest.raises(ValueError):
+        ascii_curve([], [])
+    with pytest.raises(ValueError):
+        ascii_curve([1, 2], [1.0])
+
+
+def test_ascii_curve_degenerate_ranges():
+    art = ascii_curve([1, 1], [2.0, 2.0])
+    assert "o" in art
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"], [("alpha", 1.0), ("b", 22.5)]
+    )
+    lines = text.split("\n")
+    assert len(lines) == 4
+    assert lines[1].replace(" ", "").startswith("-")
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # rectangular
+
+
+def test_waveform_report_includes_code(no_skew_response):
+    from repro.report import waveform_report
+
+    text = waveform_report(no_skew_response, t0=ns(1), t1=ns(12))
+    assert "code = (0, 0)" in text
+    assert "y1:" in text and "y2:" in text
+
+
+def test_sensitivity_report_lists_tau_min():
+    from repro.report import sensitivity_report
+
+    curve = SensitivityCurve(
+        load=fF(160), slew=ns(0.2),
+        skews=np.array([0.0, 1e-10, 2e-10]),
+        vmins=np.array([1.0, 2.0, 4.0]),
+    )
+    text = sensitivity_report([curve])
+    assert "160 fF" in text
+    assert "tau_min" in text
+
+
+def test_testability_report_text_structure():
+    from repro.faults.models import NodeStuckAt
+    from repro.testing.testability import FaultVerdict, TestabilityReport
+
+    report = TestabilityReport()
+    report.verdicts["stuck-at"] = [
+        FaultVerdict(
+            fault=NodeStuckAt("y1", 0),
+            detected_logic=True, detected_iddq=True,
+            iddq_current=1e-3, codes=[],
+        ),
+        FaultVerdict(
+            fault=NodeStuckAt("y1", 1),
+            detected_logic=False, detected_iddq=False,
+            iddq_current=1e-9, codes=[],
+        ),
+    ]
+    from repro.report import testability_report_text
+
+    text = testability_report_text(report)
+    assert "stuck-at" in text
+    assert "50 %" in text
+    assert "escapes" in text
+
+
+# --------------------------------------------------------------------- #
+# Report aggregation
+# --------------------------------------------------------------------- #
+
+def test_collect_results_empty_dir(tmp_path):
+    from repro.report.aggregate import collect_results
+
+    assert collect_results(str(tmp_path / "nope")) == {}
+
+
+def test_build_report_orders_sections(tmp_path):
+    from repro.report.aggregate import build_report
+
+    (tmp_path / "sec3_testability.txt").write_text("SEC3 DATA\n")
+    (tmp_path / "fig2_no_skew.txt").write_text("FIG2 DATA\n")
+    (tmp_path / "custom_extra.txt").write_text("EXTRA DATA\n")
+    text = build_report(str(tmp_path))
+    assert text.index("FIG2 DATA") < text.index("SEC3 DATA")
+    assert "Additional results" in text
+    assert "EXTRA DATA" in text
+    assert "Not yet regenerated" in text
+
+
+def test_write_report_creates_file(tmp_path):
+    from repro.report.aggregate import write_report
+
+    out = tmp_path / "out"
+    out.mkdir()
+    (out / "fig2_no_skew.txt").write_text("FIG2\n")
+    target = tmp_path / "REPORT.md"
+    path = write_report(str(out), str(target))
+    assert path == str(target)
+    assert "FIG2" in target.read_text()
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "out"
+    out.mkdir()
+    (out / "fig4_sensitivity.txt").write_text("FIG4 ROWS\n")
+    assert main(["report", "--out-dir", str(out)]) == 0
+    assert "FIG4 ROWS" in capsys.readouterr().out

@@ -1,0 +1,102 @@
+"""Scalability smoke tests: larger instances of every substrate."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.dme import build_zero_skew_tree
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.skew import select_critical_pairs
+from repro.clocktree.tree import Buffer
+from repro.logicsim.scan import ScanChainCircuit
+from repro.logicsim.synth import at_speed_test, build_pipeline
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns
+
+
+def test_large_h_tree():
+    """4 levels = 256 sinks; timing stays exact-zero-skew and fast."""
+    tree = build_h_tree(levels=4, buffer=Buffer())
+    delays = sink_delays(tree)
+    assert len(delays) == 256
+    values = np.array(list(delays.values()))
+    assert values.max() - values.min() < 1e-15
+
+
+def test_large_dme_instance():
+    rng = np.random.default_rng(99)
+    sinks = [
+        (f"s{k}",
+         (float(rng.uniform(0, 15e-3)), float(rng.uniform(0, 15e-3))),
+         float(rng.uniform(20e-15, 120e-15)))
+        for k in range(128)
+    ]
+    tree = build_zero_skew_tree(sinks)
+    delays = np.array(list(sink_delays(tree).values()))
+    assert delays.max() - delays.min() < 1e-6 * delays.mean()
+    assert len(tree.sinks()) == 128
+
+
+def test_scheme_plan_on_large_tree():
+    tree = build_h_tree(levels=3, buffer=Buffer())  # 64 sinks
+    scheme = ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=3e-3, top_k=16
+    )
+    assert len(scheme.placements) == 16
+    observations = scheme.observe()
+    assert all(not o.flagged for o in observations)
+
+
+def test_pair_selection_scales():
+    tree = build_h_tree(levels=3)
+    pairs = select_critical_pairs(tree, max_distance=20e-3)
+    # 64 sinks -> C(64,2) = 2016 candidate pairs, all within range.
+    assert len(pairs) == 2016
+
+
+def test_deep_pipeline_simulation():
+    stages = [ns(2.0)] * 12
+    circuit, flops = build_pipeline(stages)
+    result = at_speed_test(circuit, flops, period=ns(10), n_cycles=20)
+    assert result["passed"]
+    assert len(flops) == 13
+
+
+def test_long_scan_chain():
+    chain = ScanChainCircuit(n=32)
+    pattern = [k % 2 for k in range(32)]
+    stream, _ = chain.run_capture_and_shift(pattern)
+    assert stream == list(reversed(pattern))
+
+
+def test_wide_analog_netlist():
+    """Four sensors grafted on shared clocks: ~50 free nodes, one run."""
+    from repro.analog.engine import TransientOptions, transient
+    from repro.circuit.compose import graft, prefixed_guess
+    from repro.circuit.netlist import Netlist
+    from repro.core.sensing import SkewSensor
+    from repro.devices.sources import clock_pair
+
+    phi1, phi2 = clock_pair(ns(20), ns(0.2), ns(0.2), skew=ns(0.6), delay=ns(2))
+    host = Netlist(name="bank")
+    host.drive_dc("vdd", 5.0)
+    host.drive("phi1", phi1)
+    host.drive("phi2", phi2)
+    sensor = SkewSensor()
+    initial = {}
+    outputs = []
+    for k in range(4):
+        mapping = graft(
+            host, sensor.build(), prefix=f"s{k}",
+            connections={"phi1": "phi1", "phi2": "phi2"},
+        )
+        initial.update(prefixed_guess(sensor.dc_guess(), mapping))
+        outputs.extend([mapping["y1"], mapping["y2"]])
+    result = transient(
+        host, t_stop=ns(12), record=outputs, initial=initial,
+        options=TransientOptions(dt_max=200e-12, reltol=5e-3),
+    )
+    # Every instance reports the same 01 error indication.
+    for k in range(4):
+        assert result.wave(f"s{k}_y1").at(ns(8)) < 1.0
+        assert result.wave(f"s{k}_y2").at(ns(8)) > 4.0

@@ -1,0 +1,91 @@
+"""The Fig.-6 testing scheme over a clock tree."""
+
+import pytest
+
+from repro.clocktree.faults import CrosstalkCoupling, ResistiveOpen
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.tree import Buffer
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns
+
+
+@pytest.fixture()
+def scheme():
+    tree = build_h_tree(levels=2, buffer=Buffer())
+    return ClockTestingScheme.plan(
+        tree, tau_min=ns(0.12), max_distance=6e-3, top_k=4
+    )
+
+
+def test_plan_places_requested_sensor_count(scheme):
+    assert len(scheme.placements) == 4
+    assert len(scheme.scan_path) == 4
+
+
+def test_nominal_tree_raises_no_flags(scheme):
+    observations = scheme.observe()
+    assert all(not o.flagged for o in observations)
+    assert scheme.scan_out() == [0, 0, 0, 0]
+    assert not scheme.online_alarm()
+
+
+def test_injected_open_flags_monitored_pair(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    fault = ResistiveOpen(node=victim, extra_resistance=8000.0)
+    observations = scheme.observe(fault.apply(scheme.tree))
+    flagged = [o for o in observations if o.flagged]
+    assert flagged, "an 8 kohm open on a monitored wire must be seen"
+    assert any(victim in o.placement.indicator.name for o in flagged)
+    assert scheme.online_alarm()
+    assert 1 in scheme.scan_out()
+
+
+def test_indicators_latch_across_observations(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    fault = ResistiveOpen(node=victim, extra_resistance=8000.0)
+    scheme.observe(fault.apply(scheme.tree))
+    # Fault disappears (transient); the latch must persist.
+    scheme.observe()
+    assert scheme.flagged_pairs()
+
+
+def test_reset_clears_latches(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    scheme.observe(
+        ResistiveOpen(node=victim, extra_resistance=8000.0).apply(scheme.tree)
+    )
+    scheme.reset()
+    assert scheme.flagged_pairs() == []
+    assert scheme.scan_out() == [0, 0, 0, 0]
+
+
+def test_skew_below_sensitivity_not_flagged(scheme):
+    victim = scheme.placements[0].pair.sink_a
+    tiny = CrosstalkCoupling(node=victim, coupling_capacitance=5e-15)
+    observations = scheme.observe(tiny.apply(scheme.tree))
+    assert all(not o.flagged for o in observations)
+
+
+def test_behavioural_code_convention():
+    assert ClockTestingScheme._behavioural_code(ns(0.2), ns(0.1)) == (0, 1)
+    assert ClockTestingScheme._behavioural_code(-ns(0.2), ns(0.1)) == (1, 0)
+    assert ClockTestingScheme._behavioural_code(ns(0.05), ns(0.1)) == (0, 0)
+
+
+def test_nominal_skews_zero_on_htree(scheme):
+    for skew in scheme.nominal_skews().values():
+        assert abs(skew) < 1e-15
+
+
+def test_electrical_observation_agrees_with_behavioural(scheme, fast_options):
+    """Ground-truth transistor-level evaluation of one faulted pair agrees
+    with the calibrated behavioural model."""
+    victim = scheme.placements[0].pair.sink_a
+    fault = ResistiveOpen(node=victim, extra_resistance=8000.0)
+    faulty_tree = fault.apply(scheme.tree)
+
+    behavioural = scheme.observe(faulty_tree)
+    scheme.reset()
+    electrical = scheme.observe(faulty_tree, electrical=True, options=fast_options)
+    for b, e in zip(behavioural, electrical):
+        assert b.code == e.code, b.placement.indicator.name

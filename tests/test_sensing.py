@@ -1,0 +1,140 @@
+"""Structure of the Fig.-1 sensing circuit netlist."""
+
+import pytest
+
+from repro.circuit.validate import validate
+from repro.core.sensing import (
+    PARALLEL_PULLUPS,
+    SENSOR_TRANSISTORS,
+    SensorSizing,
+    SkewSensor,
+)
+from repro.devices.mosfet import MosfetType
+from repro.units import fF, um
+
+
+def test_ten_transistors_in_paper_order():
+    netlist = SkewSensor().build()
+    names = [m.name for m in netlist.mosfets]
+    assert names == list(SENSOR_TRANSISTORS)
+
+
+def test_polarity_split():
+    """Six PMOS (pull-ups) and four NMOS (pull-downs)."""
+    netlist = SkewSensor().build()
+    pmos = [m.name for m in netlist.mosfets if m.mtype is MosfetType.PMOS]
+    nmos = [m.name for m in netlist.mosfets if m.mtype is MosfetType.NMOS]
+    assert sorted(pmos) == ["a", "b", "c", "f", "g", "h"]
+    assert sorted(nmos) == ["d", "e", "i", "l"]
+
+
+def test_parallel_pullups_share_terminals():
+    """b and c (g and h) join the same internal node to the same output -
+    the 'parallel pull-up transistors' of Sec. 3."""
+    netlist = SkewSensor().build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    assert {by_name["b"].drain, by_name["b"].source} == {
+        by_name["c"].drain, by_name["c"].source,
+    }
+    assert {by_name["g"].drain, by_name["g"].source} == {
+        by_name["h"].drain, by_name["h"].source,
+    }
+    assert set(PARALLEL_PULLUPS) == {"b", "c", "g", "h"}
+
+
+def test_feedback_cross_coupling():
+    """Block A is gated by y2 (c, e) and block B by y1 (h, l)."""
+    netlist = SkewSensor().build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    assert by_name["c"].gate == "y2"
+    assert by_name["e"].gate == "y2"
+    assert by_name["h"].gate == "y1"
+    assert by_name["l"].gate == "y1"
+
+
+def test_pulldown_stacks():
+    """Each output discharges through a two-NMOS series stack whose bottom
+    device is feedback-gated ('the transistor driven by y1 (l)')."""
+    netlist = SkewSensor().build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    assert by_name["d"].drain == "y1" and by_name["d"].source == "pA"
+    assert by_name["e"].drain == "pA" and by_name["e"].source == "0"
+    assert by_name["i"].drain == "y2" and by_name["i"].source == "pB"
+    assert by_name["l"].drain == "pB" and by_name["l"].source == "0"
+
+
+def test_series_pullup_gated_by_other_clock():
+    """a (f) is gated by the *other* clock - this is what puts the late
+    block's output in high impedance during a skew."""
+    netlist = SkewSensor().build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    assert by_name["a"].gate == "phi2" and by_name["a"].source == "vdd"
+    assert by_name["f"].gate == "phi1" and by_name["f"].source == "vdd"
+
+
+def test_mirror_symmetry():
+    """Block B is block A under the swap phi1<->phi2, y1<->y2."""
+    netlist = SkewSensor().build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    swap = {
+        "phi1": "phi2", "phi2": "phi1", "y1": "y2", "y2": "y1",
+        "nA": "nB", "pA": "pB", "vdd": "vdd", "0": "0",
+    }
+    mirror = {"a": "f", "b": "g", "c": "h", "d": "i", "e": "l"}
+    for a_name, b_name in mirror.items():
+        a_dev, b_dev = by_name[a_name], by_name[b_name]
+        assert swap[a_dev.drain] == b_dev.drain
+        assert swap[a_dev.gate] == b_dev.gate
+        assert swap[a_dev.source] == b_dev.source
+        assert a_dev.mtype is b_dev.mtype
+
+
+def test_loads_attached():
+    netlist = SkewSensor(load1=fF(80), load2=fF(240)).build()
+    caps = {c.name: c for c in netlist.capacitors}
+    assert caps["cload1"].capacitance == pytest.approx(fF(80))
+    assert caps["cload2"].capacitance == pytest.approx(fF(240))
+
+
+def test_zero_load_omits_capacitor():
+    netlist = SkewSensor(load1=0.0, load2=0.0, parasitics=False).build()
+    assert netlist.capacitors == []
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ValueError):
+        SkewSensor(load1=-fF(1))
+
+
+def test_parasitics_toggle():
+    bare = SkewSensor(parasitics=False).build()
+    rich = SkewSensor(parasitics=True).build()
+    assert len(rich.capacitors) > len(bare.capacitors)
+    # Parasitics never load the ideal clock inputs or rails.
+    for cap in rich.capacitors:
+        if cap.name.startswith("cpar_"):
+            assert cap.a not in ("vdd", "phi1", "phi2")
+
+
+def test_full_swing_adds_keepers():
+    plain = SkewSensor(full_swing=False).build()
+    keeper = SkewSensor(full_swing=True).build()
+    assert len(keeper.mosfets) == len(plain.mosfets) + 6
+    names = {m.name for m in keeper.mosfets}
+    assert {"kp1", "kn1", "kw1", "kp2", "kn2", "kw2"} <= names
+
+
+def test_netlist_validates_cleanly():
+    sensor = SkewSensor()
+    netlist = sensor.build()
+    netlist.drive_dc("phi1", 0.0)
+    netlist.drive_dc("phi2", 0.0)
+    assert validate(netlist) == []
+
+
+def test_custom_sizing_propagates():
+    sizing = SensorSizing(w_n=um(3.0), w_p=um(7.0))
+    netlist = SkewSensor(sizing=sizing).build()
+    by_name = {m.name: m for m in netlist.mosfets}
+    assert by_name["d"].w == pytest.approx(um(3.0))
+    assert by_name["a"].w == pytest.approx(um(7.0))

@@ -1,0 +1,102 @@
+"""Sensitivity analysis (Fig. 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    SensitivityCurve,
+    extract_tau_min,
+    sweep_skew,
+    vmin_for_skew,
+)
+from repro.units import VTH_INTERPRET, fF, ns
+
+
+def test_curve_tau_min_interpolates():
+    curve = SensitivityCurve(
+        load=fF(160),
+        slew=ns(0.2),
+        skews=np.array([0.0, 1e-10, 2e-10]),
+        vmins=np.array([1.0, 2.0, 4.0]),
+        threshold=2.75,
+    )
+    # Crossing between 1e-10 (2.0 V) and 2e-10 (4.0 V).
+    expected = 1e-10 + (2.75 - 2.0) / 2.0 * 1e-10
+    assert curve.tau_min == pytest.approx(expected)
+
+
+def test_curve_tau_min_none_when_never_crossing():
+    curve = SensitivityCurve(
+        load=fF(160), slew=ns(0.2),
+        skews=np.array([0.0, 1e-10]), vmins=np.array([1.0, 2.0]),
+    )
+    assert curve.tau_min is None
+
+
+def test_curve_tau_min_at_first_point():
+    curve = SensitivityCurve(
+        load=fF(160), slew=ns(0.2),
+        skews=np.array([1e-10, 2e-10]), vmins=np.array([3.0, 4.0]),
+    )
+    assert curve.tau_min == pytest.approx(1e-10)
+
+
+def test_vmin_monotone_in_skew(fast_options):
+    """The Fig.-4 curves rise monotonically with tau."""
+    taus = [0.0, ns(0.1), ns(0.25), ns(0.5)]
+    vmins = [
+        vmin_for_skew(t, fF(160), ns(0.2), options=fast_options) for t in taus
+    ]
+    assert all(a < b for a, b in zip(vmins, vmins[1:]))
+
+
+def test_zero_skew_vmin_below_threshold(fast_options):
+    assert vmin_for_skew(0.0, fF(160), ns(0.2), options=fast_options) < VTH_INTERPRET
+
+
+def test_large_skew_vmin_near_vdd(fast_options):
+    assert vmin_for_skew(ns(2.0), fF(160), ns(0.2), options=fast_options) > 4.5
+
+
+def test_sweep_returns_curve(fast_options):
+    taus = [0.0, ns(0.2), ns(0.5)]
+    curve = sweep_skew(fF(80), ns(0.2), taus, options=fast_options)
+    assert curve.load == fF(80)
+    assert len(curve.vmins) == 3
+    assert curve.tau_min is not None
+    assert 0.0 < curve.tau_min < ns(0.5)
+
+
+def test_tau_min_grows_with_load(fast_options):
+    """The paper's central sensitivity trend: heavier load -> slower y1
+    fall -> larger minimum detectable skew."""
+    tm = {
+        c: extract_tau_min(
+            fF(c), tolerance=ns(0.01), options=fast_options
+        )
+        for c in (80, 240)
+    }
+    assert tm[80] < tm[240]
+
+
+def test_tau_min_in_subnanosecond_band(fast_options):
+    """Sensitivities land in the paper's sub-0.25 ns band."""
+    tau = extract_tau_min(fF(160), tolerance=ns(0.01), options=fast_options)
+    assert ns(0.03) < tau < ns(0.25)
+
+
+def test_tau_min_insensitive_to_slew(fast_options):
+    """Fig. 4: 'the circuit is rather unsensitive to the slope of clock
+    signal waveforms' - a 4x slew change moves tau_min by < 20 %."""
+    fast = extract_tau_min(
+        fF(160), slew=ns(0.1), tolerance=ns(0.005), options=fast_options
+    )
+    slow = extract_tau_min(
+        fF(160), slew=ns(0.4), tolerance=ns(0.005), options=fast_options
+    )
+    assert abs(slow - fast) / fast < 0.2
+
+
+def test_extract_tau_min_validates_bracket(fast_options):
+    with pytest.raises(ValueError):
+        extract_tau_min(fF(160), tau_hi=ns(0.001), options=fast_options)

@@ -1,0 +1,144 @@
+"""SPICE export / import round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.spice import format_value, from_spice, parse_value, to_spice
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import ClockSource, DCSource, PulseSource, PWLSource
+from repro.units import ns
+
+
+# --------------------------------------------------------------------- #
+# Value parsing
+# --------------------------------------------------------------------- #
+
+def test_parse_plain_and_exponent():
+    assert parse_value("100") == 100.0
+    assert parse_value("1.5e-13") == 1.5e-13
+    assert parse_value("-3.3") == -3.3
+
+
+def test_parse_engineering_suffixes():
+    assert parse_value("80f") == pytest.approx(80e-15)
+    assert parse_value("1.2u") == pytest.approx(1.2e-6)
+    assert parse_value("100k") == pytest.approx(1e5)
+    assert parse_value("2meg") == pytest.approx(2e6)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_value("abc")
+    with pytest.raises(ValueError):
+        parse_value("1.2.3")
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=st.floats(min_value=1e-18, max_value=1e9,
+                       allow_nan=False, allow_infinity=False))
+def test_format_parse_roundtrip(value):
+    assert math.isclose(parse_value(format_value(value)), value, rel_tol=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# Deck round trips
+# --------------------------------------------------------------------- #
+
+def sensor_deck():
+    sensor = SkewSensor(parasitics=False)
+    netlist = sensor.build()
+    netlist.drive_dc("phi1", 0.0)
+    netlist.drive(
+        "phi2",
+        PulseSource(v0=0, v1=5, delay=ns(2), rise=ns(0.2),
+                    fall=ns(0.2), width=ns(9.8), period=ns(20)),
+    )
+    return netlist
+
+
+def test_export_contains_all_devices():
+    netlist = sensor_deck()
+    deck = to_spice(netlist)
+    assert deck.count("\nM") == len(netlist.mosfets)
+    assert deck.count("\nC") == len(netlist.capacitors)
+    assert ".MODEL" in deck
+    assert deck.rstrip().endswith(".END")
+
+
+def test_roundtrip_preserves_topology():
+    original = sensor_deck()
+    restored = from_spice(to_spice(original))
+    assert len(restored.mosfets) == len(original.mosfets)
+    assert len(restored.capacitors) == len(original.capacitors)
+    for m in original.mosfets:
+        twin = restored.find_mosfet(m.name)
+        assert twin is not None
+        assert twin.nodes() == m.nodes()
+        assert twin.mtype is m.mtype
+        assert twin.w == pytest.approx(m.w, rel=1e-5)
+        assert twin.card.vt0 == pytest.approx(m.card.vt0, rel=1e-5)
+
+
+def test_roundtrip_preserves_sources():
+    original = sensor_deck()
+    restored = from_spice(to_spice(original))
+    assert isinstance(restored.sources["phi1"], DCSource)
+    phi2 = restored.sources["phi2"]
+    assert isinstance(phi2, PulseSource)
+    for t in (0.0, ns(2.1), ns(5), ns(13)):
+        assert phi2.value(t) == pytest.approx(
+            original.sources["phi2"].value(t), abs=1e-9
+        )
+
+
+def test_roundtrip_simulates_identically():
+    """The re-imported sensor behaves like the original."""
+    from repro.analog.engine import TransientOptions, transient
+
+    options = TransientOptions(dt_max=200e-12, reltol=5e-3)
+    original = sensor_deck()
+    restored = from_spice(to_spice(original))
+    a = transient(original, t_stop=ns(8), record=["y1"], options=options)
+    b = transient(restored, t_stop=ns(8), record=["y1"], options=options)
+    for t in (ns(1), ns(3), ns(6)):
+        assert a.wave("y1").at(t) == pytest.approx(b.wave("y1").at(t), abs=0.05)
+
+
+def test_pwl_source_roundtrip():
+    from repro.circuit.netlist import Netlist
+
+    netlist = Netlist(name="pwl")
+    netlist.drive("in", PWLSource([0.0, 1e-9, 2e-9], [0.0, 5.0, 1.0]))
+    netlist.add_resistor("r1", "in", "out", 1000.0)
+    netlist.add_capacitor("c1", "out", "0", 1e-13)
+    restored = from_spice(to_spice(netlist))
+    source = restored.sources["in"]
+    assert source.value(0.5e-9) == pytest.approx(2.5)
+    assert source.value(1.5e-9) == pytest.approx(3.0)
+
+
+def test_clock_source_exports_as_pulse():
+    from repro.circuit.netlist import Netlist
+
+    netlist = Netlist(name="clk")
+    netlist.drive("phi", ClockSource(period=ns(20), slew=ns(0.2), delay=ns(2)))
+    netlist.add_capacitor("c1", "phi", "0", 1e-14)
+    deck = to_spice(netlist)
+    assert "PULSE(" in deck
+    restored = from_spice(deck)
+    for t in (0.0, ns(2.1), ns(7)):
+        assert restored.sources["phi"].value(t) == pytest.approx(
+            netlist.sources["phi"].value(t), abs=1e-9
+        )
+
+
+def test_import_rejects_unsupported_cards():
+    with pytest.raises(ValueError):
+        from_spice("L1 a b 1n\n.END")
+    with pytest.raises(ValueError):
+        from_spice("M1 d g s b missing_model W=1u L=1u\n.END")
+    with pytest.raises(ValueError):
+        from_spice("V1 a b DC 5\n.END")  # not node-to-ground

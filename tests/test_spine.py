@@ -1,0 +1,98 @@
+"""Clock-spine topology and nominal-skew-aware pair selection."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.faults import ResistiveOpen
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.skew import select_critical_pairs
+from repro.clocktree.spine import build_spine, rib_stations
+from repro.clocktree.tree import Buffer
+from repro.testing.scheme import ClockTestingScheme
+from repro.units import ns
+
+
+def test_spine_validation():
+    with pytest.raises(ValueError):
+        build_spine(n_ribs=0)
+    with pytest.raises(ValueError):
+        build_spine(n_ribs=2, sinks_per_rib=0)
+
+
+def test_spine_sink_count():
+    tree = build_spine(n_ribs=3, sinks_per_rib=2)
+    # 3 stations x 2 sides x 2 sinks.
+    assert len(tree.sinks()) == 12
+    assert rib_stations(tree) == ["sp0", "sp1", "sp2"]
+
+
+def test_spine_is_inherently_skewed():
+    """Unlike the H-tree, near and far ribs arrive at different times."""
+    tree = build_spine(n_ribs=4, sinks_per_rib=2, buffer=Buffer())
+    delays = sink_delays(tree)
+    values = np.array(list(delays.values()))
+    assert values.max() - values.min() > ns(0.2)
+
+
+def test_spine_far_ribs_arrive_later():
+    tree = build_spine(n_ribs=4, sinks_per_rib=1, buffer=Buffer())
+    delays = sink_delays(tree)
+    # Sinks are numbered along the spine: the last rib's sinks are latest.
+    first_rib = delays["s0"]
+    last_rib = delays[f"s{len(tree.sinks()) - 1}"]
+    assert last_rib > first_rib
+
+
+def test_nominal_skew_filter_keeps_balanced_pairs_only():
+    tree = build_spine(n_ribs=4, sinks_per_rib=2, buffer=Buffer())
+    delays = sink_delays(tree)
+    limit = ns(0.05)
+    pairs = select_critical_pairs(
+        tree, max_distance=10e-3, max_nominal_skew=limit
+    )
+    assert pairs, "same-rib / mirrored pairs must survive the filter"
+    for p in pairs:
+        assert abs(delays[p.sink_b] - delays[p.sink_a]) <= limit
+    unfiltered = select_critical_pairs(tree, max_distance=10e-3)
+    assert len(unfiltered) > len(pairs)
+
+
+def test_scheme_on_spine_with_filtered_pairs():
+    """With the nominal-skew filter the scheme stays quiet on the healthy
+    comb and still catches a defect on a monitored rib."""
+    tree = build_spine(n_ribs=3, sinks_per_rib=2, buffer=Buffer())
+    pairs = select_critical_pairs(
+        tree, max_distance=10e-3, max_nominal_skew=ns(0.03), top_k=4
+    )
+    from repro.testing.scheme import SensorPlacement
+    from repro.core.sensing import SkewSensor
+
+    scheme = ClockTestingScheme(
+        tree,
+        [SensorPlacement(pair=p, sensor=SkewSensor(), tau_min=ns(0.12))
+         for p in pairs],
+    )
+    healthy = scheme.observe()
+    assert all(not o.flagged for o in healthy)
+
+    victim = pairs[0].sink_a
+    fault = ResistiveOpen(node=victim, extra_resistance=12_000.0)
+    scheme.observe(fault.apply(tree))
+    assert scheme.flagged_pairs()
+
+
+def test_scheme_on_spine_without_filter_self_alarms():
+    """Choosing pairs blind to the design skew on a comb raises alarms on
+    a healthy chip - the failure mode the filter exists for."""
+    tree = build_spine(n_ribs=4, sinks_per_rib=2, buffer=Buffer())
+    from repro.core.sensing import SkewSensor
+    from repro.testing.scheme import SensorPlacement
+
+    unbalanced = select_critical_pairs(tree, max_distance=10e-3, top_k=6)
+    scheme = ClockTestingScheme(
+        tree,
+        [SensorPlacement(pair=p, sensor=SkewSensor(), tau_min=ns(0.12))
+         for p in unbalanced],
+    )
+    observations = scheme.observe()
+    assert any(o.flagged for o in observations)

@@ -1,0 +1,151 @@
+"""DC sweeps, switching thresholds, and waveform edge characterisation."""
+
+import numpy as np
+import pytest
+
+from repro.analog.sweep import dc_sweep, switching_threshold
+from repro.analog.waveform import Waveform
+from repro.circuit.netlist import Netlist
+from repro.devices.mosfet import MosfetType
+from repro.devices.process import nominal_process
+
+
+def inverter_netlist(wp=4e-6, wn=2e-6):
+    p = nominal_process()
+    net = Netlist(name="inv")
+    net.drive_dc("vdd", 5.0)
+    net.drive_dc("in", 0.0)
+    net.add_mosfet("mp", "out", "in", "vdd", MosfetType.PMOS, wp, 1.2e-6, p.pmos)
+    net.add_mosfet("mn", "out", "in", "0", MosfetType.NMOS, wn, 1.2e-6, p.nmos)
+    net.add_capacitor("cl", "out", "0", 50e-15)
+    return net
+
+
+# --------------------------------------------------------------------- #
+# DC sweep
+# --------------------------------------------------------------------- #
+
+def test_sweep_rejects_empty_and_unknown():
+    net = inverter_netlist()
+    with pytest.raises(ValueError):
+        dc_sweep(net, "in", [])
+    with pytest.raises(KeyError):
+        dc_sweep(net, "nonexistent", [0.0])
+    with pytest.raises(KeyError):
+        dc_sweep(net, "in", [0.0], record=["nope"])
+
+
+def test_sweep_does_not_mutate_original():
+    net = inverter_netlist()
+    before = net.sources["in"].value(0.0)
+    dc_sweep(net, "in", [0.0, 5.0], record=["out"])
+    assert net.sources["in"].value(0.0) == before
+
+
+def test_inverter_vtc_monotone_and_rail_to_rail():
+    net = inverter_netlist()
+    curve = dc_sweep(net, "in", np.linspace(0.0, 5.0, 21), record=["out"])
+    out = curve["out"]
+    assert out[0] == pytest.approx(5.0, abs=0.02)
+    assert out[-1] == pytest.approx(0.0, abs=0.02)
+    assert np.all(np.diff(out) <= 1e-6), "VTC must be non-increasing"
+    assert curve["sweep"][3] == pytest.approx(0.75)
+
+
+def test_switching_threshold_between_rails():
+    net = inverter_netlist()
+    vth = switching_threshold(net, "in", "out")
+    assert 1.5 < vth < 3.0
+
+
+def test_switching_threshold_shifts_with_ratio():
+    """A stronger PMOS pushes the threshold up, a stronger NMOS down."""
+    high = switching_threshold(inverter_netlist(wp=12e-6, wn=2e-6), "in", "out")
+    low = switching_threshold(inverter_netlist(wp=4e-6, wn=8e-6), "in", "out")
+    assert high > low
+
+
+def test_switching_threshold_requires_crossing():
+    # A buffer-style source follower never crosses v_out = v_in from above.
+    p = nominal_process()
+    net = Netlist(name="pullup")
+    net.drive_dc("vdd", 5.0)
+    net.drive_dc("in", 0.0)
+    net.add_resistor("r", "vdd", "out", 1e4)
+    with pytest.raises(ValueError):
+        switching_threshold(net, "in", "out", v_hi=4.0)
+
+
+def test_sensor_pulldown_transfer():
+    """DC sweep across the sensor: grounded phi2 keeps the pull-downs off,
+    so y1 stays high for any phi1 - the static view of the gating."""
+    from repro.core.sensing import SkewSensor
+
+    net = SkewSensor(parasitics=False).build()
+    net.drive_dc("phi1", 0.0)
+    net.drive_dc("phi2", 0.0)
+    curve = dc_sweep(
+        net, "phi1", np.linspace(0.0, 5.0, 11), record=["y1"],
+        initial={"y1": 5.0, "y2": 5.0},
+    )
+    # e (gate y2=5) is on but d alone cannot fight: y2 stays high, so y1's
+    # pull-down conducts... phi2 low keeps a on; with phi1 high b is off
+    # and c (gate y2 high) off: y1 is then fought between nothing and the
+    # d-e stack -> y1 is pulled low at high phi1.
+    assert curve["y1"][0] == pytest.approx(5.0, abs=0.05)
+    assert curve["y1"][-1] < 1.0
+
+
+# --------------------------------------------------------------------- #
+# Waveform edge measurements
+# --------------------------------------------------------------------- #
+
+def ramp():
+    return Waveform(
+        times=np.array([0.0, 1.0, 2.0, 3.0, 10.0]),
+        values=np.array([0.0, 0.0, 5.0, 5.0, 5.0]),
+    )
+
+
+def test_transition_time_rising():
+    w = ramp()
+    # Linear 0->5 between t=1 and 2: 10-90 % spans 0.8 time units.
+    assert w.transition_time(rising=True) == pytest.approx(0.8)
+
+
+def test_transition_time_falling():
+    w = Waveform(
+        times=np.array([0.0, 1.0, 2.0, 5.0]),
+        values=np.array([5.0, 5.0, 0.0, 0.0]),
+    )
+    assert w.transition_time(rising=False) == pytest.approx(0.8)
+
+
+def test_transition_time_none_for_flat():
+    flat = Waveform(times=np.array([0.0, 1.0]), values=np.array([2.0, 2.0]))
+    assert flat.transition_time() is None
+
+
+def test_settling_time():
+    w = Waveform(
+        times=np.array([0.0, 1.0, 2.0, 3.0, 4.0]),
+        values=np.array([0.0, 6.0, 4.8, 5.1, 5.0]),
+    )
+    t = w.settling_time(target=5.0, band=0.25, after=0.0)
+    # Samples at t >= 2 are all inside the band; the last outside sample
+    # is at t = 1, so settling completes at the t = 2 sample.
+    assert t == pytest.approx(2.0)
+
+
+def test_settling_time_never_settles():
+    w = Waveform(times=np.array([0.0, 1.0]), values=np.array([0.0, 1.0]))
+    assert w.settling_time(target=5.0, band=0.1, after=0.0) is None
+
+
+def test_overshoot():
+    w = Waveform(
+        times=np.array([0.0, 1.0, 2.0]),
+        values=np.array([0.0, 5.6, 5.0]),
+    )
+    assert w.overshoot(target=5.0) == pytest.approx(0.6)
+    assert w.overshoot(target=6.0) == 0.0

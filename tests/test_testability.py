@@ -1,0 +1,135 @@
+"""Sec.-3 testability analysis (representative fault subsets).
+
+The full universe takes ~10 s; the complete run lives in the benchmark
+``bench_sec3_testability.py``.  Here each paper claim is exercised on the
+minimal fault subset that carries it.
+"""
+
+import pytest
+
+from repro.faults.models import (
+    BridgingFault,
+    NodeStuckAt,
+    TransistorStuckOn,
+    TransistorStuckOpen,
+)
+from repro.faults.universe import FaultUniverse
+from repro.testing.testability import (
+    ClockStimulus,
+    analyze_sensor_testability,
+)
+
+
+def run(universe, **kwargs):
+    return analyze_sensor_testability(
+        stimulus=ClockStimulus(cycles=1),
+        universe=universe,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def stuck_at_report():
+    universe = FaultUniverse(
+        stuck_at=[NodeStuckAt("y1", 0), NodeStuckAt("y1", 1),
+                  NodeStuckAt("pA", 1), NodeStuckAt("nB", 0)]
+    )
+    return run(universe, check_skew_masking=False)
+
+
+def test_reference_codes_alternate(stuck_at_report):
+    """Fault-free: (0,0) after the rising edges, (1,1) after recovery."""
+    assert stuck_at_report.reference_codes == [(0, 0), (1, 1)]
+
+
+def test_node_stuck_ats_detected(stuck_at_report):
+    """Sec. 3: 'the proposed circuit provides an error indication for each
+    possible [node stuck-at] fault'."""
+    assert stuck_at_report.coverage("stuck-at") == 1.0
+
+
+def test_stuck_open_feedback_pullups_escape():
+    """Sec. 3: all stuck-opens are detected apart from two of the parallel
+    pull-up transistors."""
+    universe = FaultUniverse(
+        stuck_open=[TransistorStuckOpen(t) for t in ("a", "b", "c", "h", "d", "l")]
+    )
+    report = run(universe, check_skew_masking=False)
+    undetected = {v.fault.transistor for v in report.undetected("stuck-open")}
+    assert undetected == {"c", "h"}
+
+
+def test_undetected_stuck_opens_do_not_mask_skew():
+    """Sec. 3: those faults 'do not mask the presence of abnormal skews'."""
+    universe = FaultUniverse(
+        stuck_open=[TransistorStuckOpen("c"), TransistorStuckOpen("h")]
+    )
+    report = run(universe, check_skew_masking=True)
+    for verdict in report.verdicts["stuck-open"]:
+        assert not verdict.detected_logic
+        assert verdict.masks_skew is False
+
+
+def test_stuck_on_parallel_pullups_escape_series_detected():
+    """Sec. 3: 'the stuck-ons affecting the parallel pull-up transistors
+    (b, c, g, h) of both cells are not detectable' while the others are."""
+    universe = FaultUniverse(
+        stuck_on=[TransistorStuckOn(t) for t in ("a", "b", "c", "d", "e")]
+    )
+    report = run(universe, check_skew_masking=False)
+    undetected = {v.fault.transistor for v in report.undetected("stuck-on")}
+    assert undetected == {"b", "c"}
+
+
+def test_output_bridge_undetected_with_common_clocks():
+    """Sec. 3: the y1-y2 bridge 'cannot be detected with the considered
+    sequence (because they require that phi1 and phi2 are controlled to
+    different logic values)'."""
+    universe = FaultUniverse(bridging=[BridgingFault("y1", "y2")])
+    report = run(universe, check_skew_masking=False)
+    verdict = report.verdicts["bridging"][0]
+    assert not verdict.detected_logic
+    assert not verdict.detected_iddq
+
+
+def test_bridge_to_clock_detected_by_iddq():
+    """A bridge from an output to a clock line fights the clock driver in
+    one phase: large quiescent current."""
+    universe = FaultUniverse(bridging=[BridgingFault("phi1", "y1")])
+    report = run(universe, check_skew_masking=False)
+    verdict = report.verdicts["bridging"][0]
+    assert verdict.detected_iddq
+    assert verdict.iddq_current > 1e-4
+
+
+def test_stuck_at_draws_static_current():
+    universe = FaultUniverse(stuck_at=[NodeStuckAt("y1", 0)])
+    report = run(universe, check_skew_masking=False)
+    verdict = report.verdicts["stuck-at"][0]
+    # y1 tied low while the pull-up is on: mA-scale fight.
+    assert verdict.iddq_current > 1e-4
+    assert verdict.detected
+
+
+def test_summary_rows_structure(stuck_at_report):
+    rows = stuck_at_report.summary_rows()
+    kinds = [row[0] for row in rows]
+    assert kinds == ["stuck-at", "stuck-open", "stuck-on", "bridging"]
+    sa = rows[0]
+    assert sa[1] == 4 and sa[2] == 1.0
+
+
+def test_coverage_nan_for_empty_population(stuck_at_report):
+    import math
+
+    assert math.isnan(stuck_at_report.coverage("bridging"))
+
+
+def test_stimulus_observation_plan():
+    stimulus = ClockStimulus(period=10e-9, settle=2e-9, cycles=2)
+    bounds = stimulus.phase_boundaries()
+    assert bounds[0] == 2e-9
+    assert bounds[-1] == pytest.approx(22e-9)
+    assert len(stimulus.sample_times()) == 4
+    windows = stimulus.quiescent_windows()
+    assert all(t1 > t0 for t0, t1 in windows)

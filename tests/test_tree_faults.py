@@ -1,0 +1,156 @@
+"""Tree-level fault injection and skew analysis / pair selection."""
+
+import numpy as np
+import pytest
+
+from repro.clocktree.faults import (
+    BufferSlowdown,
+    CrosstalkCoupling,
+    ResistiveOpen,
+    SupplyNoise,
+    perturb_tree,
+    skew_change,
+)
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.rc import sink_delays
+from repro.clocktree.skew import pairwise_skew, select_critical_pairs, sink_skew_table
+from repro.clocktree.tree import Buffer
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return build_h_tree(levels=2, buffer=Buffer())
+
+
+@pytest.fixture(scope="module")
+def nominal(tree):
+    return sink_delays(tree)
+
+
+def test_fault_does_not_mutate_original(tree, nominal):
+    sink = sorted(nominal)[0]
+    ResistiveOpen(node=sink, extra_resistance=5000.0).apply(tree)
+    assert sink_delays(tree) == nominal
+
+
+def test_resistive_open_delays_subtree(tree, nominal):
+    sink = sorted(nominal)[0]
+    faulty = ResistiveOpen(node=sink, extra_resistance=5000.0).apply(tree)
+    delays = sink_delays(faulty)
+    assert delays[sink] > nominal[sink]
+    others = [s for s in nominal if s != sink]
+    for s in others:
+        assert delays[s] == pytest.approx(nominal[s], rel=1e-9)
+
+
+def test_resistive_open_on_root_rejected(tree):
+    with pytest.raises(ValueError):
+        ResistiveOpen(node="root", extra_resistance=100.0).apply(tree)
+
+
+def test_crosstalk_slows_victim(tree, nominal):
+    sink = sorted(nominal)[2]
+    faulty = CrosstalkCoupling(node=sink, coupling_capacitance=300e-15).apply(tree)
+    assert sink_delays(faulty)[sink] > nominal[sink]
+
+
+def test_buffer_slowdown_delays_whole_branch(tree, nominal):
+    branch = next(
+        n.name for n in tree.walk() if n.buffer is not None and n.parent is not None
+    )
+    faulty = BufferSlowdown(node=branch, factor=1.5).apply(tree)
+    delays = sink_delays(faulty)
+    affected = [
+        s.name for s in tree.sinks()
+        if any(p.name == branch for p in tree.path_to(s))
+    ]
+    assert affected
+    for s in affected:
+        assert delays[s] > nominal[s]
+
+
+def test_buffer_slowdown_requires_buffer(tree):
+    sink = tree.sinks()[0].name
+    with pytest.raises(ValueError):
+        BufferSlowdown(node=sink, factor=1.5).apply(tree)
+
+
+def test_supply_noise_scales_region(tree, nominal):
+    faulty = SupplyNoise(node="root", factor=1.2).apply(tree)
+    delays = sink_delays(faulty)
+    for s in nominal:
+        assert delays[s] > nominal[s]
+
+
+def test_supply_noise_requires_buffers():
+    bare = build_h_tree(levels=1)  # unbuffered
+    with pytest.raises(ValueError):
+        SupplyNoise(node="root", factor=1.2).apply(bare)
+
+
+def test_perturb_tree_creates_skew(tree):
+    rng = np.random.default_rng(11)
+    perturbed = perturb_tree(tree, rng, relative_variation=0.15)
+    delays = np.array(list(sink_delays(perturbed).values()))
+    assert delays.max() - delays.min() > 1e-12  # symmetric tree broken
+
+
+def test_skew_change_helper(tree, nominal):
+    sink = sorted(nominal)[0]
+    other = sorted(nominal)[1]
+    faulty = sink_delays(
+        ResistiveOpen(node=sink, extra_resistance=5000.0).apply(tree)
+    )
+    change = skew_change(nominal, faulty, sink, other)
+    assert change < 0  # sink_a got slower, so t_b - t_a decreased
+
+
+# --------------------------------------------------------------------- #
+# Skew analysis / critical pairs
+# --------------------------------------------------------------------- #
+
+def test_pairwise_skew_antisymmetric_zero_on_htree(tree):
+    skews = pairwise_skew(tree)
+    assert all(abs(v) < 1e-15 for v in skews.values())
+
+
+def test_sink_skew_table_structure(tree):
+    names, table = sink_skew_table(tree)
+    assert table.shape == (len(names), len(names))
+    assert np.allclose(table, -table.T)
+
+
+def test_select_critical_pairs_respects_distance(tree):
+    chip = 10e-3
+    pairs = select_critical_pairs(tree, max_distance=chip / 4)
+    for p in pairs:
+        assert p.distance <= chip / 4
+    assert pairs, "quadrant-local pairs must exist"
+
+
+def test_select_critical_pairs_sorted_by_criticality(tree):
+    pairs = select_critical_pairs(tree, max_distance=20e-3)
+    crit = [p.criticality for p in pairs]
+    assert crit == sorted(crit, reverse=True)
+
+
+def test_select_critical_pairs_top_k(tree):
+    pairs = select_critical_pairs(tree, max_distance=20e-3, top_k=3)
+    assert len(pairs) == 3
+
+
+def test_select_critical_pairs_validates_distance(tree):
+    with pytest.raises(ValueError):
+        select_critical_pairs(tree, max_distance=0.0)
+
+
+def test_criticality_reflects_unshared_path(tree):
+    """Sinks in different halves of the die share less of their root path
+    than same-quadrant sinks, hence higher criticality."""
+    pairs = select_critical_pairs(tree, max_distance=50e-3)
+    by_pair = {(p.sink_a, p.sink_b): p.criticality for p in pairs}
+    sinks = sorted(s.name for s in tree.sinks())
+    # A same-parent pair exists with minimal criticality.
+    least = min(by_pair.values())
+    most = max(by_pair.values())
+    assert most > least

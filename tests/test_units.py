@@ -1,0 +1,58 @@
+"""Unit helper conversions."""
+
+import math
+
+from repro import units
+
+
+def test_ns_converts_to_seconds():
+    assert math.isclose(units.ns(2.5), 2.5e-9)
+
+
+def test_ps_converts_to_seconds():
+    assert math.isclose(units.ps(100.0), 1e-10)
+
+
+def test_us_converts_to_seconds():
+    assert math.isclose(units.us(1.0), 1e-6)
+
+
+def test_ff_converts_to_farads():
+    assert math.isclose(units.fF(80), 80e-15)
+
+
+def test_pf_converts_to_farads():
+    assert math.isclose(units.pF(1.0), 1e-12)
+
+
+def test_um_converts_to_metres():
+    assert math.isclose(units.um(1.2), 1.2e-6)
+
+
+def test_mm_converts_to_metres():
+    assert math.isclose(units.mm(10.0), 0.01)
+
+
+def test_kohm_converts_to_ohms():
+    assert math.isclose(units.kohm(2.0), 2000.0)
+
+
+def test_ohm_is_identity():
+    assert units.ohm(100.0) == 100.0
+
+
+def test_current_units():
+    assert math.isclose(units.mA(1.0), 1e-3)
+    assert math.isclose(units.uA(10.0), 1e-5)
+
+
+def test_roundtrips():
+    assert math.isclose(units.to_ns(units.ns(0.16)), 0.16)
+    assert math.isclose(units.to_fF(units.fF(240)), 240.0)
+
+
+def test_interpretation_threshold_matches_paper():
+    """Sec. 2: logic threshold VDD/2 with 10 % worst-case variation
+    gives 2.75 V."""
+    assert math.isclose(units.VTH_INTERPRET, 2.75)
+    assert units.VDD == 5.0

@@ -1,0 +1,80 @@
+"""VCD export of logic traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logicsim.circuit import LogicCircuit
+from repro.logicsim.gates import GateType
+from repro.logicsim.vcd import _identifier, parse_vcd_values, to_vcd
+from repro.units import ns
+
+
+def simple_trace():
+    circuit = LogicCircuit()
+    circuit.add_gate("inv", GateType.NOT, ["a"], "z", ns(1))
+    return circuit.simulate(
+        {"a": [(ns(5), 1), (ns(9), 0)]}, clock_edges=[], t_end=ns(15)
+    )
+
+
+def test_identifier_uniqueness():
+    ids = {_identifier(k) for k in range(500)}
+    assert len(ids) == 500
+    with pytest.raises(ValueError):
+        _identifier(-1)
+
+
+def test_vcd_contains_header_and_vars():
+    vcd = to_vcd(simple_trace())
+    assert "$timescale 1ps $end" in vcd
+    assert "$var wire 1" in vcd
+    assert "$enddefinitions $end" in vcd
+    assert " a $end" in vcd and " z $end" in vcd
+
+
+def test_vcd_roundtrip_changes():
+    trace = simple_trace()
+    parsed = parse_vcd_values(to_vcd(trace))
+    # a: initial 0, 1 at 5 ns, 0 at 9 ns (ticks in ps).
+    assert parsed["a"] == [(0, 0), (5000, 1), (9000, 0)]
+    # z: settled initial 1, 0 at 6 ns, 1 at 10 ns.
+    assert parsed["z"] == [(0, 1), (6000, 0), (10000, 1)]
+
+
+def test_vcd_net_filter():
+    trace = simple_trace()
+    vcd = to_vcd(trace, nets=["z"])
+    parsed = parse_vcd_values(vcd)
+    assert set(parsed) == {"z"}
+    with pytest.raises(KeyError):
+        to_vcd(trace, nets=["missing"])
+
+
+def test_vcd_custom_timescale():
+    trace = simple_trace()
+    vcd = to_vcd(trace, timescale="1ns", time_unit=1e-9)
+    parsed = parse_vcd_values(vcd)
+    assert parsed["a"] == [(0, 0), (5, 1), (9, 0)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(1, 50), st.integers(0, 1)),
+        min_size=1, max_size=8, unique_by=lambda e: e[0],
+    )
+)
+def test_vcd_roundtrip_property(edges):
+    """Arbitrary stimulus round-trips through VCD without loss (after
+    de-duplicating consecutive equal values, as VCD mandates)."""
+    circuit = LogicCircuit()
+    circuit.add_gate("buf", GateType.BUF, ["a"], "z", ns(0.1))
+    stimulus = sorted((ns(t), v) for t, v in edges)
+    trace = circuit.simulate({"a": stimulus}, clock_edges=[], t_end=ns(60))
+    parsed = parse_vcd_values(to_vcd(trace))
+    expected = [(0, trace.changes["a"][0][1])]
+    for t, v in trace.changes["a"][1:]:
+        if v != expected[-1][1]:
+            expected.append((int(round(t / 1e-12)), v))
+    assert parsed["a"] == expected

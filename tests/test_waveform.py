@@ -1,0 +1,134 @@
+"""Waveform container and measurements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analog.waveform import Waveform
+
+
+def make(times, values, name="w"):
+    return Waveform(times=np.asarray(times, float), values=np.asarray(values, float), name=name)
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        make([0, 1], [1])
+
+
+def test_rejects_decreasing_times():
+    with pytest.raises(ValueError):
+        make([0, 2, 1], [0, 0, 0])
+
+
+def test_at_interpolates():
+    w = make([0, 1, 2], [0, 10, 0])
+    assert w.at(0.5) == 5.0
+    assert w.at(1.5) == 5.0
+
+
+def test_at_clamps_at_ends():
+    w = make([1, 2], [3, 7])
+    assert w.at(0.0) == 3.0
+    assert w.at(9.0) == 7.0
+
+
+def test_window_min_includes_interpolated_endpoints():
+    w = make([0, 1, 2], [0, 10, 0])
+    # In [0.5, 1.5] the actual minimum is at the endpoints (5.0).
+    assert w.window_min(0.5, 1.5) == 5.0
+    assert w.window_max(0.5, 1.5) == 10.0
+
+
+def test_window_defaults_to_full_span():
+    w = make([0, 1, 2], [3, -1, 4])
+    assert w.window_min() == -1.0
+    assert w.window_max() == 4.0
+
+
+def test_window_rejects_reversed_bounds():
+    w = make([0, 1], [0, 1])
+    with pytest.raises(ValueError):
+        w.window_min(1.0, 0.5)
+
+
+def test_mean_of_triangle():
+    w = make([0, 1, 2], [0, 10, 0])
+    assert w.mean(0, 2) == pytest.approx(5.0)
+
+
+def test_mean_of_degenerate_window():
+    w = make([0, 1], [2, 4])
+    assert w.mean(0.5, 0.5) == pytest.approx(3.0)
+
+
+def test_first_crossing_rising():
+    w = make([0, 1, 2], [0, 10, 0])
+    assert w.first_crossing(5.0, rising=True) == pytest.approx(0.5)
+
+
+def test_first_crossing_falling():
+    w = make([0, 1, 2], [0, 10, 0])
+    assert w.first_crossing(5.0, rising=False) == pytest.approx(1.5)
+
+
+def test_first_crossing_after_restriction():
+    w = make([0, 1, 2, 3, 4], [0, 10, 0, 10, 0])
+    assert w.first_crossing(5.0, rising=True, after=1.5) == pytest.approx(2.5)
+
+
+def test_first_crossing_none_when_absent():
+    w = make([0, 1], [0, 1])
+    assert w.first_crossing(5.0) is None
+    assert w.first_crossing(0.5, after=2.0) is None
+
+
+def test_slice_preserves_values():
+    w = make([0, 1, 2], [0, 10, 0])
+    s = w.slice(0.5, 1.5)
+    assert s.t_start == 0.5
+    assert s.at(1.0) == 10.0
+    assert s.final_value() == 5.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(st.floats(-5, 5), min_size=2, max_size=12),
+    frac=st.tuples(st.floats(0, 1), st.floats(0, 1)),
+)
+def test_window_min_bounds_all_inside_samples(data, frac):
+    """window_min is <= every sample inside the window and >= global min."""
+    times = np.arange(len(data), dtype=float)
+    w = make(times, data)
+    a, b = sorted(
+        (frac[0] * (len(data) - 1), frac[1] * (len(data) - 1))
+    )
+    wmin = w.window_min(a, b)
+    inside = [v for t, v in zip(times, data) if a <= t <= b]
+    for v in inside:
+        assert wmin <= v + 1e-9
+    assert wmin >= min(data) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.lists(st.floats(-5, 5), min_size=2, max_size=12))
+def test_mean_within_extremes(data):
+    times = np.arange(len(data), dtype=float)
+    w = make(times, data)
+    m = w.mean()
+    assert min(data) - 1e-9 <= m <= max(data) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.lists(st.floats(0, 10), min_size=3, max_size=10),
+    level=st.floats(0.5, 9.5),
+)
+def test_crossing_value_matches_level(data, level):
+    """Interpolated crossing time reproduces the level when evaluated."""
+    times = np.arange(len(data), dtype=float)
+    w = make(times, data)
+    t = w.first_crossing(level, rising=True)
+    if t is not None:
+        assert w.at(t) == pytest.approx(level, abs=1e-6)
