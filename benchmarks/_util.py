@@ -5,6 +5,11 @@ Every benchmark regenerates one table or figure of the paper and
 * prints the reproduced rows/series,
 * writes them to ``benchmarks/out/<name>.txt`` for EXPERIMENTS.md,
 * asserts the qualitative *shape* claims (who wins, trends, crossovers).
+
+The timing/printing machinery lives in :mod:`repro.runtime.telemetry`
+(shared with the campaign executor and the CLI); this module only binds
+it to the benchmark output directory and re-exports the pieces the
+``bench_*.py`` scripts use.
 """
 
 from __future__ import annotations
@@ -13,6 +18,12 @@ import os
 from typing import Iterable
 
 from repro.analog.engine import TransientOptions
+from repro.runtime.telemetry import (  # noqa: F401  (re-exported for benches)
+    Stopwatch,
+    Telemetry,
+    emit_block,
+    format_duration,
+)
 
 #: Engine options used by the benches: ~10 mV accurate, ~2x faster than
 #: the defaults.
@@ -23,10 +34,4 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 def emit(name: str, lines: Iterable[str]) -> str:
     """Print a result block and persist it under ``benchmarks/out/``."""
-    text = "\n".join(lines)
-    print(f"\n=== {name} ===\n{text}\n")
-    os.makedirs(OUT_DIR, exist_ok=True)
-    path = os.path.join(OUT_DIR, f"{name}.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
-    return path
+    return emit_block(name, lines, OUT_DIR)

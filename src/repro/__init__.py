@@ -15,7 +15,9 @@ rebuilds the full system:
 * :mod:`repro.clocktree` - buffered H-trees, zero-skew DME routing,
   Elmore timing, tree-level fault injection;
 * :mod:`repro.logicsim` - gate-level simulation for the Sec.-1 motivation;
-* :mod:`repro.montecarlo` - the Fig.-5 / Tab.-1 variability analysis.
+* :mod:`repro.montecarlo` - the Fig.-5 / Tab.-1 variability analysis;
+* :mod:`repro.runtime` - campaign orchestration: content-addressed
+  result cache, serial/thread/process executor, telemetry.
 
 Quickstart::
 

@@ -4,6 +4,10 @@ Commands
 --------
 ``waves``        Fig.-2/3 style waveform report for a chosen skew.
 ``sensitivity``  Fig.-4 style Vmin-vs-tau sweep and tau_min extraction.
+``campaign``     Runtime-orchestrated sensitivity campaign: choice of
+                 serial/thread/process backend, cache reuse, telemetry
+                 summary and JSON report.
+``cache``        Inspect or clear the content-addressed result cache.
 ``testability``  Sec.-3 fault-coverage analysis of the sensor.
 ``scheme``       Fig.-6 style campaign: sensors over an H-tree with an
                  injected fault, scan-path and checker readout.
@@ -38,16 +42,90 @@ def _cmd_waves(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sensitivity_grid(args: argparse.Namespace):
+    return [ns(args.tau_max) * k / (args.points - 1) for k in range(args.points)]
+
+
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.core.sensitivity import sweep_skew
     from repro.report import sensitivity_report
+    from repro.runtime import Telemetry
 
-    skews = [ns(args.tau_max) * k / (args.points - 1) for k in range(args.points)]
+    telemetry = Telemetry()
+    cache = None if args.no_cache else "default"
+    skews = _sensitivity_grid(args)
     curves = [
-        sweep_skew(fF(load), ns(args.slew), skews, options=_FAST)
+        sweep_skew(
+            fF(load), ns(args.slew), skews, options=_FAST,
+            backend=args.backend, cache=cache, telemetry=telemetry,
+            max_workers=args.workers,
+        )
         for load in args.loads
     ]
     print(sensitivity_report(curves))
+    if args.stats:
+        print("--- runtime telemetry ---")
+        print(telemetry.summary())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import sensitivity_family
+    from repro.runtime import Telemetry
+    from repro.units import to_ns
+
+    telemetry = Telemetry()
+    cache = None if args.no_cache else "default"
+    skews = _sensitivity_grid(args)
+    with telemetry.timer("campaign"):
+        curves = sensitivity_family(
+            loads=[fF(load) for load in args.loads],
+            slews=[ns(slew) for slew in args.slews],
+            skews=skews,
+            options=_FAST,
+            backend=args.backend,
+            cache=cache,
+            telemetry=telemetry,
+            max_workers=args.workers,
+        )
+    print(f"campaign: {len(curves)} curves x {args.points} skew points "
+          f"({args.backend} backend)")
+    for curve in curves:
+        tau = curve.tau_min
+        tau_text = f"{to_ns(tau):.3f} ns" if tau is not None else "no crossing"
+        print(f"  load {curve.load * 1e15:6.1f} fF  slew "
+              f"{curve.slew * 1e9:4.2f} ns : tau_min = {tau_text}")
+    print("--- runtime telemetry ---")
+    print(telemetry.summary())
+    if args.json:
+        telemetry.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import get_cache
+    from repro.runtime.cache import ENV_CACHE_DIR, ENV_CACHE_DISABLE
+
+    cache = get_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from "
+              f"{cache.disk_dir or 'memory (disk tier disabled)'}")
+        return 0
+    # info
+    print(f"version    : v{cache.version} (engine fingerprint)")
+    if cache.disk_enabled:
+        size = cache.disk_size_bytes()
+        print(f"directory  : {cache.disk_dir}")
+        print(f"entries    : {cache.disk_entries()} on disk "
+              f"({size / 1024:.1f} KiB), {len(cache)} in memory")
+    else:
+        print("directory  : disk tier disabled "
+              f"(set {ENV_CACHE_DIR} or unset {ENV_CACHE_DISABLE})")
+        print(f"entries    : {len(cache)} in memory")
+    print(f"env        : {ENV_CACHE_DIR} overrides the directory, "
+          f"{ENV_CACHE_DISABLE}=1 disables the disk tier")
     return 0
 
 
@@ -141,13 +219,47 @@ def build_parser() -> argparse.ArgumentParser:
     waves.add_argument("--full-swing", action="store_true")
     waves.set_defaults(func=_cmd_waves)
 
+    def add_runtime_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="serial", help="campaign executor backend")
+        p.add_argument("--workers", type=int, default=None,
+                       help="pool width (default: REPRO_MAX_WORKERS or "
+                            "half the CPUs)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache")
+
     sens = sub.add_parser("sensitivity", help="Vmin vs tau sweep")
     sens.add_argument("--loads", type=float, nargs="+",
                       default=[80.0, 160.0, 240.0], help="loads in fF")
     sens.add_argument("--slew", type=float, default=0.2, help="slew in ns")
     sens.add_argument("--tau-max", type=float, default=0.5, help="sweep end, ns")
     sens.add_argument("--points", type=int, default=8)
+    add_runtime_flags(sens)
+    sens.add_argument("--stats", action="store_true",
+                      help="print runtime telemetry (cache hits, timings)")
     sens.set_defaults(func=_cmd_sensitivity)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="runtime-orchestrated sensitivity campaign with telemetry",
+    )
+    camp.add_argument("--loads", type=float, nargs="+",
+                      default=[80.0, 160.0, 240.0], help="loads in fF")
+    camp.add_argument("--slews", type=float, nargs="+",
+                      default=[0.1, 0.2, 0.3, 0.4], help="slews in ns")
+    camp.add_argument("--tau-max", type=float, default=0.5, help="sweep end, ns")
+    camp.add_argument("--points", type=int, default=8)
+    add_runtime_flags(camp)
+    camp.add_argument("--json", type=str, default=None,
+                      help="write the telemetry report to this JSON file")
+    camp.set_defaults(func=_cmd_campaign)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache.add_argument("action", choices=["info", "clear"], nargs="?",
+                       default="info")
+    cache.set_defaults(func=_cmd_cache)
 
     testa = sub.add_parser("testability", help="Sec.-3 fault coverage")
     testa.set_defaults(func=_cmd_testability)

@@ -6,18 +6,26 @@ minimum voltage reached by the late output is recorded.  The *sensitivity*
 threshold: larger skews are flagged, smaller ones tolerated.  The paper
 observes ``tau_min`` growing with load capacitance and nearly independent of
 clock slew.
+
+All evaluations route through :mod:`repro.runtime`: every operating point
+is content-addressed in the result cache (so a repeated sweep or a
+bisection revisiting a point costs a lookup, not a transient), and
+:func:`sweep_skew` / :func:`sensitivity_family` accept a ``backend`` to
+fan the independent points out over threads or processes.  The runtime
+imports happen lazily inside the functions - ``repro.runtime`` itself
+imports from ``repro.core``, and the package initialisers would otherwise
+cycle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analog.engine import TransientOptions
-from repro.core.response import simulate_sensor
-from repro.core.sensing import SensorSizing, SkewSensor
+from repro.core.sensing import SensorSizing  # noqa: F401 (re-exported legacy name)
 from repro.devices.process import ProcessParams
 from repro.units import VTH_INTERPRET, ns
 
@@ -61,28 +69,25 @@ def vmin_for_skew(
     options: Optional[TransientOptions] = None,
     slew2: Optional[float] = None,
     load2: Optional[float] = None,
+    cache: Any = "default",
+    telemetry: Any = None,
 ) -> float:
     """``Vmin`` of the late output for a single operating point.
 
     ``slew2`` / ``load2`` default to the symmetric values; the Monte Carlo
     analysis passes independent ones ("both the input slews and the load
     have been considered independent, in order to account for asymmetric
-    conditions").
+    conditions").  The point is content-addressed in the runtime cache;
+    pass ``cache=None`` to force a fresh transient.
     """
-    sensor = SkewSensor(
-        process=process,
-        sizing=sizing or SensorSizing(),
-        load1=load,
-        load2=load if load2 is None else load2,
+    from repro.runtime import evaluate_cached, sensitivity_job
+
+    job = sensitivity_job(
+        load, slew, skew,
+        process=process, sizing=sizing, options=options,
+        slew2=slew2, load2=load2,
     )
-    response = simulate_sensor(
-        sensor,
-        skew=skew,
-        slew1=slew,
-        slew2=slew if slew2 is None else slew2,
-        options=options,
-    )
-    return response.vmin_late
+    return evaluate_cached(job, cache=cache, telemetry=telemetry).vmin_late
 
 
 def sweep_skew(
@@ -93,17 +98,34 @@ def sweep_skew(
     sizing: Optional[SensorSizing] = None,
     threshold: float = VTH_INTERPRET,
     options: Optional[TransientOptions] = None,
+    backend: str = "serial",
+    cache: Any = "default",
+    telemetry: Any = None,
+    max_workers: Optional[int] = None,
 ) -> SensitivityCurve:
-    """Sweep ``tau`` and collect the ``Vmin`` curve for one (load, slew)."""
+    """Sweep ``tau`` and collect the ``Vmin`` curve for one (load, slew).
+
+    The sweep runs as a runtime campaign: cached points are replayed
+    without re-integration, fresh ones can be fanned out with
+    ``backend="thread"`` / ``"process"``, and a ``telemetry`` accumulator
+    (see :class:`repro.runtime.Telemetry`) receives per-point timings and
+    hit/miss counts.
+    """
+    from repro.runtime import run_campaign, sensitivity_job
+
     skew_array = np.asarray(list(skews), dtype=float)
-    vmins = np.array(
-        [
-            vmin_for_skew(
-                tau, load, slew, process=process, sizing=sizing, options=options
-            )
-            for tau in skew_array
-        ]
+    jobs = [
+        sensitivity_job(
+            load, slew, float(tau),
+            process=process, sizing=sizing, options=options,
+        )
+        for tau in skew_array
+    ]
+    campaign = run_campaign(
+        jobs, backend=backend, cache=cache, telemetry=telemetry,
+        max_workers=max_workers,
     )
+    vmins = np.array([result.vmin_late for result in campaign])
     return SensitivityCurve(
         load=load, slew=slew, skews=skew_array, vmins=vmins, threshold=threshold
     )
@@ -118,15 +140,20 @@ def extract_tau_min(
     tau_hi: float = ns(2.0),
     tolerance: float = ns(0.002),
     options: Optional[TransientOptions] = None,
+    cache: Any = "default",
+    telemetry: Any = None,
 ) -> float:
     """Sensitivity ``tau_min`` by bisection on the ``Vmin`` crossing.
 
     More precise than reading it off a coarse sweep; used wherever a single
-    number per load is needed (Tab. 1 classification, ablations).
+    number per load is needed (Tab. 1 classification, ablations).  Each
+    bisection point is cached, so repeated extractions (and overlapping
+    brackets) replay instead of re-integrating.
     """
     def vmin(tau: float) -> float:
         return vmin_for_skew(
-            tau, load, slew, process=process, sizing=sizing, options=options
+            tau, load, slew, process=process, sizing=sizing, options=options,
+            cache=cache, telemetry=telemetry,
         )
 
     lo, hi = 0.0, tau_hi
@@ -153,16 +180,41 @@ def sensitivity_family(
     sizing: Optional[SensorSizing] = None,
     threshold: float = VTH_INTERPRET,
     options: Optional[TransientOptions] = None,
+    backend: str = "serial",
+    cache: Any = "default",
+    telemetry: Any = None,
+    max_workers: Optional[int] = None,
 ) -> List[SensitivityCurve]:
-    """The full Fig.-4 family: one curve per (load, slew) combination."""
+    """The full Fig.-4 family: one curve per (load, slew) combination.
+
+    The whole (load, slew, skew) grid is submitted as *one* campaign so a
+    parallel backend sees every independent point at once, then the flat
+    results are folded back into per-(load, slew) curves.
+    """
+    from repro.runtime import run_campaign, sensitivity_job
+
+    skew_array = np.asarray(list(skews), dtype=float)
+    pairs = [(load, slew) for load in loads for slew in slews]
+    jobs = [
+        sensitivity_job(
+            load, slew, float(tau),
+            process=process, sizing=sizing, options=options,
+        )
+        for load, slew in pairs
+        for tau in skew_array
+    ]
+    campaign = run_campaign(
+        jobs, backend=backend, cache=cache, telemetry=telemetry,
+        max_workers=max_workers,
+    )
     curves: List[SensitivityCurve] = []
-    for load in loads:
-        for slew in slews:
-            curves.append(
-                sweep_skew(
-                    load, slew, skews,
-                    process=process, sizing=sizing,
-                    threshold=threshold, options=options,
-                )
+    for block, (load, slew) in enumerate(pairs):
+        chunk = campaign.results[block * len(skew_array):(block + 1) * len(skew_array)]
+        curves.append(
+            SensitivityCurve(
+                load=load, slew=slew, skews=skew_array,
+                vmins=np.array([result.vmin_late for result in chunk]),
+                threshold=threshold,
             )
+        )
     return curves

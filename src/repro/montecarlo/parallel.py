@@ -1,55 +1,54 @@
 """Process-parallel Monte Carlo evaluation.
 
 The Fig.-5 / Tab.-1 analyses run hundreds of independent transients; they
-parallelise perfectly across processes.  :func:`scatter_analysis_parallel`
-is a drop-in replacement for
-:func:`repro.montecarlo.analysis.scatter_analysis` that fans the
-(sample, skew) grid out over a process pool.
+parallelise perfectly.  :func:`scatter_analysis_parallel` is a drop-in
+replacement for :func:`repro.montecarlo.analysis.scatter_analysis` that
+routes the (sample, skew) grid through :func:`repro.runtime.run_campaign`:
+each grid point becomes a picklable :class:`~repro.runtime.SensorJob`,
+results come back in deterministic sample-major order regardless of
+worker scheduling, previously computed points are replayed from the
+content-addressed cache, and per-job timings land in an optional
+:class:`~repro.runtime.Telemetry` accumulator.
 
-Implementation note: workers receive picklable ``(sample, skews, sizing,
-options)`` tuples and rebuild their sensors locally; results come back as
-plain ``(skew, vmin, sample_index)`` triples, so no simulator state
-crosses process boundaries.
+Worker-count resolution honours the ``REPRO_MAX_WORKERS`` environment
+variable (explicit ``n_workers`` still wins), and the process pool always
+receives an explicit ``chunksize`` so large grids do not pay one IPC
+round-trip per point.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 from repro.analog.engine import TransientOptions
-from repro.core.response import simulate_sensor
-from repro.core.sensing import SensorSizing, SkewSensor
+from repro.core.sensing import SensorSizing
 from repro.montecarlo.analysis import ScatterPoint
 from repro.montecarlo.sampling import MonteCarloSample
-
-
-def _evaluate_sample(
-    task: Tuple[int, MonteCarloSample, Tuple[float, ...],
-                Optional[SensorSizing], Optional[TransientOptions]],
-) -> List[Tuple[float, float, int]]:
-    """Worker: all skew points of one Monte Carlo sample."""
-    index, sample, skews, sizing, options = task
-    sensor = SkewSensor(
-        process=sample.process,
-        sizing=sizing or SensorSizing(),
-        load1=sample.load1,
-        load2=sample.load2,
-    )
-    out: List[Tuple[float, float, int]] = []
-    for tau in skews:
-        response = simulate_sensor(
-            sensor, skew=tau, slew1=sample.slew1, slew2=sample.slew2,
-            options=options,
-        )
-        out.append((tau, response.vmin_late, index))
-    return out
+from repro.runtime import SensorJob, Telemetry, resolve_workers, run_campaign
 
 
 def default_workers() -> int:
-    """A conservative worker count (half the CPUs, at least one)."""
-    return max(1, (os.cpu_count() or 2) // 2)
+    """Worker count: ``REPRO_MAX_WORKERS`` if set, else half the CPUs."""
+    return resolve_workers(None)
+
+
+def sample_job(
+    sample: MonteCarloSample,
+    skew: float,
+    sizing: Optional[SensorSizing] = None,
+    options: Optional[TransientOptions] = None,
+) -> SensorJob:
+    """The runtime job of one Monte Carlo (sample, skew) grid point."""
+    return SensorJob(
+        skew=skew,
+        load1=sample.load1,
+        load2=sample.load2,
+        slew1=sample.slew1,
+        slew2=sample.slew2,
+        process=sample.process,
+        sizing=sizing or SensorSizing(),
+        options=options,
+    )
 
 
 def scatter_analysis_parallel(
@@ -58,29 +57,47 @@ def scatter_analysis_parallel(
     sizing: Optional[SensorSizing] = None,
     options: Optional[TransientOptions] = None,
     n_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    backend: str = "process",
+    cache: Any = "default",
+    telemetry: Optional[Telemetry] = None,
 ) -> List[ScatterPoint]:
     """Parallel equivalent of :func:`scatter_analysis`.
 
     Results are returned in the same deterministic order (sample-major,
-    then skew) regardless of worker scheduling.
+    then skew) regardless of worker scheduling, and are bit-identical to
+    the serial analysis: workers rebuild the sensor from the job payload
+    exactly as :func:`~repro.core.response.simulate_sensor` would locally.
+
+    Parameters beyond the original signature expose the runtime layer:
+    ``chunksize`` (explicit process-pool chunk size), ``backend``
+    (``"process"``, ``"thread"``, or ``"serial"``), ``cache`` (``None``
+    disables result reuse) and ``telemetry``.
     """
-    tasks = [
-        (index, sample, tuple(skews), sizing, options)
-        for index, sample in enumerate(samples)
+    skew_list = [float(tau) for tau in skews]
+    jobs = [
+        sample_job(sample, tau, sizing=sizing, options=options)
+        for sample in samples
+        for tau in skew_list
     ]
-    n_workers = n_workers or default_workers()
-    if n_workers <= 1 or len(tasks) <= 1:
-        chunks = [_evaluate_sample(task) for task in tasks]
-    else:
-        context = multiprocessing.get_context("fork") \
-            if "fork" in multiprocessing.get_all_start_methods() \
-            else multiprocessing.get_context()
-        with context.Pool(processes=min(n_workers, len(tasks))) as pool:
-            chunks = pool.map(_evaluate_sample, tasks)
+    workers = n_workers if n_workers is not None else default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        backend = "serial"
+    campaign = run_campaign(
+        jobs,
+        backend=backend,
+        max_workers=workers,
+        chunksize=chunksize,
+        cache=cache,
+        telemetry=telemetry,
+    )
     points: List[ScatterPoint] = []
-    for chunk in chunks:
-        for tau, vmin, index in chunk:
-            points.append(
-                ScatterPoint(skew=tau, vmin=vmin, sample_index=index)
+    for flat, result in enumerate(campaign):
+        points.append(
+            ScatterPoint(
+                skew=jobs[flat].skew,
+                vmin=result.vmin_late,
+                sample_index=flat // len(skew_list),
             )
+        )
     return points

@@ -1,0 +1,308 @@
+"""Campaign executor: one API over serial, thread and process backends.
+
+:func:`run_campaign` takes a list of jobs and returns their results *in
+job order*, regardless of worker scheduling - the property every Fig.-4/5
+pipeline relies on.  Around the raw evaluation it layers:
+
+* **cache short-circuiting** - each job is content-addressed
+  (:meth:`SensorJob.key`) and looked up before any work is dispatched;
+  duplicate jobs inside one campaign are evaluated once;
+* **bounded retries** on :class:`~repro.analog.dcop.ConvergenceError`
+  (the only failure mode of the deterministic engine that a fresh attempt
+  with the same inputs is allowed to re-raise);
+* **per-job timeouts** on the thread and process backends (the serial
+  backend cannot interrupt a running integration and documents that);
+* **telemetry** - per-job wall time, attempts, engine steps, hit/miss
+  counters.
+
+Worker-count resolution honours the ``REPRO_MAX_WORKERS`` environment
+variable everywhere (CLI, Monte Carlo, benches), and the process backend
+always passes an explicit ``chunksize`` to the pool so hundreds of tiny
+jobs do not pay one IPC round-trip each.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analog.dcop import ConvergenceError
+from repro.runtime.cache import ResultCache, get_cache
+from repro.runtime.jobs import JobResult, SensorJob, evaluate_job
+from repro.runtime.telemetry import Stopwatch, Telemetry
+
+#: Supported executor backends.
+BACKENDS = ("serial", "thread", "process")
+
+#: Environment variable bounding the worker count of every backend.
+ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
+
+
+class CampaignTimeoutError(TimeoutError):
+    """A job exceeded the campaign's per-job timeout."""
+
+
+def resolve_workers(max_workers: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_MAX_WORKERS`` > half the CPUs."""
+    if max_workers is not None:
+        return max(1, int(max_workers))
+    env = os.environ.get(ENV_MAX_WORKERS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{ENV_MAX_WORKERS} must be an integer, got {env!r}"
+            ) from None
+    return max(1, (os.cpu_count() or 2) // 2)
+
+
+def resolve_chunksize(
+    n_jobs: int, workers: int, chunksize: Optional[int] = None
+) -> int:
+    """Explicit chunksize, or ~4 chunks per worker (at least 1)."""
+    if chunksize is not None:
+        return max(1, int(chunksize))
+    return max(1, n_jobs // (workers * 4))
+
+
+@dataclass
+class CampaignResult:
+    """Ordered results plus the telemetry gathered while producing them."""
+
+    results: List[JobResult]
+    telemetry: Telemetry
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> JobResult:
+        return self.results[index]
+
+
+def _attempt(
+    evaluate: Callable[[SensorJob], JobResult],
+    job: SensorJob,
+    retries: int,
+) -> Tuple[JobResult, int]:
+    """Evaluate with bounded retries on ConvergenceError."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return evaluate(job), attempts
+        except ConvergenceError:
+            if attempts > retries:
+                raise
+
+
+def _worker(
+    item: Tuple[int, SensorJob, int, Optional[Callable[[SensorJob], JobResult]]],
+) -> Tuple[int, JobResult, float, int]:
+    """Pool worker: evaluate one job, measuring wall time in-process."""
+    index, job, retries, evaluate = item
+    watch = Stopwatch()
+    result, attempts = _attempt(evaluate or evaluate_job, job, retries)
+    return index, result, watch.elapsed(), attempts
+
+
+def evaluate_cached(
+    job: SensorJob,
+    cache: Any = "default",
+    telemetry: Optional[Telemetry] = None,
+    retries: int = 1,
+) -> JobResult:
+    """Single-job fast path: cache lookup, evaluate on miss, store.
+
+    Used by the point evaluations (``vmin_for_skew`` and the
+    ``extract_tau_min`` bisection) where spinning up a campaign per call
+    would be pure overhead.
+    """
+    if cache == "default":
+        cache = get_cache()
+    key = job.key() if cache is not None else None
+    if key is not None:
+        hit = cache.get(key)
+        if telemetry is not None:
+            telemetry.record_cache(hit is not None)
+        if hit is not None:
+            result = JobResult.from_payload(hit, cached=True)
+            if telemetry is not None:
+                telemetry.record_job(
+                    "point", wall=0.0, attempts=0, steps=result.steps,
+                    cached=True,
+                )
+            return result
+    watch = Stopwatch()
+    result, attempts = _attempt(evaluate_job, job, retries)
+    if telemetry is not None:
+        telemetry.record_job(
+            "point", wall=watch.elapsed(), attempts=attempts,
+            steps=result.steps, cached=False,
+        )
+    if key is not None:
+        cache.put(key, result.to_payload())
+    return result
+
+
+def run_campaign(
+    jobs: Sequence[SensorJob],
+    backend: str = "serial",
+    max_workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+    cache: Any = "default",
+    telemetry: Optional[Telemetry] = None,
+    evaluate: Optional[Callable[[SensorJob], JobResult]] = None,
+) -> CampaignResult:
+    """Run ``jobs`` and return their results in job order.
+
+    Parameters
+    ----------
+    jobs:
+        Work items; anything exposing ``key()`` and accepted by
+        ``evaluate`` (normally :class:`SensorJob`).
+    backend:
+        ``"serial"`` (in-process loop), ``"thread"``
+        (``ThreadPoolExecutor``), or ``"process"`` (``multiprocessing``
+        pool, fork context when available, explicit chunksize).
+    max_workers:
+        Pool width; defaults to ``REPRO_MAX_WORKERS`` or half the CPUs.
+    chunksize:
+        Process-pool chunk size; defaults to ~4 chunks per worker.
+    retries:
+        Extra attempts permitted per job on ``ConvergenceError``; the
+        error propagates once the budget is exhausted.
+    timeout:
+        Per-job wall-time bound in seconds, enforced on the thread and
+        process backends (raises :class:`CampaignTimeoutError`).  The
+        serial backend cannot interrupt a running integration and ignores
+        it.
+    cache:
+        ``"default"`` uses the process-wide :func:`get_cache`; ``None``
+        disables caching; any :class:`ResultCache` is used as given.
+    telemetry:
+        Accumulator to record into; a fresh one is created when omitted
+        and returned on the :class:`CampaignResult`.
+    evaluate:
+        Override the job evaluation (used by tests and future job
+        families).  Must be picklable for the process backend.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r} (use one of {BACKENDS})")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    if cache == "default":
+        # A custom evaluation must not populate the shared cache under
+        # SensorJob keys it did not honour; require an explicit cache.
+        cache = None if evaluate is not None else get_cache()
+
+    jobs = list(jobs)
+    results: List[Optional[JobResult]] = [None] * len(jobs)
+
+    # ------------------------------------------------------------------ #
+    # Cache pass: satisfy hits, dedupe identical pending jobs.
+    # ------------------------------------------------------------------ #
+    pending: List[Tuple[int, SensorJob]] = []
+    key_owner: Dict[str, int] = {}
+    duplicates: Dict[int, int] = {}
+    keys: List[Optional[str]] = [None] * len(jobs)
+    if cache is not None:
+        for index, job in enumerate(jobs):
+            key = job.key()
+            keys[index] = key
+            hit = cache.get(key)
+            telemetry.record_cache(hit is not None)
+            if hit is not None:
+                results[index] = JobResult.from_payload(hit, cached=True)
+                telemetry.record_job(
+                    f"job[{index}]", wall=0.0, attempts=0,
+                    steps=results[index].steps, cached=True,
+                )
+            elif key in key_owner:
+                duplicates[index] = key_owner[key]
+            else:
+                key_owner[key] = index
+                pending.append((index, job))
+    else:
+        pending = list(enumerate(jobs))
+
+    # ------------------------------------------------------------------ #
+    # Dispatch the misses.
+    # ------------------------------------------------------------------ #
+    items = [(index, job, retries, evaluate) for index, job in pending]
+    outcomes: List[Tuple[int, JobResult, float, int]] = []
+
+    if items:
+        if backend == "serial" or (len(items) == 1 and timeout is None):
+            outcomes = [_worker(item) for item in items]
+        elif backend == "thread":
+            workers = min(resolve_workers(max_workers), len(items))
+            with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+                futures = [pool.submit(_worker, item) for item in items]
+                try:
+                    outcomes = [f.result(timeout=timeout) for f in futures]
+                except concurrent.futures.TimeoutError:
+                    for f in futures:
+                        f.cancel()
+                    raise CampaignTimeoutError(
+                        f"a campaign job exceeded its {timeout} s timeout"
+                    ) from None
+        else:  # process
+            workers = min(resolve_workers(max_workers), len(items))
+            context = (
+                multiprocessing.get_context("fork")
+                if "fork" in multiprocessing.get_all_start_methods()
+                else multiprocessing.get_context()
+            )
+            with context.Pool(processes=workers) as pool:
+                if timeout is None:
+                    size = resolve_chunksize(len(items), workers, chunksize)
+                    outcomes = pool.map(_worker, items, chunksize=size)
+                else:
+                    handles = [pool.apply_async(_worker, (item,)) for item in items]
+                    try:
+                        outcomes = [h.get(timeout=timeout) for h in handles]
+                    except multiprocessing.TimeoutError:
+                        pool.terminate()
+                        raise CampaignTimeoutError(
+                            f"a campaign job exceeded its {timeout} s timeout"
+                        ) from None
+
+    for index, result, wall, attempts in outcomes:
+        results[index] = JobResult(
+            skew=result.skew, vmin_y1=result.vmin_y1, vmin_y2=result.vmin_y2,
+            code=result.code, steps=result.steps, attempts=attempts,
+            cached=False,
+        )
+        telemetry.record_job(
+            f"job[{index}]", wall=wall, attempts=attempts,
+            steps=result.steps, cached=False,
+        )
+        if cache is not None and keys[index] is not None:
+            cache.put(keys[index], results[index].to_payload())
+
+    # Duplicate jobs share their owner's (freshly computed) result.
+    for index, owner in duplicates.items():
+        owned = results[owner]
+        assert owned is not None
+        results[index] = JobResult(
+            skew=owned.skew, vmin_y1=owned.vmin_y1, vmin_y2=owned.vmin_y2,
+            code=owned.code, steps=owned.steps, attempts=owned.attempts,
+            cached=True,
+        )
+        telemetry.record_job(
+            f"job[{index}]", wall=0.0, attempts=0,
+            steps=owned.steps, cached=True,
+        )
+
+    assert all(r is not None for r in results)
+    return CampaignResult(results=results, telemetry=telemetry)

@@ -1,0 +1,182 @@
+"""Campaign job descriptions and their evaluation.
+
+A :class:`SensorJob` is a *complete, picklable, hashable* description of
+one sensor transient: everything :func:`repro.core.response.simulate_sensor`
+needs, and nothing else.  Jobs are the unit of work of the campaign
+executor, the unit of addressing of the result cache, and the payload that
+crosses process boundaries - worker processes rebuild the sensor locally
+from the job, exactly like the original ``repro.montecarlo.parallel``
+workers did.
+
+The evaluation result is the compact :class:`JobResult` (scalars only, no
+waveforms) so that results are cheap to pickle, JSON-serialisable for the
+disk cache, and bit-exactly reproducible across serial, thread and process
+backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.analog.engine import TransientOptions
+from repro.core.response import simulate_sensor
+from repro.core.sensing import SensorSizing, SkewSensor
+from repro.devices.process import ProcessParams, nominal_process
+from repro.runtime.cache import stable_key
+from repro.units import VTH_INTERPRET, ns
+
+#: Namespace folded into every job key, so sensor-response entries can
+#: never collide with a future job family (sweeps, IDDQ campaigns, ...).
+JOB_NAMESPACE = "sensor-response"
+
+
+@dataclass(frozen=True)
+class SensorJob:
+    """One sensor transient, fully specified.
+
+    ``process=None`` means the nominal corner; it is resolved before both
+    keying and evaluation, so ``None`` and ``nominal_process()`` address
+    the same cache entry.
+    """
+
+    skew: float
+    load1: float = 160e-15
+    load2: float = 160e-15
+    slew1: float = ns(0.2)
+    slew2: float = ns(0.2)
+    process: Optional[ProcessParams] = None
+    sizing: SensorSizing = SensorSizing()
+    period: float = ns(20.0)
+    settle: float = ns(2.0)
+    threshold: float = VTH_INTERPRET
+    full_swing: bool = False
+    parasitics: bool = True
+    options: Optional[TransientOptions] = None
+
+    def resolved(self) -> "SensorJob":
+        """A copy with every default made explicit (process, options)."""
+        job = self
+        if job.process is None:
+            job = replace(job, process=nominal_process())
+        if job.options is None:
+            job = replace(job, options=TransientOptions())
+        return job
+
+    def key(self) -> str:
+        """Content-address of this job's result (engine-version aware)."""
+        return stable_key(self.resolved(), namespace=JOB_NAMESPACE)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Compact outcome of one :class:`SensorJob`.
+
+    Mirrors the scalar fields of
+    :class:`repro.core.response.SensorResponse`; ``steps`` is the number
+    of accepted integration points (the telemetry's engine-step
+    statistic), zero when the value was replayed from cache.
+    """
+
+    skew: float
+    vmin_y1: float
+    vmin_y2: float
+    code: Tuple[int, int]
+    steps: int = 0
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def vmin_late(self) -> float:
+        """``Vmin`` of the output tied to the later clock edge."""
+        return self.vmin_y2 if self.skew >= 0 else self.vmin_y1
+
+    @property
+    def error_detected(self) -> bool:
+        """True when the code pair flags an abnormal skew."""
+        return self.code != (0, 0)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable form for the disk cache.
+
+        Floats survive ``json`` round-trips bit-exactly (``repr`` based),
+        so cached replays are identical to fresh computations.
+        """
+        return {
+            "skew": self.skew,
+            "vmin_y1": self.vmin_y1,
+            "vmin_y2": self.vmin_y2,
+            "code": list(self.code),
+            "steps": self.steps,
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, Any], cached: bool = False) -> "JobResult":
+        """Rebuild a result from its :meth:`to_payload` dict."""
+        return JobResult(
+            skew=float(payload["skew"]),
+            vmin_y1=float(payload["vmin_y1"]),
+            vmin_y2=float(payload["vmin_y2"]),
+            code=tuple(int(c) for c in payload["code"]),
+            steps=int(payload.get("steps", 0)),
+            cached=cached,
+        )
+
+
+def evaluate_job(job: SensorJob) -> JobResult:
+    """Run the transient described by ``job`` (no caching, no retries)."""
+    resolved = job.resolved()
+    sensor = SkewSensor(
+        process=resolved.process,
+        sizing=resolved.sizing,
+        load1=resolved.load1,
+        load2=resolved.load2,
+        full_swing=resolved.full_swing,
+        parasitics=resolved.parasitics,
+    )
+    response = simulate_sensor(
+        sensor,
+        skew=resolved.skew,
+        slew1=resolved.slew1,
+        slew2=resolved.slew2,
+        period=resolved.period,
+        settle=resolved.settle,
+        threshold=resolved.threshold,
+        options=resolved.options,
+    )
+    return JobResult(
+        skew=resolved.skew,
+        vmin_y1=response.vmin_y1,
+        vmin_y2=response.vmin_y2,
+        code=response.code,
+        steps=len(response.result),
+    )
+
+
+def sensitivity_job(
+    load: float,
+    slew: float,
+    skew: float,
+    process: Optional[ProcessParams] = None,
+    sizing: Optional[SensorSizing] = None,
+    threshold: float = VTH_INTERPRET,
+    options: Optional[TransientOptions] = None,
+    slew2: Optional[float] = None,
+    load2: Optional[float] = None,
+) -> SensorJob:
+    """Job for one Fig.-4 operating point (symmetric defaults).
+
+    Mirrors the parameter conventions of
+    :func:`repro.core.sensitivity.vmin_for_skew`.
+    """
+    return SensorJob(
+        skew=skew,
+        load1=load,
+        load2=load if load2 is None else load2,
+        slew1=slew,
+        slew2=slew if slew2 is None else slew2,
+        process=process,
+        sizing=sizing or SensorSizing(),
+        threshold=threshold,
+        options=options,
+    )

@@ -1,0 +1,243 @@
+"""Campaign observability: timings, cache accounting, engine statistics.
+
+A :class:`Telemetry` object rides along a campaign (or any hand-rolled
+loop) and records, per job, the wall time, the number of attempts (retries
+on :class:`~repro.analog.dcop.ConvergenceError`), the number of accepted
+engine integration points, and whether the value came from cache.  It
+exports a machine-readable JSON report (:meth:`Telemetry.to_json`) and a
+human summary (:meth:`Telemetry.summary`), and its counters are what the
+acceptance checks read to prove a warm-cache run performed *zero* new
+transient integrations.
+
+The module also hosts the small timing/printing helpers that used to be
+duplicated across ``benchmarks/_util.py`` and ad-hoc scripts:
+:class:`Stopwatch`, :func:`format_duration` and :func:`emit_block`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+def format_duration(seconds: float) -> str:
+    """Human-friendly duration: ``738 us``, ``12.3 ms``, ``4.56 s``."""
+    if seconds < 0:
+        return f"-{format_duration(-seconds)}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60.0:.1f} min"
+
+
+class Stopwatch:
+    """Tiny ``perf_counter`` wrapper used by benches and the executor."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return time.perf_counter() - self._t0
+
+    def restart(self) -> float:
+        """Return the elapsed seconds and restart the watch."""
+        now = time.perf_counter()
+        elapsed, self._t0 = now - self._t0, now
+        return elapsed
+
+
+def emit_block(name: str, lines: Iterable[str], out_dir: str) -> str:
+    """Print a named result block and persist it as ``<out_dir>/<name>.txt``.
+
+    The shared printing helper behind every ``benchmarks/bench_*.py``
+    (previously a private copy in ``benchmarks/_util.py``).
+    """
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@dataclass
+class JobRecord:
+    """Per-job telemetry sample."""
+
+    label: str
+    wall: float
+    attempts: int = 1
+    steps: int = 0
+    cached: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of this record."""
+        return {
+            "label": self.label,
+            "wall_s": self.wall,
+            "attempts": self.attempts,
+            "steps": self.steps,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class Telemetry:
+    """Accumulates campaign metrics; cheap enough to always carry."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Extra named durations recorded via :meth:`timer` (setup, report...).
+    spans: Dict[str, float] = field(default_factory=dict)
+    _wall = None  # type: Optional[Stopwatch]
+
+    def __post_init__(self) -> None:
+        self._wall = Stopwatch()
+
+    # ------------------------------------------------------------------ #
+    # Recording.
+    # ------------------------------------------------------------------ #
+    def record_job(
+        self,
+        label: str,
+        wall: float,
+        attempts: int = 1,
+        steps: int = 0,
+        cached: bool = False,
+    ) -> None:
+        """Record one finished job (fresh or replayed from cache)."""
+        self.records.append(
+            JobRecord(label=label, wall=wall, attempts=attempts,
+                      steps=steps, cached=cached)
+        )
+
+    def record_cache(self, hit: bool) -> None:
+        """Count one cache lookup."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    @contextmanager
+    def timer(self, label: str) -> Iterator[None]:
+        """Time a named span: ``with telemetry.timer("report"): ...``."""
+        watch = Stopwatch()
+        try:
+            yield
+        finally:
+            self.spans[label] = self.spans.get(label, 0.0) + watch.elapsed()
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics.
+    # ------------------------------------------------------------------ #
+    @property
+    def jobs_total(self) -> int:
+        return len(self.records)
+
+    @property
+    def jobs_evaluated(self) -> int:
+        """Jobs that actually ran a transient (cache misses)."""
+        return sum(1 for r in self.records if not r.cached)
+
+    @property
+    def retries(self) -> int:
+        """Extra attempts beyond the first, summed over evaluated jobs."""
+        return sum(r.attempts - 1 for r in self.records
+                   if not r.cached and r.attempts > 1)
+
+    @property
+    def steps_integrated(self) -> int:
+        """Engine points accepted *in this run* (cached jobs contribute 0)."""
+        return sum(r.steps for r in self.records if not r.cached)
+
+    @property
+    def wall_total(self) -> float:
+        return sum(r.wall for r in self.records)
+
+    def elapsed(self) -> float:
+        """Wall time since this telemetry object was created."""
+        return self._wall.elapsed() if self._wall else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Export.
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, Any]:
+        """The full machine-readable report (used by :meth:`to_json`)."""
+        walls = sorted(r.wall for r in self.records if not r.cached)
+
+        def pct(q: float) -> float:
+            if not walls:
+                return 0.0
+            pos = min(len(walls) - 1, int(q * (len(walls) - 1) + 0.5))
+            return walls[pos]
+
+        return {
+            "jobs": {
+                "total": self.jobs_total,
+                "evaluated": self.jobs_evaluated,
+                "from_cache": self.jobs_total - self.jobs_evaluated,
+                "retries": self.retries,
+            },
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "engine": {
+                "steps_integrated": self.steps_integrated,
+            },
+            "wall_s": {
+                "jobs_total": self.wall_total,
+                "elapsed": self.elapsed(),
+                "job_p50": pct(0.50),
+                "job_p95": pct(0.95),
+                "job_max": walls[-1] if walls else 0.0,
+            },
+            "spans_s": dict(self.spans),
+            "records": [r.as_dict() for r in self.records],
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """JSON report; optionally written to ``path``."""
+        text = json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+        if path:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        data = self.as_dict()
+        jobs, wall = data["jobs"], data["wall_s"]
+        lines = [
+            f"jobs      : {jobs['total']} total, {jobs['evaluated']} evaluated, "
+            f"{jobs['from_cache']} from cache, {jobs['retries']} retries",
+            f"cache     : {self.cache_hits} hits, {self.cache_misses} misses",
+            f"engine    : {data['engine']['steps_integrated']} integration "
+            "points accepted this run",
+            f"wall time : {format_duration(wall['elapsed'])} elapsed, "
+            f"{format_duration(wall['jobs_total'])} in jobs "
+            f"(p50 {format_duration(wall['job_p50'])}, "
+            f"p95 {format_duration(wall['job_p95'])}, "
+            f"max {format_duration(wall['job_max'])})",
+        ]
+        for label, seconds in sorted(self.spans.items()):
+            lines.append(f"span      : {label} = {format_duration(seconds)}")
+        return "\n".join(lines)
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another telemetry object into this one."""
+        self.records.extend(other.records)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        for label, seconds in other.spans.items():
+            self.spans[label] = self.spans.get(label, 0.0) + seconds

@@ -7,6 +7,8 @@ session-scoped and shared across test modules.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,39 @@ from repro.core.response import simulate_sensor
 from repro.core.sensing import SkewSensor
 from repro.devices.process import nominal_process
 from repro.units import fF, ns
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    """Point the runtime result cache at a session-private directory.
+
+    Keeps the suite from reading or writing ``~/.cache/repro`` (hermetic
+    runs, no cross-session replay masking a regression) while still
+    letting repeated evaluations *within* the session share results.
+    """
+    from repro.runtime import reset_cache
+
+    root = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    reset_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    reset_cache()
+
+
+@pytest.fixture
+def fresh_cache(monkeypatch, tmp_path):
+    """A fresh, empty process-wide cache rooted at this test's tmp dir."""
+    from repro.runtime import reset_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_cache()
+    yield tmp_path
+    reset_cache()
 
 
 @pytest.fixture(scope="session")

@@ -93,6 +93,7 @@ def test_budget_agrees_with_event_simulation(skew_ps):
         assert not result["passed"], f"skew {skew} outside budget must fail"
 
 
+@pytest.mark.slow
 def test_tune_threshold_hits_target(fast_options):
     """The Vth knob realises a requested tau_min within tolerance."""
     target = ns(0.15)
@@ -106,6 +107,7 @@ def test_tune_threshold_hits_target(fast_options):
     assert 2.0 < vth < 3.6
 
 
+@pytest.mark.slow
 def test_tune_threshold_rejects_unreachable(fast_options):
     with pytest.raises(ValueError):
         tune_threshold(ns(5.0), fF(160), options=fast_options)

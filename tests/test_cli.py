@@ -1,5 +1,9 @@
 """Command-line interface."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -30,6 +34,69 @@ def test_sensitivity_command(capsys):
     out = capsys.readouterr().out
     assert "tau_min" in out
     assert "160 fF" in out
+
+
+def test_campaign_help_smoke():
+    """`python -m repro campaign --help` must parse and exit 0."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["campaign", "--help"])
+    assert excinfo.value.code == 0
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", "--help"],
+        env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0
+    assert "--backend" in proc.stdout
+
+
+def test_campaign_command_runs_with_telemetry(capsys, fresh_cache):
+    report = fresh_cache / "telemetry.json"
+    assert main([
+        "campaign", "--loads", "160", "--slews", "0.2", "--points", "3",
+        "--tau-max", "0.4", "--json", str(report),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tau_min" in out
+    assert "runtime telemetry" in out
+    assert "3 evaluated" in out
+    assert report.exists()
+
+    # Warm rerun: every point must replay, zero new integrations.
+    assert main([
+        "campaign", "--loads", "160", "--slews", "0.2", "--points", "3",
+        "--tau-max", "0.4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "3 total, 0 evaluated, 3 from cache" in out
+    assert "0 misses" in out
+    assert "0 integration points" in out
+
+
+def test_sensitivity_stats_flag(capsys, fresh_cache):
+    args = ["sensitivity", "--loads", "160", "--points", "3",
+            "--tau-max", "0.4", "--stats"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "3 from cache" in out
+    assert "0 misses" in out
+
+
+def test_cache_info_and_clear(capsys, fresh_cache):
+    assert main(["sensitivity", "--loads", "160", "--points", "3",
+                 "--tau-max", "0.4"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert str(fresh_cache) in out
+    assert "3 on disk" in out
+    assert main(["cache", "clear"]) == 0
+    assert "cleared 3" in capsys.readouterr().out
 
 
 def test_scheme_command_healthy(capsys):

@@ -1,0 +1,197 @@
+"""Content-addressed result cache: keying, tiers, accounting."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analog.engine import TransientOptions
+from repro.core.sensing import SensorSizing
+from repro.devices.process import nominal_process
+from repro.runtime import (
+    JobResult,
+    ResultCache,
+    SensorJob,
+    engine_fingerprint,
+    stable_key,
+)
+from repro.runtime.cache import default_cache_dir
+from repro.units import fF, ns
+
+FAST = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+def make_job(**overrides) -> SensorJob:
+    kwargs = dict(skew=ns(0.3), load1=fF(160), load2=fF(160), options=FAST)
+    kwargs.update(overrides)
+    return SensorJob(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Key stability
+# --------------------------------------------------------------------- #
+
+def test_key_is_deterministic_within_process():
+    assert make_job().key() == make_job().key()
+
+
+def test_key_stable_across_processes():
+    """The content key must not depend on PYTHONHASHSEED or process state."""
+    job = make_job()
+    script = (
+        "from repro.runtime import SensorJob\n"
+        "from repro.analog.engine import TransientOptions\n"
+        "from repro.units import fF, ns\n"
+        "job = SensorJob(skew=ns(0.3), load1=fF(160), load2=fF(160),\n"
+        "                options=TransientOptions(dt_max=200e-12, reltol=5e-3))\n"
+        "print(job.key())\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED="12345")
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env,
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == job.key()
+
+
+def test_key_changes_with_every_input():
+    base = make_job().key()
+    assert make_job(skew=ns(0.31)).key() != base
+    assert make_job(load1=fF(161)).key() != base
+    assert make_job(slew2=ns(0.25)).key() != base
+    assert make_job(full_swing=True).key() != base
+    assert make_job(sizing=SensorSizing(w_n=2e-6)).key() != base
+    assert make_job(options=TransientOptions(dt_max=100e-12)).key() != base
+
+
+def test_key_resolves_default_process_and_options():
+    """None defaults and their explicit values address the same entry."""
+    implicit = SensorJob(skew=ns(0.2))
+    explicit = SensorJob(
+        skew=ns(0.2), process=nominal_process(), options=TransientOptions()
+    )
+    assert implicit.key() == explicit.key()
+
+
+def test_stable_key_rejects_unhashable_junk():
+    with pytest.raises(TypeError):
+        stable_key(object())
+
+
+def test_engine_fingerprint_folds_into_keys(monkeypatch):
+    """A physics-code change (new fingerprint) must shift the namespace."""
+    cache_a = ResultCache(disk_dir=None, version="aaaa")
+    cache_b = ResultCache(disk_dir=None, version="bbbb")
+    assert cache_a.version != cache_b.version
+    assert len(engine_fingerprint()) == 16
+
+
+# --------------------------------------------------------------------- #
+# Disk tier
+# --------------------------------------------------------------------- #
+
+def test_disk_cache_round_trip(tmp_path):
+    payload = JobResult(
+        skew=ns(0.3), vmin_y1=0.1234567891011121, vmin_y2=4.000000000000123,
+        code=(0, 1), steps=321,
+    ).to_payload()
+    writer = ResultCache(disk_dir=tmp_path)
+    writer.put("k" * 64, payload)
+
+    reader = ResultCache(disk_dir=tmp_path, version=writer.version)
+    value = reader.get("k" * 64)
+    assert value == payload
+    assert reader.stats.hits_disk == 1
+    # Bit-exact float round trip through JSON.
+    result = JobResult.from_payload(value, cached=True)
+    assert result.vmin_y1 == 0.1234567891011121
+    assert result.vmin_y2 == 4.000000000000123
+    assert result.code == (0, 1)
+    assert result.cached
+
+
+def test_disk_entries_live_under_versioned_dir(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path, version="deadbeef")
+    cache.put("a" * 64, {"x": 1})
+    files = list((tmp_path / "vdeadbeef").glob("*.json"))
+    assert len(files) == 1
+    assert json.loads(files[0].read_text()) == {"x": 1}
+    # A version bump leaves old entries behind and starts fresh.
+    bumped = ResultCache(disk_dir=tmp_path, version="cafebabe")
+    assert bumped.get("a" * 64) is None
+
+
+def test_clear_removes_disk_entries(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path)
+    for i in range(3):
+        cache.put(f"{i:064d}", {"i": i})
+    assert cache.disk_entries() == 3
+    assert cache.clear() == 3
+    assert cache.disk_entries() == 0
+    assert len(cache) == 0
+
+
+def test_memory_lru_eviction():
+    cache = ResultCache(max_memory_entries=2, disk_dir=None)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)
+    assert len(cache) == 2
+    assert cache.stats.evictions == 1
+    assert cache.get("a") is None  # evicted, no disk tier
+    assert cache.get("c") == 3
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path)
+    cache.put("a" * 64, {"x": 1})
+    path = cache.disk_dir / ("a" * 64 + ".json")
+    path.write_text("{not json")
+    fresh = ResultCache(disk_dir=tmp_path, version=cache.version)
+    assert fresh.get("a" * 64) is None
+    assert fresh.stats.misses == 1
+
+
+# --------------------------------------------------------------------- #
+# Environment knobs
+# --------------------------------------------------------------------- #
+
+def test_env_dir_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    assert default_cache_dir() == tmp_path / "custom"
+    cache = ResultCache()  # disk_dir="auto"
+    assert cache.disk_enabled
+    assert str(cache.disk_dir).startswith(str(tmp_path / "custom"))
+
+
+def test_env_disable_wins(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_CACHE_DISABLE", "1")
+    assert default_cache_dir() is None
+    cache = ResultCache()
+    assert not cache.disk_enabled
+    cache.put("a", 1)  # must not raise, memory tier still works
+    assert cache.get("a") == 1
+
+
+# --------------------------------------------------------------------- #
+# Hit/miss accounting
+# --------------------------------------------------------------------- #
+
+def test_stats_accounting(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path)
+    assert cache.get("missing") is None
+    cache.put("k", {"v": 1})
+    assert cache.get("k") == {"v": 1}
+    stats = cache.stats.as_dict()
+    assert stats["misses"] == 1
+    assert stats["hits_memory"] == 1
+    assert stats["puts"] == 1
+    assert stats["hits"] == 1

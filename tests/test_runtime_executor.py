@@ -1,0 +1,265 @@
+"""Campaign executor: backends, ordering, retries, timeouts, caching."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analog.dcop import ConvergenceError
+from repro.analog.engine import TransientOptions
+from repro.runtime import (
+    JobResult,
+    ResultCache,
+    SensorJob,
+    Telemetry,
+    run_campaign,
+    resolve_chunksize,
+    resolve_workers,
+)
+from repro.runtime.executor import CampaignTimeoutError
+from repro.units import fF, ns
+
+FAST = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+def jobs_for(*skews_ns):
+    return [
+        SensorJob(skew=ns(t), load1=fF(160), load2=fF(160), options=FAST)
+        for t in skews_ns
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Fake evaluations (module level: picklable for the process backend).
+# --------------------------------------------------------------------- #
+
+def _synthetic(job):
+    return JobResult(
+        skew=job.skew, vmin_y1=job.skew * 2.0, vmin_y2=job.skew * 3.0,
+        code=(0, 0), steps=7,
+    )
+
+
+def _slow_synthetic(job):
+    time.sleep(0.5)
+    return _synthetic(job)
+
+
+_FLAKY_FAILURES = {"remaining": 0}
+
+
+def _flaky(job):
+    if _FLAKY_FAILURES["remaining"] > 0:
+        _FLAKY_FAILURES["remaining"] -= 1
+        raise ConvergenceError("synthetic non-convergence")
+    return _synthetic(job)
+
+
+def _always_diverges(job):
+    raise ConvergenceError("synthetic non-convergence")
+
+
+# --------------------------------------------------------------------- #
+# Worker / chunksize resolution (REPRO_MAX_WORKERS satellite).
+# --------------------------------------------------------------------- #
+
+def test_resolve_workers_env(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "3")
+    assert resolve_workers(None) == 3
+    assert resolve_workers(5) == 5  # explicit argument wins
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+    assert resolve_workers(None) == 1
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "banana")
+    with pytest.raises(ValueError):
+        resolve_workers(None)
+
+
+def test_default_workers_reads_env(monkeypatch):
+    from repro.montecarlo.parallel import default_workers
+
+    monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+    assert default_workers() == 2
+    monkeypatch.delenv("REPRO_MAX_WORKERS")
+    assert default_workers() >= 1
+
+
+def test_resolve_chunksize():
+    assert resolve_chunksize(100, 4) == 6      # ~4 chunks per worker
+    assert resolve_chunksize(3, 8) == 1        # never below 1
+    assert resolve_chunksize(100, 4, chunksize=17) == 17
+
+
+# --------------------------------------------------------------------- #
+# Backends return identical, ordered results.
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_backends_bit_identical(backend):
+    jobs = jobs_for(0.1, 0.4)
+    reference = run_campaign(jobs, backend="serial", cache=None)
+    campaign = run_campaign(jobs, backend=backend, cache=None, max_workers=2)
+    for got, want in zip(campaign, reference):
+        assert got.vmin_y1 == want.vmin_y1  # bit-exact, not approx
+        assert got.vmin_y2 == want.vmin_y2
+        assert got.code == want.code
+        assert got.steps == want.steps
+
+
+def test_results_keep_job_order():
+    jobs = jobs_for(0.5, 0.1, 0.3, 0.2)
+    campaign = run_campaign(
+        jobs, backend="thread", cache=None, max_workers=4, evaluate=_synthetic
+    )
+    assert [r.skew for r in campaign] == [job.skew for job in jobs]
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        run_campaign([], backend="gpu")
+
+
+# --------------------------------------------------------------------- #
+# Retries on ConvergenceError.
+# --------------------------------------------------------------------- #
+
+def test_retry_recovers_from_transient_failures():
+    _FLAKY_FAILURES["remaining"] = 2
+    telemetry = Telemetry()
+    campaign = run_campaign(
+        jobs_for(0.2), backend="serial", retries=2,
+        evaluate=_flaky, telemetry=telemetry,
+    )
+    assert campaign[0].attempts == 3
+    assert telemetry.retries == 2
+    assert telemetry.jobs_evaluated == 1
+
+
+def test_retry_budget_exhaustion_raises():
+    with pytest.raises(ConvergenceError):
+        run_campaign(
+            jobs_for(0.2), backend="serial", retries=1,
+            evaluate=_always_diverges,
+        )
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(ValueError):
+        run_campaign([], retries=-1)
+
+
+# --------------------------------------------------------------------- #
+# Per-job timeout (thread/process backends).
+# --------------------------------------------------------------------- #
+
+def test_thread_timeout_raises():
+    with pytest.raises(CampaignTimeoutError):
+        run_campaign(
+            jobs_for(0.2), backend="thread", timeout=0.05,
+            evaluate=_slow_synthetic,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Cache integration and accounting.
+# --------------------------------------------------------------------- #
+
+def test_warm_campaign_evaluates_nothing(tmp_path):
+    jobs = jobs_for(0.1, 0.3)
+    cache = ResultCache(disk_dir=tmp_path)
+    cold = Telemetry()
+    first = run_campaign(jobs, cache=cache, telemetry=cold)
+    assert cold.jobs_evaluated == 2
+    assert cold.cache_misses == 2
+    assert cold.steps_integrated > 0
+
+    warm = Telemetry()
+    second = run_campaign(jobs, cache=cache, telemetry=warm)
+    assert warm.jobs_evaluated == 0
+    assert warm.cache_hits == 2
+    assert warm.steps_integrated == 0
+    for got, want in zip(second, first):
+        assert got.vmin_late == want.vmin_late  # bit-exact replay
+        assert got.cached
+
+
+def test_disk_tier_survives_fresh_process_state(tmp_path):
+    """A new cache instance (fresh memory) replays from disk."""
+    jobs = jobs_for(0.25)
+    writer = ResultCache(disk_dir=tmp_path)
+    first = run_campaign(jobs, cache=writer)
+
+    reader = ResultCache(disk_dir=tmp_path, version=writer.version)
+    telemetry = Telemetry()
+    second = run_campaign(jobs, cache=reader, telemetry=telemetry)
+    assert telemetry.jobs_evaluated == 0
+    assert reader.stats.hits_disk == 1
+    assert second[0].vmin_late == first[0].vmin_late
+
+
+def test_duplicate_jobs_evaluated_once(tmp_path):
+    job = jobs_for(0.2)[0]
+    cache = ResultCache(disk_dir=tmp_path)
+    telemetry = Telemetry()
+    campaign = run_campaign(
+        [job, job, job], cache=cache, telemetry=telemetry, evaluate=_synthetic
+    )
+    assert telemetry.jobs_evaluated == 1
+    assert len(campaign) == 3
+    assert campaign[1].vmin_late == campaign[0].vmin_late
+    assert campaign[1].cached and campaign[2].cached
+
+
+def test_custom_evaluate_never_touches_default_cache():
+    """cache="default" + custom evaluate must not poison shared entries."""
+    telemetry = Telemetry()
+    run_campaign(jobs_for(0.2), evaluate=_synthetic, telemetry=telemetry)
+    # No cache in play: neither hits nor misses were recorded.
+    assert telemetry.cache_hits == 0
+    assert telemetry.cache_misses == 0
+
+
+# --------------------------------------------------------------------- #
+# Telemetry export.
+# --------------------------------------------------------------------- #
+
+def test_telemetry_report_round_trip(tmp_path):
+    telemetry = Telemetry()
+    run_campaign(
+        jobs_for(0.1, 0.2), cache=None, telemetry=telemetry,
+        evaluate=_synthetic,
+    )
+    path = tmp_path / "report.json"
+    telemetry.to_json(str(path))
+    import json
+
+    data = json.loads(path.read_text())
+    assert data["jobs"]["total"] == 2
+    assert data["jobs"]["evaluated"] == 2
+    assert data["engine"]["steps_integrated"] == 14
+    assert len(data["records"]) == 2
+    summary = telemetry.summary()
+    assert "2 total" in summary
+    assert "cache" in summary
+
+
+def test_montecarlo_parallel_matches_serial_via_runtime(fast_options):
+    """End-to-end: the rewired scatter path is bit-identical to serial."""
+    import numpy as np
+
+    from repro.montecarlo.analysis import scatter_analysis
+    from repro.montecarlo.parallel import scatter_analysis_parallel
+    from repro.montecarlo.sampling import sample_population
+
+    samples = sample_population(2, fF(160), rng=np.random.default_rng(42))
+    skews = [0.0, ns(0.4)]
+    serial = scatter_analysis(samples, skews, options=fast_options)
+    parallel = scatter_analysis_parallel(
+        samples, skews, options=fast_options, n_workers=2, chunksize=1,
+        cache=None,
+    )
+    assert len(parallel) == len(serial)
+    for a, b in zip(serial, parallel):
+        assert a.sample_index == b.sample_index
+        assert a.skew == b.skew
+        assert a.vmin == b.vmin  # bit-exact across process boundaries

@@ -85,6 +85,7 @@ def test_tau_min_in_subnanosecond_band(fast_options):
     assert ns(0.03) < tau < ns(0.25)
 
 
+@pytest.mark.slow
 def test_tau_min_insensitive_to_slew(fast_options):
     """Fig. 4: 'the circuit is rather unsensitive to the slope of clock
     signal waveforms' - a 4x slew change moves tau_min by < 20 %."""
