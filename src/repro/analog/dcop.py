@@ -1,23 +1,39 @@
-"""DC operating point via damped Newton with gmin stepping.
+"""DC operating point via damped Newton with gmin and source stepping.
 
 The operating point initialises every transient run: sources are frozen at
 their ``t = t0`` values and the static KCL system ``i(v) = 0`` is solved on
-the free nodes.  A homotopy on an artificial shunt conductance (classic
-"gmin stepping") makes the solve robust for the ratioed, feedback-coupled
-circuits in this library.
+the free nodes.  The solve escalates through a ladder of homotopies:
+
+1. **direct** - plain damped Newton from the caller's guess (preserves the
+   intended state of multistable circuits);
+2. **gmin** - homotopy on an artificial shunt conductance (classic "gmin
+   stepping") pulling toward the guess;
+3. **source-stepping** - supply voltages ramped from a fraction of their
+   value to full scale, each stage seeded by the previous solution.
+
+Every failure raises :class:`~repro.errors.ConvergenceError` carrying a
+:class:`~repro.errors.SimulationDiagnostics` record (circuit name, time,
+Newton iteration, gmin stage, worst-residual node, last-good state), so a
+non-convergent corner inside a thousand-job campaign is debuggable from
+its log line.  ``ConvergenceError`` lives in :mod:`repro.errors` now; this
+module keeps re-exporting it for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.analog.compile import CompiledCircuit
+from repro.errors import (  # noqa: F401  (re-exported, historical home)
+    ConvergenceError,
+    NonFiniteStateError,
+    SimulationDiagnostics,
+)
 
-
-class ConvergenceError(RuntimeError):
-    """Raised when Newton iteration fails to find an operating point."""
+#: Source-stepping ramp: fraction of full supply solved at each stage.
+SOURCE_STEPS = (0.1, 0.25, 0.5, 0.75, 1.0)
 
 
 def _newton_static(
@@ -28,32 +44,55 @@ def _newton_static(
     max_iter: int = 200,
     vntol: float = 1e-9,
     itol: float = 1e-12,
-) -> Optional[np.ndarray]:
+) -> Tuple[Optional[np.ndarray], Dict[str, object]]:
     """One Newton solve of ``i(v) + shunt * (v - target) = 0`` on free nodes.
 
     The shunt pulls nodes toward ``target`` - the caller's initial guess
     (or mid-rail by default), so the homotopy stays in the intended basin
-    of a multistable circuit.  Returns the full voltage vector on success,
-    ``None`` on non-convergence.
+    of a multistable circuit.  Returns ``(solution, info)``: the full
+    voltage vector (or ``None`` on non-convergence) plus an ``info`` dict
+    with the iteration count and worst-residual observation of the last
+    iterate - the raw material of failure diagnostics.
     """
     n_free = circuit.n_free
     v = v.copy()
-    for _ in range(max_iter):
+    info: Dict[str, object] = {"iterations": 0, "worst_index": None,
+                               "worst_residual": None}
+    for iteration in range(max_iter):
+        info["iterations"] = iteration + 1
         f, j = circuit.device_currents(v, with_jacobian=True)
         residual = f[:n_free] + shunt * (v[:n_free] - target[:n_free])
+        if n_free:
+            worst = int(np.argmax(np.abs(residual)))
+            info["worst_index"] = worst
+            info["worst_residual"] = float(abs(residual[worst]))
         jacobian = j[:n_free, :n_free] + shunt * np.eye(n_free)
         try:
             delta = np.linalg.solve(jacobian, -residual)
         except np.linalg.LinAlgError:
-            return None
+            return None, info
+        if not np.all(np.isfinite(delta)):
+            return None, info
         step = np.max(np.abs(delta))
         if step > 1.0:
             delta *= 1.0 / step
         v[:n_free] += delta
+        if not np.all(np.isfinite(v[:n_free])):
+            return None, info
         if np.max(np.abs(delta)) < vntol and np.max(np.abs(residual)) < max(
             itol, 1e-6 * max(np.max(np.abs(f[:n_free])), 1e-12)
         ):
-            return v
+            return v, info
+    return None, info
+
+
+def _node_name(circuit: CompiledCircuit, index: Optional[object]) -> Optional[str]:
+    """Node name for a solver row index, if identifiable."""
+    if index is None:
+        return None
+    for name, i in circuit.node_index.items():
+        if i == index:
+            return name
     return None
 
 
@@ -61,6 +100,7 @@ def dc_operating_point(
     circuit: CompiledCircuit,
     t: float = 0.0,
     initial: Optional[Dict[str, float]] = None,
+    stats: Optional[Dict[str, object]] = None,
 ) -> np.ndarray:
     """Solve the DC operating point with sources frozen at time ``t``.
 
@@ -73,6 +113,10 @@ def dc_operating_point(
     initial:
         Optional initial guesses per node name; unnamed free nodes start at
         mid-rail.
+    stats:
+        Optional dict the solver annotates with ``{"dcop_rung": name}`` -
+        which ladder rung (``"direct"``, ``"gmin"``,
+        ``"source-stepping"``) produced the solution.  Telemetry reads it.
 
     Returns
     -------
@@ -81,7 +125,8 @@ def dc_operating_point(
     Raises
     ------
     ConvergenceError
-        If the gmin homotopy fails at its tightest stage.
+        When every rung of the ladder fails; carries diagnostics naming
+        the circuit, the gmin stage reached and the worst-residual node.
     """
     v = circuit.source_voltages(t)
     vdd = max((src.value(t) for src in circuit.netlist.sources.values()), default=0.0)
@@ -93,29 +138,77 @@ def dc_operating_point(
                 v[index] = voltage
 
     if circuit.n_free == 0:
+        if stats is not None:
+            stats["dcop_rung"] = "direct"
         return v
 
     target = v.copy()
+    last_info: Dict[str, object] = {}
+    last_shunt: Optional[float] = None
 
-    # A direct solve from the caller's guess preserves the intended state
-    # of multistable circuits (the homotopy shunt would otherwise drag
-    # them toward its target and can land on the metastable branch).
-    direct = _newton_static(circuit, v, 1e-12, target)
+    # Rung 1 - direct.  A plain solve from the caller's guess preserves
+    # the intended state of multistable circuits (the homotopy shunt
+    # would otherwise drag them toward its target and can land on the
+    # metastable branch).
+    direct, info = _newton_static(circuit, v, 1e-12, target)
+    last_info = info
     if direct is not None:
+        if stats is not None:
+            stats["dcop_rung"] = "direct"
         return direct
 
+    # Rung 2 - gmin stepping.
     solution = None
     for exponent in range(3, 13):
         shunt = 10.0 ** (-exponent)
-        attempt = _newton_static(circuit, v, shunt, target)
+        attempt, info = _newton_static(circuit, v, shunt, target)
         if attempt is None:
             # Retry this stage from the target before giving up on it.
-            attempt = _newton_static(circuit, target.copy(), shunt, target)
+            attempt, info = _newton_static(circuit, target.copy(), shunt, target)
         if attempt is not None:
             v = attempt
             solution = attempt
-    if solution is None:
-        raise ConvergenceError(
-            f"DC operating point failed for {circuit.netlist.name!r}"
-        )
-    return solution
+        else:
+            last_info, last_shunt = info, shunt
+    if solution is not None:
+        if stats is not None:
+            stats["dcop_rung"] = "gmin"
+        return solution
+
+    # Rung 3 - source stepping: ramp the driven nodes from a fraction of
+    # their value to full scale, seeding each stage with the previous
+    # solution.  Rescues circuits whose device curves are too stiff for
+    # the shunt homotopy at full supply.
+    full_sources = circuit.source_voltages(t)
+    guess = target.copy()
+    stepped: Optional[np.ndarray] = None
+    for fraction in SOURCE_STEPS:
+        staged = guess.copy()
+        staged[circuit.n_free:] = fraction * full_sources[circuit.n_free:]
+        staged_target = staged.copy()
+        attempt, info = _newton_static(circuit, staged, 1e-9, staged_target)
+        if attempt is None:
+            stepped = None
+            last_info = info
+            break
+        guess = attempt
+        stepped = attempt
+    if stepped is not None:
+        if stats is not None:
+            stats["dcop_rung"] = "source-stepping"
+        return stepped
+
+    diagnostics = SimulationDiagnostics(
+        circuit=circuit.netlist.name,
+        sim_time=t,
+        newton_iteration=last_info.get("iterations"),
+        gmin_stage=last_shunt,
+        ladder_rung="source-stepping",
+        worst_residual_node=_node_name(circuit, last_info.get("worst_index")),
+        worst_residual=last_info.get("worst_residual"),
+    )
+    diagnostics.capture_state(circuit.node_index, target)
+    raise ConvergenceError(
+        f"DC operating point failed for {circuit.netlist.name!r}",
+        diagnostics=diagnostics,
+    )

@@ -1,4 +1,4 @@
-"""Adaptive transient integration.
+"""Adaptive transient integration with a failure-escalation ladder.
 
 The nodal system is ``C dv/dt + i(v, t) = 0`` on the free nodes, with driven
 nodes following their sources exactly.  Two one-step methods are used:
@@ -12,6 +12,23 @@ Step control is the classic predictor/corrector comparison: the accepted
 solution is compared against a linear extrapolation of history; the
 normalised difference drives growth/shrink of ``h`` and step rejection.
 
+When a step refuses to converge the engine escalates through a
+configurable ladder (:attr:`TransientOptions.escalation`) instead of dying
+on the first symptom:
+
+1. ``"step-halving"`` - shrink ``h`` by 4x down to ``dt_min``;
+2. ``"damped-newton"`` - retry the floored step with a heavily damped
+   update and an enlarged iteration budget;
+3. ``"gmin-restart"`` - solve the floored step through a gmin homotopy
+   anchored at the last *accepted* state, stepping the shunt down.
+
+Every accepted step passes a NaN/Inf guard; when the ladder is exhausted
+the engine raises :class:`~repro.errors.StepSizeUnderflowError` (or
+:class:`~repro.errors.NonFiniteStateError` if the failure was numerical
+blow-up) carrying full :class:`~repro.errors.SimulationDiagnostics`.  The
+rungs that fired are tallied in :attr:`TransientResult.escalations`, which
+the campaign telemetry aggregates.
+
 The engine also records, at every accepted point, the current delivered by
 every source node - the IDDQ probe used by the Sec. 3 testability analysis.
 """
@@ -19,14 +36,28 @@ every source node - the IDDQ probe used by the Sec. 3 testability analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analog.compile import CompiledCircuit
-from repro.analog.dcop import ConvergenceError, dc_operating_point
+from repro.analog.dcop import dc_operating_point
 from repro.analog.waveform import Waveform
 from repro.circuit.netlist import Netlist
+from repro.errors import (  # noqa: F401  (ConvergenceError: historical import site)
+    ConvergenceError,
+    NonFiniteStateError,
+    SimulationDiagnostics,
+    StepSizeUnderflowError,
+)
+
+#: Rungs the transient escalation ladder knows, in escalation order.
+ESCALATION_RUNGS = ("step-halving", "damped-newton", "gmin-restart")
+
+#: Cap on floor-level rescues per run: a circuit that needs more than
+#: this many ladder interventions is not integrating, it is crawling at
+#: ``dt_min``; fail with diagnostics instead of hanging the campaign.
+MAX_RESCUES = 50
 
 
 @dataclass(frozen=True)
@@ -38,7 +69,8 @@ class TransientOptions:
     dt_max:
         Hard cap on the step size, seconds.
     dt_min:
-        Floor below which the engine gives up, seconds.
+        Floor below which the engine escalates instead of shrinking
+        further, seconds.
     dt_start:
         Step used right after ``t0`` and after every breakpoint.
     reltol, vabstol:
@@ -50,6 +82,10 @@ class TransientOptions:
         Newton update convergence threshold, volts.
     lte_reject:
         Normalised local error above which a step is rejected outright.
+    escalation:
+        Ladder rungs tried, in order, once the step floor is reached;
+        subset of :data:`ESCALATION_RUNGS`.  An empty tuple restores the
+        historical fail-fast behaviour.
     """
 
     dt_max: float = 100e-12
@@ -60,6 +96,7 @@ class TransientOptions:
     max_newton: int = 50
     vntol: float = 1e-7
     lte_reject: float = 4.0
+    escalation: Tuple[str, ...] = ESCALATION_RUNGS
 
     def __post_init__(self) -> None:
         if not 0 < self.dt_min <= self.dt_start <= self.dt_max:
@@ -73,15 +110,29 @@ class TransientOptions:
             raise ValueError("max_newton must be at least 2")
         if self.lte_reject <= 1.0:
             raise ValueError("lte_reject must exceed 1")
+        unknown = [r for r in self.escalation if r not in ESCALATION_RUNGS]
+        if unknown:
+            raise ValueError(
+                f"unknown escalation rungs {unknown} (use {ESCALATION_RUNGS})"
+            )
 
 
 @dataclass
 class TransientResult:
-    """Waveforms of a transient run."""
+    """Waveforms of a transient run.
+
+    ``escalations`` tallies solver-ladder events that fired during the
+    run: per-rung counts (``"step-halving"``, ``"damped-newton"``,
+    ``"gmin-restart"``) plus which DC operating-point rung succeeded
+    (``"dcop:direct"`` / ``"dcop:gmin"`` / ``"dcop:source-stepping"``).
+    An empty dict beyond the ``dcop:*`` entry means the integration never
+    needed rescuing.
+    """
 
     times: np.ndarray
     voltages: Dict[str, np.ndarray]
     source_currents: Dict[str, np.ndarray] = field(default_factory=dict)
+    escalations: Dict[str, int] = field(default_factory=dict)
 
     def wave(self, node: str) -> Waveform:
         """Voltage waveform of ``node``."""
@@ -138,35 +189,118 @@ def _newton_step(
     h: float,
     alpha: float,
     options: TransientOptions,
-) -> Optional[np.ndarray]:
+    damping: float = 1.0,
+    max_iter: Optional[int] = None,
+    shunt: float = 0.0,
+    shunt_target: Optional[np.ndarray] = None,
+) -> Tuple[Optional[np.ndarray], Dict[str, object]]:
     """Solve one implicit step; ``alpha = 1`` is BE, ``0.5`` trapezoidal.
 
     Residual on free nodes:
-    ``(q(v) - q_prev) / h + alpha * f(v) + (1 - alpha) * f_prev = 0``.
-    Returns the converged full voltage vector or ``None``.
+    ``(q(v) - q_prev) / h + alpha * f(v) + (1 - alpha) * f_prev
+    + shunt * (v - shunt_target) = 0``.
+
+    ``damping`` caps the per-iteration update magnitude (1.0 is the
+    normal clip; the ladder's damped rung passes 0.1), and a non-zero
+    ``shunt`` adds the gmin-restart homotopy term.  Returns
+    ``(solution, info)`` where ``info`` carries the iteration count, the
+    worst-residual observation and a ``nonfinite`` flag - the raw
+    material of failure diagnostics.
     """
     n_free = circuit.n_free
     v = v_guess.copy()
     v[n_free:] = v_sources[n_free:]
     c_ff = circuit.C[:n_free, :]
     history = (1.0 - alpha) * f_prev[:n_free] if f_prev is not None else 0.0
+    iters = max_iter if max_iter is not None else options.max_newton
+    info: Dict[str, object] = {"iterations": 0, "worst_index": None,
+                               "worst_residual": None, "nonfinite": False}
 
-    for _ in range(options.max_newton):
+    for iteration in range(iters):
+        info["iterations"] = iteration + 1
         f, j = circuit.device_currents(v, with_jacobian=True)
         q = circuit.C @ v
         residual = (q[:n_free] - q_prev[:n_free]) / h + alpha * f[:n_free] + history
+        if shunt:
+            anchor = shunt_target if shunt_target is not None else v_guess
+            residual = residual + shunt * (v[:n_free] - anchor[:n_free])
+        if n_free:
+            worst = int(np.argmax(np.abs(residual)))
+            info["worst_index"] = worst
+            info["worst_residual"] = float(abs(residual[worst]))
         jacobian = c_ff[:, :n_free] / h + alpha * j[:n_free, :n_free]
+        if shunt:
+            jacobian = jacobian + shunt * np.eye(n_free)
         try:
             delta = np.linalg.solve(jacobian, -residual)
         except np.linalg.LinAlgError:
-            return None
+            return None, info
+        if not np.all(np.isfinite(delta)):
+            info["nonfinite"] = True
+            return None, info
         step = np.max(np.abs(delta))
-        if step > 1.0:
-            delta *= 1.0 / step
+        if step > damping:
+            delta *= damping / step
         v[:n_free] += delta
+        if not np.all(np.isfinite(v[:n_free])):
+            info["nonfinite"] = True
+            return None, info
         if step < options.vntol:
-            return v
-    return None
+            return v, info
+    return None, info
+
+
+def _rescue_step(
+    circuit: CompiledCircuit,
+    v_accepted: np.ndarray,
+    v_sources: np.ndarray,
+    q_prev: np.ndarray,
+    h: float,
+    options: TransientOptions,
+) -> Tuple[Optional[np.ndarray], Dict[str, object], Optional[str]]:
+    """Escalation rungs beyond step-halving, tried at the step floor.
+
+    Both rungs restart from the last *accepted* state (not the failed
+    predictor) and use backward Euler (L-stable), per the ladder design:
+
+    * ``damped-newton`` - update magnitude capped at 0.1 V with a 4x
+      iteration budget;
+    * ``gmin-restart`` - a shunt homotopy anchored at the accepted state,
+      stepped from 1e-1 S down to 1e-12 S, then a clean confirming solve.
+
+    Returns ``(solution, info, rung)`` - the rung that succeeded, or the
+    info of the deepest failure for diagnostics.
+    """
+    info: Dict[str, object] = {}
+    if "damped-newton" in options.escalation:
+        solution, info = _newton_step(
+            circuit, v_accepted.copy(), v_sources, q_prev, None, h, 1.0,
+            options, damping=0.1, max_iter=4 * options.max_newton,
+        )
+        if solution is not None:
+            return solution, info, "damped-newton"
+    if "gmin-restart" in options.escalation:
+        guess = v_accepted.copy()
+        failed = False
+        for exponent in (1, 3, 6, 9, 12):
+            shunt = 10.0 ** (-exponent)
+            attempt, info = _newton_step(
+                circuit, guess, v_sources, q_prev, None, h, 1.0,
+                options, max_iter=4 * options.max_newton,
+                shunt=shunt, shunt_target=v_accepted,
+            )
+            if attempt is None:
+                failed = True
+                break
+            guess = attempt
+        if not failed:
+            solution, info = _newton_step(
+                circuit, guess, v_sources, q_prev, None, h, 1.0,
+                options, max_iter=4 * options.max_newton,
+            )
+            if solution is not None:
+                return solution, info, "gmin-restart"
+    return None, info, None
 
 
 def transient(
@@ -197,6 +331,16 @@ def transient(
     compiled:
         Reuse an already compiled circuit (Monte Carlo sweeps re-simulate
         the same topology with different stimuli).
+
+    Raises
+    ------
+    StepSizeUnderflowError
+        A step refused to converge with the whole escalation ladder
+        exhausted; diagnostics carry the circuit name, simulated time,
+        Newton iteration, worst-residual node and last accepted state.
+    NonFiniteStateError
+        The failure was a NaN/Inf in the iterate rather than plain
+        non-convergence.
     """
     options = options or TransientOptions()
     circuit = compiled or CompiledCircuit.compile(netlist)
@@ -215,7 +359,35 @@ def transient(
     breakpoints.append(t_stop)
     breakpoints = sorted(set(breakpoints))
 
-    v = dc_operating_point(circuit, t=t_start, initial=initial)
+    dcop_stats: Dict[str, object] = {}
+    v = dc_operating_point(circuit, t=t_start, initial=initial, stats=dcop_stats)
+    escalations: Dict[str, int] = {}
+    if "dcop_rung" in dcop_stats:
+        escalations[f"dcop:{dcop_stats['dcop_rung']}"] = 1
+
+    def _fail(kind: type, reason: str, h: float, step_info: Dict[str, object],
+              rung: Optional[str]) -> None:
+        worst_index = step_info.get("worst_index")
+        worst_name = None
+        if worst_index is not None:
+            for name, i in circuit.node_index.items():
+                if i == worst_index:
+                    worst_name = name
+                    break
+        diagnostics = SimulationDiagnostics(
+            circuit=circuit.netlist.name,
+            sim_time=t,
+            newton_iteration=step_info.get("iterations"),
+            ladder_rung=rung,
+            worst_residual_node=worst_name,
+            worst_residual=step_info.get("worst_residual"),
+            extra={"h": h, "reason": reason},
+        )
+        diagnostics.capture_state(circuit.node_index, v)
+        raise kind(
+            f"{reason} at t = {t:.3e} s in {circuit.netlist.name!r}",
+            diagnostics=diagnostics,
+        )
 
     times: List[float] = [t_start]
     states: List[np.ndarray] = [v.copy()]
@@ -241,9 +413,7 @@ def transient(
             h = next_bp - t
             hit_bp = True
         if h < options.dt_min:
-            raise ConvergenceError(
-                f"step size underflow at t = {t:.3e} s in {circuit.netlist.name!r}"
-            )
+            _fail(StepSizeUnderflowError, "step size underflow", h, {}, None)
 
         t_new = t + h
         v_sources = circuit.source_voltages(t_new)
@@ -260,22 +430,69 @@ def transient(
             f_hist, _ = circuit.device_currents(v, with_jacobian=False)
         q_prev = circuit.C @ v
 
-        v_new = _newton_step(
+        rescued = False
+        v_new, step_info = _newton_step(
             circuit, v_pred, v_sources, q_prev, f_hist, h, alpha, options
         )
+        if v_new is not None and not np.all(np.isfinite(v_new)):
+            step_info["nonfinite"] = True
+            v_new = None
         if v_new is None:
-            h *= 0.25
-            force_be = True
-            continue
+            # Rung 1: step-halving down to the floor.
+            if h * 0.25 >= options.dt_min and "step-halving" in options.escalation:
+                escalations["step-halving"] = escalations.get("step-halving", 0) + 1
+                h *= 0.25
+                force_be = True
+                continue
+            # Floor reached: damped Newton, then gmin-restart, from the
+            # last accepted state.
+            nonfinite = bool(step_info.get("nonfinite"))
+            rescues_used = sum(
+                count for name, count in escalations.items()
+                if name in ("damped-newton", "gmin-restart")
+            )
+            if rescues_used >= MAX_RESCUES:
+                _fail(
+                    StepSizeUnderflowError,
+                    f"escalation budget exhausted ({MAX_RESCUES} rescues)",
+                    h, step_info, options.escalation[-1] if options.escalation else None,
+                )
+            v_new, rescue_info, rung = _rescue_step(
+                circuit, v, v_sources, q_prev, h, options
+            )
+            if v_new is not None and not np.all(np.isfinite(v_new)):
+                rescue_info["nonfinite"] = True
+                v_new = None
+            if v_new is None:
+                nonfinite = nonfinite or bool(rescue_info.get("nonfinite"))
+                last_rung = (
+                    options.escalation[-1] if options.escalation else None
+                )
+                _fail(
+                    NonFiniteStateError if nonfinite else StepSizeUnderflowError,
+                    "non-finite state" if nonfinite else "step size underflow",
+                    h,
+                    rescue_info or step_info,
+                    last_rung,
+                )
+            escalations[rung] = escalations.get(rung, 0) + 1
+            rescued = True
 
         weight = options.reltol * np.maximum(np.abs(v_new[:n_free]), 1.0) + options.vabstol
         err = float(np.max(np.abs(v_new[:n_free] - v_pred[:n_free]) / weight)) if n_free else 0.0
 
-        if err > options.lte_reject and not hit_bp and h > 4 * options.dt_min:
+        if (
+            not rescued
+            and err > options.lte_reject
+            and not hit_bp
+            and h > 4 * options.dt_min
+        ):
             h *= 0.4
             continue
 
-        # Accept.
+        # Accept (guarded: no NaN/Inf ever enters the recorded history).
+        if not np.all(np.isfinite(v_new)):
+            _fail(NonFiniteStateError, "non-finite state", h, step_info, None)
         v_prev, t_prev = v, t
         v, t = v_new, t_new
         times.append(t)
@@ -285,7 +502,7 @@ def transient(
             dq = (circuit.C @ v - q_prev) / h
             currents.append(f_now + dq)
         force_be = False
-        if hit_bp:
+        if hit_bp or rescued:
             h = options.dt_start
             force_be = True
         else:
@@ -303,5 +520,6 @@ def transient(
         for node in current_nodes:
             source_currents[node] = current_array[:, circuit.node_index[node]].copy()
     return TransientResult(
-        times=time_array, voltages=voltages, source_currents=source_currents
+        times=time_array, voltages=voltages, source_currents=source_currents,
+        escalations=escalations,
     )

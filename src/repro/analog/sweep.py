@@ -65,7 +65,7 @@ def dc_sweep(
     input_index = circuit.node_index[input_node]
     for value in values:
         v[input_index] = value
-        solved = _newton_static(circuit, v, 1e-12, v)
+        solved, _ = _newton_static(circuit, v, 1e-12, v)
         if solved is None:
             # Fall back to a full homotopy solve seeded by the last point.
             working.drive(input_node, DCSource(value))

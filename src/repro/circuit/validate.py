@@ -5,10 +5,17 @@ capacitance to anywhere would make the system index-1 and the step equation
 singular, so validation flags it (the engine also auto-adds a small parasitic
 capacitance, but a *fully* floating node - no device at all - is a design
 error worth failing loudly on).
+
+Validation also rejects *numerically poisonous* parameters - NaN or Inf
+device values, non-finite source voltages, and bridge/tie resistances
+that are zero or negative - at netlist time with a clear
+:class:`NetlistError`, instead of letting them surface hundreds of Newton
+iterations later as an opaque mid-integration divergence.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import List
 
@@ -19,15 +26,26 @@ class NetlistError(ValueError):
     """Raised when a netlist fails structural validation."""
 
 
+def _require_finite(netlist: Netlist, device: str, what: str, value: float) -> None:
+    """Fail loudly on a NaN/Inf parameter (pre-empts solver divergence)."""
+    if not math.isfinite(value):
+        raise NetlistError(
+            f"{netlist.name}: {device} has non-finite {what} ({value!r})"
+        )
+
+
 def validate(netlist: Netlist) -> List[str]:
-    """Check a netlist for structural problems.
+    """Check a netlist for structural and numerical problems.
 
     Returns a list of human-readable warnings (non-fatal observations) and
     raises :class:`NetlistError` on fatal problems:
 
     * duplicate device names across all device kinds;
     * a free node touched by no device terminal at all;
-    * a MOSFET whose drain and source are the same node.
+    * a MOSFET whose drain and source are the same node;
+    * NaN/Inf device parameters (R, C, MOSFET W/L) or source voltages;
+    * resistances (bridges, stuck-at ties, interconnect) <= 0 and MOSFET
+      W/L <= 0.
     """
     warnings: List[str] = []
 
@@ -47,12 +65,47 @@ def validate(netlist: Netlist) -> List[str]:
             raise NetlistError(
                 f"{netlist.name}: MOSFET {m.name} has drain == source ({m.drain})"
             )
+        _require_finite(netlist, f"MOSFET {m.name}", "width", m.w)
+        _require_finite(netlist, f"MOSFET {m.name}", "length", m.l)
+        if m.w <= 0 or m.l <= 0:
+            raise NetlistError(
+                f"{netlist.name}: MOSFET {m.name} has non-positive "
+                f"geometry (W={m.w!r}, L={m.l!r})"
+            )
     for r in netlist.resistors:
         touched.update(r.nodes())
+        _require_finite(netlist, f"resistor {r.name}", "resistance", r.resistance)
+        if r.resistance <= 0:
+            raise NetlistError(
+                f"{netlist.name}: resistor {r.name} has resistance "
+                f"{r.resistance!r} <= 0 (bridges and stuck-at ties must be "
+                "positive)"
+            )
         if r.a == r.b:
             warnings.append(f"resistor {r.name} shorts node {r.a} to itself")
     for c in netlist.capacitors:
         touched.update(c.nodes())
+        _require_finite(netlist, f"capacitor {c.name}", "capacitance",
+                        c.capacitance)
+        if c.capacitance < 0:
+            raise NetlistError(
+                f"{netlist.name}: capacitor {c.name} has negative "
+                f"capacitance ({c.capacitance!r})"
+            )
+
+    for node, source in netlist.sources.items():
+        try:
+            probes = [0.0]
+            probes.extend(float(b) for b in source.breakpoints(0.0, 1e-6)[:16])
+        except Exception:
+            probes = [0.0]
+        for t in probes:
+            value = float(source.value(t))
+            if not math.isfinite(value):
+                raise NetlistError(
+                    f"{netlist.name}: source driving {node} yields "
+                    f"non-finite voltage {value!r} at t = {t:.3e} s"
+                )
 
     for node in netlist.free_nodes():
         if node not in touched:

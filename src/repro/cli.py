@@ -74,6 +74,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.runtime import Telemetry
     from repro.units import to_ns
 
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     telemetry = Telemetry()
     cache = None if args.no_cache else "default"
     skews = _sensitivity_grid(args)
@@ -87,9 +90,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cache=cache,
             telemetry=telemetry,
             max_workers=args.workers,
+            on_error=args.on_error,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
         )
     print(f"campaign: {len(curves)} curves x {args.points} skew points "
           f"({args.backend} backend)")
+    if telemetry.jobs_failed:
+        print(f"  {telemetry.jobs_failed} job(s) failed and were collected "
+              "as JobError records (see telemetry)")
     for curve in curves:
         tau = curve.tau_min
         tau_text = f"{to_ns(tau):.3f} ns" if tau is not None else "no crossing"
@@ -252,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_runtime_flags(camp)
     camp.add_argument("--json", type=str, default=None,
                       help="write the telemetry report to this JSON file")
+    camp.add_argument("--on-error", choices=["raise", "collect"],
+                      default="raise",
+                      help="abort on the first failed job (raise) or record "
+                           "it as a JobError and keep going (collect)")
+    camp.add_argument("--checkpoint", type=str, default=None,
+                      help="journal completed jobs to this JSONL file "
+                           "(append-only; enables --resume)")
+    camp.add_argument("--resume", action="store_true",
+                      help="skip jobs already completed in the --checkpoint "
+                           "journal instead of re-running them")
     camp.set_defaults(func=_cmd_campaign)
 
     cache = sub.add_parser(

@@ -184,12 +184,21 @@ def sensitivity_family(
     cache: Any = "default",
     telemetry: Any = None,
     max_workers: Optional[int] = None,
+    on_error: str = "raise",
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SensitivityCurve]:
     """The full Fig.-4 family: one curve per (load, slew) combination.
 
     The whole (load, slew, skew) grid is submitted as *one* campaign so a
     parallel backend sees every independent point at once, then the flat
     results are folded back into per-(load, slew) curves.
+
+    The robustness knobs of :func:`repro.runtime.run_campaign` pass
+    through: ``on_error="collect"`` fills failed grid points with NaN
+    instead of aborting the family, and ``checkpoint``/``resume``
+    journal completed points so an interrupted campaign restarts where
+    it died.
     """
     from repro.runtime import run_campaign, sensitivity_job
 
@@ -205,7 +214,8 @@ def sensitivity_family(
     ]
     campaign = run_campaign(
         jobs, backend=backend, cache=cache, telemetry=telemetry,
-        max_workers=max_workers,
+        max_workers=max_workers, on_error=on_error,
+        checkpoint=checkpoint, resume=resume,
     )
     curves: List[SensitivityCurve] = []
     for block, (load, slew) in enumerate(pairs):
@@ -213,7 +223,10 @@ def sensitivity_family(
         curves.append(
             SensitivityCurve(
                 load=load, slew=slew, skews=skew_array,
-                vmins=np.array([result.vmin_late for result in chunk]),
+                vmins=np.array([
+                    getattr(result, "vmin_late", float("nan"))
+                    for result in chunk
+                ]),
                 threshold=threshold,
             )
         )

@@ -61,6 +61,9 @@ def scatter_analysis_parallel(
     backend: str = "process",
     cache: Any = "default",
     telemetry: Optional[Telemetry] = None,
+    on_error: str = "raise",
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ScatterPoint]:
     """Parallel equivalent of :func:`scatter_analysis`.
 
@@ -72,7 +75,12 @@ def scatter_analysis_parallel(
     Parameters beyond the original signature expose the runtime layer:
     ``chunksize`` (explicit process-pool chunk size), ``backend``
     (``"process"``, ``"thread"``, or ``"serial"``), ``cache`` (``None``
-    disables result reuse) and ``telemetry``.
+    disables result reuse), ``telemetry``, and the robustness knobs of
+    :func:`repro.runtime.run_campaign`: ``on_error="collect"`` records a
+    NaN-``vmin`` scatter point for a failed grid point instead of
+    aborting the whole campaign, and ``checkpoint``/``resume`` journal
+    completed grid points so an interrupted Monte Carlo run restarts
+    where it died.
     """
     skew_list = [float(tau) for tau in skews]
     jobs = [
@@ -90,13 +98,16 @@ def scatter_analysis_parallel(
         chunksize=chunksize,
         cache=cache,
         telemetry=telemetry,
+        on_error=on_error,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     points: List[ScatterPoint] = []
     for flat, result in enumerate(campaign):
         points.append(
             ScatterPoint(
                 skew=jobs[flat].skew,
-                vmin=result.vmin_late,
+                vmin=getattr(result, "vmin_late", float("nan")),
                 sample_index=flat // len(skew_list),
             )
         )

@@ -1,0 +1,111 @@
+"""Append-only JSONL checkpoint journal for resumable campaigns.
+
+A long Monte Carlo campaign that dies at job 900/1000 - machine reboot,
+OOM kill, Ctrl-C - used to restart from zero.  The journal fixes that:
+:func:`repro.runtime.run_campaign` appends one JSON line per *completed*
+job, keyed by the job's content address (:meth:`SensorJob.key`), and a
+re-run with ``resume=True`` loads the journal and skips every finished
+job, re-evaluating only the remainder (and any job that previously
+failed - errors are never journalled, so they are retried).
+
+Format
+------
+Line 1 is a header ``{"kind": "header", "format": 1}``; every further
+line is ``{"kind": "result", "key": <content address>, "result":
+<JobResult payload>}``.  Content-addressed keys make the journal robust
+to job reordering and to campaigns that share a subset of jobs.  Loading
+tolerates a torn final line (the crash may have happened mid-write) and
+skips unparseable lines instead of refusing the whole journal.
+
+The journal is *not* the result cache: it is a per-campaign artifact at a
+user-chosen path, it survives ``REPRO_CACHE_DISABLE=1`` runs, and it
+journals cache hits too, so a resume works even against a cold cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Journal format generation, bumped on incompatible layout changes.
+JOURNAL_FORMAT = 1
+
+
+def load_journal(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Completed results recorded in the journal at ``path``.
+
+    Returns a ``key -> JobResult payload`` mapping; an absent file is an
+    empty journal.  Corrupt or torn lines (a crash can interrupt a write)
+    are skipped silently - the affected jobs are simply re-evaluated.
+    """
+    journal = Path(path)
+    completed: Dict[str, Dict[str, Any]] = {}
+    if not journal.exists():
+        return completed
+    with journal.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or entry.get("kind") != "result":
+                continue
+            key, payload = entry.get("key"), entry.get("result")
+            if isinstance(key, str) and isinstance(payload, dict):
+                completed[key] = payload
+    return completed
+
+
+class CheckpointJournal:
+    """Append-only writer half of the journal.
+
+    Opened lazily on the first :meth:`record` (so a fully resumed
+    campaign does not even touch the file), flushed after every line (a
+    crash loses at most the in-flight job).  Use as a context manager or
+    call :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: Union[str, Path], fresh: bool = False) -> None:
+        """``fresh=True`` truncates an existing journal (non-resume runs
+        must not inherit stale results for re-submitted jobs)."""
+        self.path = Path(path)
+        self._handle = None
+        if fresh and self.path.exists():
+            self.path.unlink()
+
+    def _open(self):
+        if self._handle is None:
+            if self.path.parent and not self.path.parent.exists():
+                os.makedirs(self.path.parent, exist_ok=True)
+            new = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = self.path.open("a", encoding="utf-8")
+            if new:
+                self._write({"kind": "header", "format": JOURNAL_FORMAT})
+        return self._handle
+
+    def _write(self, entry: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def record(self, key: str, payload: Dict[str, Any]) -> None:
+        """Journal one completed job result."""
+        self._open()
+        self._write({"kind": "result", "key": key, "result": payload})
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> Optional[bool]:
+        self.close()
+        return None

@@ -7,13 +7,27 @@ pipeline relies on.  Around the raw evaluation it layers:
 * **cache short-circuiting** - each job is content-addressed
   (:meth:`SensorJob.key`) and looked up before any work is dispatched;
   duplicate jobs inside one campaign are evaluated once;
-* **bounded retries** on :class:`~repro.analog.dcop.ConvergenceError`
+* **bounded retries** on :class:`~repro.errors.ConvergenceError`
   (the only failure mode of the deterministic engine that a fresh attempt
   with the same inputs is allowed to re-raise);
-* **per-job timeouts** on the thread and process backends (the serial
-  backend cannot interrupt a running integration and documents that);
-* **telemetry** - per-job wall time, attempts, engine steps, hit/miss
-  counters.
+* **per-job timeouts** on the thread and process backends; a timeout
+  carries the offending job descriptor, its attempt count and the elapsed
+  wall time on the raised :class:`~repro.errors.CampaignTimeoutError`
+  (the serial backend cannot interrupt a running integration and
+  documents that);
+* **crash isolation** - a worker process that segfaults, is OOM-killed
+  or calls ``os._exit`` breaks only its pool generation: the executor
+  rebuilds the pool, re-dispatches the in-flight jobs one at a time in
+  isolation (bounded by ``max_redispatch``), and attributes the crash to
+  the poison job as a :class:`~repro.errors.WorkerCrashError`;
+* **error collection** - ``on_error="collect"`` turns per-job failures
+  into :class:`~repro.errors.JobError` records in the result list instead
+  of aborting the campaign;
+* **checkpointing** - ``checkpoint=path`` journals every completed job
+  to an append-only JSONL (:mod:`repro.runtime.checkpoint`); a re-run
+  with ``resume=True`` skips finished jobs entirely;
+* **telemetry** - per-job wall time, attempts, engine steps, solver
+  escalation rungs, cache hit/miss, re-dispatch and crash counters.
 
 Worker-count resolution honours the ``REPRO_MAX_WORKERS`` environment
 variable everywhere (CLI, Monte Carlo, benches), and the process backend
@@ -25,24 +39,38 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
-import os
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
-from repro.analog.dcop import ConvergenceError
+import os
+
+from repro.errors import (
+    CampaignTimeoutError,
+    ConvergenceError,
+    JobError,
+    SimulationError,
+    WorkerCrashError,
+    rebuild_error,
+)
 from repro.runtime.cache import ResultCache, get_cache
+from repro.runtime.checkpoint import CheckpointJournal, load_journal
 from repro.runtime.jobs import JobResult, SensorJob, evaluate_job
 from repro.runtime.telemetry import Stopwatch, Telemetry
 
 #: Supported executor backends.
 BACKENDS = ("serial", "thread", "process")
 
+#: Supported failure policies.
+ON_ERROR_MODES = ("raise", "collect")
+
 #: Environment variable bounding the worker count of every backend.
 ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
 
-
-class CampaignTimeoutError(TimeoutError):
-    """A job exceeded the campaign's per-job timeout."""
+#: Default bound on isolation re-dispatches of a job whose pool died.
+DEFAULT_MAX_REDISPATCH = 2
 
 
 def resolve_workers(max_workers: Optional[int] = None) -> int:
@@ -71,10 +99,26 @@ def resolve_chunksize(
 
 @dataclass
 class CampaignResult:
-    """Ordered results plus the telemetry gathered while producing them."""
+    """Ordered results plus the telemetry gathered while producing them.
 
-    results: List[JobResult]
+    Under ``on_error="collect"`` a slot holds a
+    :class:`~repro.errors.JobError` instead of a
+    :class:`~repro.runtime.jobs.JobResult`; :attr:`errors` filters them
+    out and :attr:`ok` is True only for an error-free campaign.
+    """
+
+    results: List[Union[JobResult, JobError]]
     telemetry: Telemetry
+
+    @property
+    def errors(self) -> List[JobError]:
+        """The collected per-job failures, in job order."""
+        return [r for r in self.results if isinstance(r, JobError)]
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a result."""
+        return not self.errors
 
     def __len__(self) -> int:
         return len(self.results)
@@ -82,34 +126,184 @@ class CampaignResult:
     def __iter__(self):
         return iter(self.results)
 
-    def __getitem__(self, index: int) -> JobResult:
+    def __getitem__(self, index: int) -> Union[JobResult, JobError]:
         return self.results[index]
 
 
-def _attempt(
-    evaluate: Callable[[SensorJob], JobResult],
-    job: SensorJob,
-    retries: int,
-) -> Tuple[JobResult, int]:
-    """Evaluate with bounded retries on ConvergenceError."""
+# --------------------------------------------------------------------- #
+# Worker protocol.  Outcomes are plain picklable tuples:
+#   (index, "ok",    result, wall, attempts)
+#   (index, "error", error_class_name, message, diagnostics_dict,
+#    wall, attempts)
+# SimulationError subclasses are serialised in the worker so the pool
+# never has to pickle exception instances; anything else (programming
+# errors) propagates and fails the campaign regardless of ``on_error``.
+# --------------------------------------------------------------------- #
+
+_Item = Tuple[int, SensorJob, int, Optional[Callable[[SensorJob], JobResult]]]
+_Outcome = Tuple
+
+
+def _evaluate_outcome(item: _Item) -> _Outcome:
+    """Evaluate one job with bounded ConvergenceError retries."""
+    index, job, retries, evaluate = item
+    func = evaluate or evaluate_job
+    watch = Stopwatch()
     attempts = 0
     while True:
         attempts += 1
         try:
-            return evaluate(job), attempts
-        except ConvergenceError:
+            result = func(job)
+            return (index, "ok", result, watch.elapsed(), attempts)
+        except ConvergenceError as error:
             if attempts > retries:
-                raise
+                return (index, "error", type(error).__name__, error.message,
+                        error.diagnostics.as_dict(), watch.elapsed(), attempts)
+        except SimulationError as error:
+            return (index, "error", type(error).__name__, error.message,
+                    error.diagnostics.as_dict(), watch.elapsed(), attempts)
 
 
-def _worker(
-    item: Tuple[int, SensorJob, int, Optional[Callable[[SensorJob], JobResult]]],
-) -> Tuple[int, JobResult, float, int]:
-    """Pool worker: evaluate one job, measuring wall time in-process."""
-    index, job, retries, evaluate = item
-    watch = Stopwatch()
-    result, attempts = _attempt(evaluate or evaluate_job, job, retries)
-    return index, result, watch.elapsed(), attempts
+def _worker_chunk(items: List[_Item]) -> List[_Outcome]:
+    """Pool worker: evaluate a chunk of jobs, one outcome each."""
+    return [_evaluate_outcome(item) for item in items]
+
+
+def _timeout_outcome(item: _Item, elapsed: float, timeout: float) -> _Outcome:
+    """Synthesise the outcome of a job that exceeded its wall budget."""
+    index, job, _, _ = item
+    error = CampaignTimeoutError(
+        f"job[{index}] exceeded its {timeout} s timeout",
+        job=job, attempts=1, elapsed=elapsed,
+    )
+    return (index, "error", "CampaignTimeoutError", error.message,
+            error.diagnostics.as_dict(), elapsed, 1)
+
+
+def _crash_outcome(item: _Item, dispatches: int) -> _Outcome:
+    """Synthesise the outcome of a job declared poison after repeatedly
+    breaking its worker pool."""
+    index, job, _, _ = item
+    error = WorkerCrashError(
+        f"job[{index}] killed its worker process {dispatches} time(s)",
+        job=job, dispatches=dispatches,
+    )
+    return (index, "error", "WorkerCrashError", error.message,
+            error.diagnostics.as_dict(), 0.0, dispatches)
+
+
+def _mp_context():
+    """Fork when available (cheap worker startup), spawn otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _chunked(items: List[_Item], size: int) -> List[List[_Item]]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def _dispatch_thread(
+    items: List[_Item],
+    workers: int,
+    chunksize: int,
+    timeout: Optional[float],
+) -> List[_Outcome]:
+    """Thread backend: chunked futures, per-future timeout attribution.
+
+    Timeouts are attributed exactly because a timeout forces
+    ``chunksize=1`` (see :func:`run_campaign`).  A timed-out thread
+    cannot be interrupted; its future is cancelled if still pending and
+    its (eventual) result discarded.
+    """
+    outcomes: List[_Outcome] = []
+    with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+        chunks = _chunked(items, chunksize)
+        futures = [(pool.submit(_worker_chunk, chunk), chunk) for chunk in chunks]
+        for future, chunk in futures:
+            watch = Stopwatch()
+            try:
+                outcomes.extend(future.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                for item in chunk:
+                    outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+    return outcomes
+
+
+def _dispatch_process(
+    items: List[_Item],
+    workers: int,
+    chunksize: int,
+    timeout: Optional[float],
+    max_redispatch: int,
+    telemetry: Telemetry,
+) -> List[_Outcome]:
+    """Process backend with crash isolation.
+
+    Phase 1 runs all chunks on one parallel pool.  If a worker dies
+    (``BrokenProcessPool``), every unfinished job becomes a *suspect*:
+    phase 2 re-dispatches suspects one at a time, each on a fresh
+    single-worker pool, so a poison job can only break a pool containing
+    itself - that is what attributes the crash.  A job gets at most
+    ``max_redispatch`` extra dispatches before it is declared poison and
+    reported as a :class:`~repro.errors.WorkerCrashError` outcome.
+    """
+    outcomes: List[_Outcome] = []
+    suspects: List[_Item] = []
+    context = _mp_context()
+
+    # Phase 1: normal parallel dispatch.
+    chunks = _chunked(items, chunksize)
+    broke = False
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    ) as pool:
+        futures = [(pool.submit(_worker_chunk, chunk), chunk) for chunk in chunks]
+        for future, chunk in futures:
+            watch = Stopwatch()
+            try:
+                outcomes.extend(future.result(timeout=timeout))
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                for item in chunk:
+                    outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+            except BrokenProcessPool:
+                if not broke:
+                    broke = True
+                    telemetry.record_worker_crash()
+                suspects.extend(chunk)
+
+    # Phase 2: crash isolation.  One suspect per single-worker pool; a
+    # pool that breaks now indicts exactly the job it was running.
+    dispatches: Dict[int, int] = {}
+    queue = list(suspects)
+    if queue:
+        telemetry.record_redispatch(len(queue))
+    while queue:
+        item = queue.pop(0)
+        index = item[0]
+        dispatches[index] = dispatches.get(index, 0) + 1
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, mp_context=context
+        ) as pool:
+            future = pool.submit(_worker_chunk, [item])
+            watch = Stopwatch()
+            try:
+                outcomes.extend(future.result(timeout=timeout))
+                continue
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+                continue
+            except BrokenProcessPool:
+                telemetry.record_worker_crash()
+        if dispatches[index] > max_redispatch:
+            outcomes.append(_crash_outcome(item, dispatches[index]))
+        else:
+            telemetry.record_redispatch()
+            queue.append(item)
+    return outcomes
 
 
 def evaluate_cached(
@@ -139,12 +333,16 @@ def evaluate_cached(
                     cached=True,
                 )
             return result
-    watch = Stopwatch()
-    result, attempts = _attempt(evaluate_job, job, retries)
+    outcome = _evaluate_outcome((0, job, retries, None))
+    if outcome[1] != "ok":
+        _, _, name, message, diag, _, _ = outcome
+        raise rebuild_error(name, message, diag)
+    _, _, result, wall, attempts = outcome
     if telemetry is not None:
         telemetry.record_job(
-            "point", wall=watch.elapsed(), attempts=attempts,
+            "point", wall=wall, attempts=attempts,
             steps=result.steps, cached=False,
+            escalations=result.escalation_counts,
         )
     if key is not None:
         cache.put(key, result.to_payload())
@@ -161,6 +359,10 @@ def run_campaign(
     cache: Any = "default",
     telemetry: Optional[Telemetry] = None,
     evaluate: Optional[Callable[[SensorJob], JobResult]] = None,
+    on_error: str = "raise",
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    max_redispatch: int = DEFAULT_MAX_REDISPATCH,
 ) -> CampaignResult:
     """Run ``jobs`` and return their results in job order.
 
@@ -171,20 +373,24 @@ def run_campaign(
         ``evaluate`` (normally :class:`SensorJob`).
     backend:
         ``"serial"`` (in-process loop), ``"thread"``
-        (``ThreadPoolExecutor``), or ``"process"`` (``multiprocessing``
-        pool, fork context when available, explicit chunksize).
+        (``ThreadPoolExecutor``), or ``"process"``
+        (``ProcessPoolExecutor``, fork context when available, explicit
+        chunksize, crash isolation).
     max_workers:
         Pool width; defaults to ``REPRO_MAX_WORKERS`` or half the CPUs.
     chunksize:
         Process-pool chunk size; defaults to ~4 chunks per worker.
+        Forced to 1 when a ``timeout`` is set so timeouts and crashes
+        attribute to single jobs.
     retries:
         Extra attempts permitted per job on ``ConvergenceError``; the
-        error propagates once the budget is exhausted.
+        error propagates (or is collected) once the budget is exhausted.
     timeout:
         Per-job wall-time bound in seconds, enforced on the thread and
-        process backends (raises :class:`CampaignTimeoutError`).  The
-        serial backend cannot interrupt a running integration and ignores
-        it.
+        process backends.  Raises (or collects) a
+        :class:`~repro.errors.CampaignTimeoutError` carrying the job
+        descriptor, attempt count and elapsed time.  The serial backend
+        cannot interrupt a running integration and ignores it.
     cache:
         ``"default"`` uses the process-wide :func:`get_cache`; ``None``
         disables caching; any :class:`ResultCache` is used as given.
@@ -194,11 +400,35 @@ def run_campaign(
     evaluate:
         Override the job evaluation (used by tests and future job
         families).  Must be picklable for the process backend.
+    on_error:
+        ``"raise"`` (default) aborts the campaign on the first job
+        failure, exactly like before this option existed;
+        ``"collect"`` records each failure as a
+        :class:`~repro.errors.JobError` in the result list and finishes
+        the remaining jobs.
+    checkpoint:
+        Path of an append-only JSONL journal recording every completed
+        job (see :mod:`repro.runtime.checkpoint`).  With
+        ``resume=False`` an existing journal at that path is truncated.
+    resume:
+        Load the ``checkpoint`` journal first and skip every job already
+        completed in it (telemetry counts them as ``resumed``).
+    max_redispatch:
+        Extra isolated dispatches granted to a job whose worker pool
+        died before it is declared poison (process backend only).
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r} (use one of {BACKENDS})")
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"unknown on_error {on_error!r} (use one of {ON_ERROR_MODES})"
+        )
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    if max_redispatch < 0:
+        raise ValueError("max_redispatch must be >= 0")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
     telemetry = telemetry if telemetry is not None else Telemetry()
     if cache == "default":
         # A custom evaluation must not populate the shared cache under
@@ -206,27 +436,48 @@ def run_campaign(
         cache = None if evaluate is not None else get_cache()
 
     jobs = list(jobs)
-    results: List[Optional[JobResult]] = [None] * len(jobs)
+    results: List[Optional[Union[JobResult, JobError]]] = [None] * len(jobs)
+
+    journal: Optional[CheckpointJournal] = None
+    journalled: Dict[str, Dict[str, Any]] = {}
+    if checkpoint is not None:
+        if resume:
+            journalled = load_journal(checkpoint)
+        journal = CheckpointJournal(checkpoint, fresh=not resume)
 
     # ------------------------------------------------------------------ #
-    # Cache pass: satisfy hits, dedupe identical pending jobs.
+    # Resume/cache pass: satisfy journal and cache hits, dedupe
+    # identical pending jobs.
     # ------------------------------------------------------------------ #
     pending: List[Tuple[int, SensorJob]] = []
     key_owner: Dict[str, int] = {}
     duplicates: Dict[int, int] = {}
     keys: List[Optional[str]] = [None] * len(jobs)
-    if cache is not None:
+    keyed = cache is not None or checkpoint is not None
+    if keyed:
         for index, job in enumerate(jobs):
             key = job.key()
             keys[index] = key
-            hit = cache.get(key)
-            telemetry.record_cache(hit is not None)
+            if key in journalled:
+                results[index] = JobResult.from_payload(
+                    journalled[key], resumed=True
+                )
+                telemetry.record_job(
+                    f"job[{index}]", wall=0.0, attempts=0,
+                    steps=results[index].steps, resumed=True,
+                )
+                continue
+            hit = cache.get(key) if cache is not None else None
+            if cache is not None:
+                telemetry.record_cache(hit is not None)
             if hit is not None:
                 results[index] = JobResult.from_payload(hit, cached=True)
                 telemetry.record_job(
                     f"job[{index}]", wall=0.0, attempts=0,
                     steps=results[index].steps, cached=True,
                 )
+                if journal is not None:
+                    journal.record(key, results[index].to_payload())
             elif key in key_owner:
                 duplicates[index] = key_owner[key]
             else:
@@ -238,66 +489,62 @@ def run_campaign(
     # ------------------------------------------------------------------ #
     # Dispatch the misses.
     # ------------------------------------------------------------------ #
-    items = [(index, job, retries, evaluate) for index, job in pending]
-    outcomes: List[Tuple[int, JobResult, float, int]] = []
+    items: List[_Item] = [(index, job, retries, evaluate)
+                          for index, job in pending]
+    outcomes: List[_Outcome] = []
 
-    if items:
-        if backend == "serial" or (len(items) == 1 and timeout is None):
-            outcomes = [_worker(item) for item in items]
-        elif backend == "thread":
-            workers = min(resolve_workers(max_workers), len(items))
-            with concurrent.futures.ThreadPoolExecutor(workers) as pool:
-                futures = [pool.submit(_worker, item) for item in items]
-                try:
-                    outcomes = [f.result(timeout=timeout) for f in futures]
-                except concurrent.futures.TimeoutError:
-                    for f in futures:
-                        f.cancel()
-                    raise CampaignTimeoutError(
-                        f"a campaign job exceeded its {timeout} s timeout"
-                    ) from None
-        else:  # process
-            workers = min(resolve_workers(max_workers), len(items))
-            context = (
-                multiprocessing.get_context("fork")
-                if "fork" in multiprocessing.get_all_start_methods()
-                else multiprocessing.get_context()
-            )
-            with context.Pool(processes=workers) as pool:
-                if timeout is None:
-                    size = resolve_chunksize(len(items), workers, chunksize)
-                    outcomes = pool.map(_worker, items, chunksize=size)
+    try:
+        if items:
+            if backend == "serial" or (len(items) == 1 and timeout is None):
+                # Stream outcomes so an abort (raise mode) stops at the
+                # failing job and still leaves every job completed
+                # before it in the journal.
+                for item in items:
+                    _assimilate(
+                        _evaluate_outcome(item), jobs, keys, results,
+                        telemetry, cache, journal, on_error,
+                    )
+            else:
+                workers = min(resolve_workers(max_workers), len(items))
+                size = 1 if timeout is not None else resolve_chunksize(
+                    len(items), workers, chunksize
+                )
+                if backend == "thread":
+                    outcomes = _dispatch_thread(items, workers, size, timeout)
                 else:
-                    handles = [pool.apply_async(_worker, (item,)) for item in items]
-                    try:
-                        outcomes = [h.get(timeout=timeout) for h in handles]
-                    except multiprocessing.TimeoutError:
-                        pool.terminate()
-                        raise CampaignTimeoutError(
-                            f"a campaign job exceeded its {timeout} s timeout"
-                        ) from None
+                    outcomes = _dispatch_process(
+                        items, workers, size, timeout, max_redispatch,
+                        telemetry,
+                    )
 
-    for index, result, wall, attempts in outcomes:
-        results[index] = JobResult(
-            skew=result.skew, vmin_y1=result.vmin_y1, vmin_y2=result.vmin_y2,
-            code=result.code, steps=result.steps, attempts=attempts,
-            cached=False,
-        )
-        telemetry.record_job(
-            f"job[{index}]", wall=wall, attempts=attempts,
-            steps=result.steps, cached=False,
-        )
-        if cache is not None and keys[index] is not None:
-            cache.put(keys[index], results[index].to_payload())
+        for outcome in outcomes:
+            _assimilate(
+                outcome, jobs, keys, results, telemetry, cache, journal,
+                on_error,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
-    # Duplicate jobs share their owner's (freshly computed) result.
+    # Duplicate jobs share their owner's (freshly computed) outcome.
     for index, owner in duplicates.items():
         owned = results[owner]
         assert owned is not None
+        if isinstance(owned, JobError):
+            results[index] = JobError(
+                index=index, job=jobs[index], error=owned.error,
+                message=owned.message, diagnostics=dict(owned.diagnostics),
+                attempts=owned.attempts, wall=0.0,
+            )
+            telemetry.record_job(
+                f"job[{index}]", wall=0.0, attempts=0, steps=0,
+                cached=True, error=owned.error,
+            )
+            continue
         results[index] = JobResult(
             skew=owned.skew, vmin_y1=owned.vmin_y1, vmin_y2=owned.vmin_y2,
             code=owned.code, steps=owned.steps, attempts=owned.attempts,
-            cached=True,
+            cached=True, escalations=owned.escalations,
         )
         telemetry.record_job(
             f"job[{index}]", wall=0.0, attempts=0,
@@ -306,3 +553,55 @@ def run_campaign(
 
     assert all(r is not None for r in results)
     return CampaignResult(results=results, telemetry=telemetry)
+
+
+def _assimilate(
+    outcome: _Outcome,
+    jobs: List[SensorJob],
+    keys: List[Optional[str]],
+    results: List[Optional[Union[JobResult, JobError]]],
+    telemetry: Telemetry,
+    cache: Optional[ResultCache],
+    journal: Optional[CheckpointJournal],
+    on_error: str,
+) -> None:
+    """Fold one worker outcome into results, telemetry, cache, journal.
+
+    In ``raise`` mode an error outcome re-raises the original exception
+    type with its diagnostics (and the job descriptor for timeouts and
+    crashes) after the journal has been updated for every job that
+    finished before it.
+    """
+    index, status = outcome[0], outcome[1]
+    if status == "ok":
+        _, _, result, wall, attempts = outcome
+        results[index] = JobResult(
+            skew=result.skew, vmin_y1=result.vmin_y1, vmin_y2=result.vmin_y2,
+            code=result.code, steps=result.steps, attempts=attempts,
+            cached=False, escalations=result.escalations,
+        )
+        telemetry.record_job(
+            f"job[{index}]", wall=wall, attempts=attempts,
+            steps=result.steps, cached=False,
+            escalations=result.escalation_counts,
+        )
+        if cache is not None and keys[index] is not None:
+            cache.put(keys[index], results[index].to_payload())
+        if journal is not None and keys[index] is not None:
+            journal.record(keys[index], results[index].to_payload())
+        return
+
+    _, _, name, message, diagnostics, wall, attempts = outcome
+    telemetry.record_job(
+        f"job[{index}]", wall=wall, attempts=attempts, steps=0,
+        cached=False, error=name,
+    )
+    if on_error == "raise":
+        error = rebuild_error(name, message, diagnostics)
+        if isinstance(error, (CampaignTimeoutError, WorkerCrashError)):
+            error.job = jobs[index]
+        raise error
+    results[index] = JobError(
+        index=index, job=jobs[index], error=name, message=message,
+        diagnostics=dict(diagnostics), attempts=attempts, wall=wall,
+    )

@@ -76,6 +76,10 @@ class JobResult:
     :class:`repro.core.response.SensorResponse`; ``steps`` is the number
     of accepted integration points (the telemetry's engine-step
     statistic), zero when the value was replayed from cache.
+    ``escalations`` is the solver-ladder tally of the underlying
+    transient (sorted ``(rung, count)`` pairs - a tuple so the record
+    stays hashable), and ``resumed`` marks values replayed from a
+    checkpoint journal rather than computed.
     """
 
     skew: float
@@ -85,6 +89,19 @@ class JobResult:
     steps: int = 0
     attempts: int = 1
     cached: bool = False
+    escalations: Tuple[Tuple[str, int], ...] = ()
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Always ``True``; mirrors :attr:`repro.errors.JobError.ok` so
+        mixed ``on_error="collect"`` result lists filter uniformly."""
+        return True
+
+    @property
+    def escalation_counts(self) -> Dict[str, int]:
+        """The ladder tally as a plain dict."""
+        return dict(self.escalations)
 
     @property
     def vmin_late(self) -> float:
@@ -108,11 +125,15 @@ class JobResult:
             "vmin_y2": self.vmin_y2,
             "code": list(self.code),
             "steps": self.steps,
+            "escalations": {rung: count for rung, count in self.escalations},
         }
 
     @staticmethod
-    def from_payload(payload: Dict[str, Any], cached: bool = False) -> "JobResult":
+    def from_payload(
+        payload: Dict[str, Any], cached: bool = False, resumed: bool = False
+    ) -> "JobResult":
         """Rebuild a result from its :meth:`to_payload` dict."""
+        escalations = payload.get("escalations", {})
         return JobResult(
             skew=float(payload["skew"]),
             vmin_y1=float(payload["vmin_y1"]),
@@ -120,6 +141,10 @@ class JobResult:
             code=tuple(int(c) for c in payload["code"]),
             steps=int(payload.get("steps", 0)),
             cached=cached,
+            escalations=tuple(sorted(
+                (str(rung), int(count)) for rung, count in escalations.items()
+            )),
+            resumed=resumed,
         )
 
 
@@ -150,6 +175,7 @@ def evaluate_job(job: SensorJob) -> JobResult:
         vmin_y2=response.vmin_y2,
         code=response.code,
         steps=len(response.result),
+        escalations=tuple(sorted(response.result.escalations.items())),
     )
 
 

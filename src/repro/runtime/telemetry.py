@@ -21,7 +21,7 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
 
 
 def format_duration(seconds: float) -> str:
@@ -71,23 +71,35 @@ def emit_block(name: str, lines: Iterable[str], out_dir: str) -> str:
 
 @dataclass
 class JobRecord:
-    """Per-job telemetry sample."""
+    """Per-job telemetry sample.
+
+    ``resumed`` marks a value replayed from a checkpoint journal;
+    ``error`` holds the exception class name of a job that failed under
+    ``on_error="collect"`` (``None`` for successes).
+    """
 
     label: str
     wall: float
     attempts: int = 1
     steps: int = 0
     cached: bool = False
+    resumed: bool = False
+    error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form of this record."""
-        return {
+        data = {
             "label": self.label,
             "wall_s": self.wall,
             "attempts": self.attempts,
             "steps": self.steps,
             "cached": self.cached,
         }
+        if self.resumed:
+            data["resumed"] = True
+        if self.error is not None:
+            data["error"] = self.error
+        return data
 
 
 @dataclass
@@ -97,6 +109,12 @@ class Telemetry:
     records: List[JobRecord] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Solver escalation-ladder tallies summed over jobs (rung -> count).
+    ladder_rungs: Dict[str, int] = field(default_factory=dict)
+    #: Campaign-level robustness counters: pool rebuild re-dispatches and
+    #: worker-process deaths observed while producing the results.
+    redispatches: int = 0
+    worker_crashes: int = 0
     #: Extra named durations recorded via :meth:`timer` (setup, report...).
     spans: Dict[str, float] = field(default_factory=dict)
     _wall = None  # type: Optional[Stopwatch]
@@ -114,12 +132,17 @@ class Telemetry:
         attempts: int = 1,
         steps: int = 0,
         cached: bool = False,
+        resumed: bool = False,
+        error: Optional[str] = None,
+        escalations: Optional[Mapping[str, int]] = None,
     ) -> None:
-        """Record one finished job (fresh or replayed from cache)."""
+        """Record one finished job (fresh, cached, resumed or failed)."""
         self.records.append(
             JobRecord(label=label, wall=wall, attempts=attempts,
-                      steps=steps, cached=cached)
+                      steps=steps, cached=cached, resumed=resumed, error=error)
         )
+        if escalations:
+            self.record_escalations(escalations)
 
     def record_cache(self, hit: bool) -> None:
         """Count one cache lookup."""
@@ -127,6 +150,19 @@ class Telemetry:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+
+    def record_escalations(self, rungs: Mapping[str, int]) -> None:
+        """Fold a solver-ladder tally (rung -> count) into the totals."""
+        for rung, count in rungs.items():
+            self.ladder_rungs[rung] = self.ladder_rungs.get(rung, 0) + int(count)
+
+    def record_redispatch(self, jobs: int = 1) -> None:
+        """Count jobs re-dispatched after a worker-pool rebuild."""
+        self.redispatches += jobs
+
+    def record_worker_crash(self) -> None:
+        """Count one observed worker-process death (pool breakage)."""
+        self.worker_crashes += 1
 
     @contextmanager
     def timer(self, label: str) -> Iterator[None]:
@@ -146,8 +182,19 @@ class Telemetry:
 
     @property
     def jobs_evaluated(self) -> int:
-        """Jobs that actually ran a transient (cache misses)."""
-        return sum(1 for r in self.records if not r.cached)
+        """Jobs that actually ran a transient (neither cached nor
+        replayed from a checkpoint journal)."""
+        return sum(1 for r in self.records if not r.cached and not r.resumed)
+
+    @property
+    def jobs_resumed(self) -> int:
+        """Jobs replayed from a checkpoint journal."""
+        return sum(1 for r in self.records if r.resumed)
+
+    @property
+    def jobs_failed(self) -> int:
+        """Jobs that ended in a collected :class:`~repro.errors.JobError`."""
+        return sum(1 for r in self.records if r.error is not None)
 
     @property
     def retries(self) -> int:
@@ -157,8 +204,9 @@ class Telemetry:
 
     @property
     def steps_integrated(self) -> int:
-        """Engine points accepted *in this run* (cached jobs contribute 0)."""
-        return sum(r.steps for r in self.records if not r.cached)
+        """Engine points accepted *in this run* (cached and journal-resumed
+        jobs contribute 0 - their integration happened in an earlier run)."""
+        return sum(r.steps for r in self.records if not r.cached and not r.resumed)
 
     @property
     def wall_total(self) -> float:
@@ -185,7 +233,9 @@ class Telemetry:
             "jobs": {
                 "total": self.jobs_total,
                 "evaluated": self.jobs_evaluated,
-                "from_cache": self.jobs_total - self.jobs_evaluated,
+                "from_cache": sum(1 for r in self.records if r.cached),
+                "resumed": self.jobs_resumed,
+                "failed": self.jobs_failed,
                 "retries": self.retries,
             },
             "cache": {
@@ -194,6 +244,11 @@ class Telemetry:
             },
             "engine": {
                 "steps_integrated": self.steps_integrated,
+                "ladder_rungs": dict(self.ladder_rungs),
+            },
+            "executor": {
+                "redispatches": self.redispatches,
+                "worker_crashes": self.worker_crashes,
             },
             "wall_s": {
                 "jobs_total": self.wall_total,
@@ -220,10 +275,24 @@ class Telemetry:
         jobs, wall = data["jobs"], data["wall_s"]
         lines = [
             f"jobs      : {jobs['total']} total, {jobs['evaluated']} evaluated, "
-            f"{jobs['from_cache']} from cache, {jobs['retries']} retries",
+            f"{jobs['from_cache']} from cache, {jobs['resumed']} resumed, "
+            f"{jobs['failed']} failed, {jobs['retries']} retries",
             f"cache     : {self.cache_hits} hits, {self.cache_misses} misses",
             f"engine    : {data['engine']['steps_integrated']} integration "
             "points accepted this run",
+        ]
+        if self.ladder_rungs:
+            rungs = ", ".join(
+                f"{rung}={count}"
+                for rung, count in sorted(self.ladder_rungs.items())
+            )
+            lines.append(f"ladder    : {rungs}")
+        if self.redispatches or self.worker_crashes:
+            lines.append(
+                f"executor  : {self.worker_crashes} worker crash(es), "
+                f"{self.redispatches} job re-dispatch(es)"
+            )
+        lines += [
             f"wall time : {format_duration(wall['elapsed'])} elapsed, "
             f"{format_duration(wall['jobs_total'])} in jobs "
             f"(p50 {format_duration(wall['job_p50'])}, "
@@ -239,5 +308,8 @@ class Telemetry:
         self.records.extend(other.records)
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.redispatches += other.redispatches
+        self.worker_crashes += other.worker_crashes
+        self.record_escalations(other.ladder_rungs)
         for label, seconds in other.spans.items():
             self.spans[label] = self.spans.get(label, 0.0) + seconds

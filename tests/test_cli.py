@@ -138,3 +138,27 @@ def test_export_command_file(tmp_path, capsys):
 
     netlist = from_spice(text)
     assert len(netlist.mosfets) == 10
+
+
+def test_campaign_checkpoint_resume(capsys, fresh_cache):
+    journal = fresh_cache / "journal.jsonl"
+    base = ["campaign", "--loads", "160", "--slews", "0.2", "--points", "2",
+            "--tau-max", "0.4", "--no-cache", "--checkpoint", str(journal)]
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    assert "2 evaluated" in out
+    assert journal.exists()
+
+    # The resumed run must replay the journal: zero new integrations,
+    # even with the result cache disabled.
+    assert main(base + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "0 evaluated" in out
+    assert "2 resumed" in out
+    assert "0 integration points" in out
+
+
+def test_campaign_resume_requires_checkpoint(capsys):
+    assert main(["campaign", "--loads", "160", "--points", "2",
+                 "--tau-max", "0.4", "--resume"]) == 2
+    assert "requires --checkpoint" in capsys.readouterr().err
