@@ -83,9 +83,13 @@ class TransientOptions:
     lte_reject:
         Normalised local error above which a step is rejected outright.
     escalation:
-        Ladder rungs tried, in order, once the step floor is reached;
-        subset of :data:`ESCALATION_RUNGS`.  An empty tuple restores the
-        historical fail-fast behaviour.
+        Enabled ladder rungs, applied in :data:`ESCALATION_RUNGS` order
+        on a non-convergent step: ``"step-halving"`` shrinks ``h``
+        toward ``dt_min``; the floor rungs retry the floored step.  An
+        empty tuple disables *every* convergence rescue, so the first
+        Newton failure raises immediately - stricter than the pre-ladder
+        engine, which always halved down to ``dt_min`` before giving up;
+        pass ``("step-halving",)`` for that historical behaviour.
     """
 
     dt_max: float = 100e-12

@@ -12,14 +12,20 @@ pipeline relies on.  Around the raw evaluation it layers:
   with the same inputs is allowed to re-raise);
 * **per-job timeouts** on the thread and process backends; a timeout
   carries the offending job descriptor, its attempt count and the elapsed
-  wall time on the raised :class:`~repro.errors.CampaignTimeoutError`
-  (the serial backend cannot interrupt a running integration and
-  documents that);
+  wall time on the raised :class:`~repro.errors.CampaignTimeoutError`.
+  Both backends bound the in-flight window by the worker count, so a
+  job's clock starts when it actually starts running.  The process
+  backend *kills* a pool stuck on an over-budget job (a hung worker is
+  never joined); the thread backend, whose workers cannot be killed,
+  abandons the clogged pool and moves on.  The serial backend cannot
+  interrupt a running integration and documents that;
 * **crash isolation** - a worker process that segfaults, is OOM-killed
   or calls ``os._exit`` breaks only its pool generation: the executor
-  rebuilds the pool, re-dispatches the in-flight jobs one at a time in
-  isolation (bounded by ``max_redispatch``), and attributes the crash to
-  the poison job as a :class:`~repro.errors.WorkerCrashError`;
+  rebuilds the pool, re-dispatches the jobs that were *in flight* at the
+  break one at a time in isolation (bounded by ``max_redispatch``),
+  continues the never-started remainder in parallel on the rebuilt pool,
+  and attributes the crash to the poison job as a
+  :class:`~repro.errors.WorkerCrashError`;
 * **error collection** - ``on_error="collect"`` turns per-job failures
   into :class:`~repro.errors.JobError` records in the result list instead
   of aborting the campaign;
@@ -203,32 +209,106 @@ def _chunked(items: List[_Item], size: int) -> List[List[_Item]]:
     return [items[i:i + size] for i in range(0, len(items), size)]
 
 
+def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear a process pool down without joining its workers.
+
+    ``shutdown(wait=True)`` joins the worker processes, which blocks
+    forever on a worker stuck in an over-budget job - exactly the case
+    per-job timeouts exist to bound.  Cancel everything that has not
+    started, kill the workers outright, then reap them.
+    """
+    # ``_processes`` is the executor's pid -> Process map (CPython
+    # implementation detail, stable since 3.7); the public API offers no
+    # way to reach workers that must be killed rather than joined.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+    for process in processes:
+        process.join(timeout=5.0)
+
+
 def _dispatch_thread(
     items: List[_Item],
     workers: int,
     chunksize: int,
     timeout: Optional[float],
 ) -> List[_Outcome]:
-    """Thread backend: chunked futures, per-future timeout attribution.
+    """Thread backend: windowed chunk dispatch, per-chunk timeouts.
 
-    Timeouts are attributed exactly because a timeout forces
-    ``chunksize=1`` (see :func:`run_campaign`).  A timed-out thread
-    cannot be interrupted; its future is cancelled if still pending and
-    its (eventual) result discarded.
+    At most ``workers`` chunks are in flight at a time on a pool of
+    ``workers`` threads, so a submitted chunk starts running immediately
+    and its stopwatch measures actual runtime - a queued job never burns
+    its budget waiting for a slot.  A thread cannot be interrupted, so
+    when a chunk exceeds the budget it gets a synthesised timeout
+    outcome and the clogged pool is *abandoned* (``shutdown(wait=False)``):
+    innocent in-flight chunks are re-dispatched on a fresh pool.  Their
+    abandoned twins run to completion in the old pool with the results
+    discarded - job evaluation is pure, so the duplicated work costs
+    CPU, not correctness.
     """
     outcomes: List[_Outcome] = []
-    with concurrent.futures.ThreadPoolExecutor(workers) as pool:
-        chunks = _chunked(items, chunksize)
-        futures = [(pool.submit(_worker_chunk, chunk), chunk) for chunk in chunks]
-        for future, chunk in futures:
-            watch = Stopwatch()
-            try:
-                outcomes.extend(future.result(timeout=timeout))
-            except concurrent.futures.TimeoutError:
-                future.cancel()
-                for item in chunk:
-                    outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+    remaining = _chunked(items, chunksize)
+    while remaining:
+        queue = list(remaining)
+        remaining = []
+        pending: Dict[Any, Tuple[List[_Item], Stopwatch]] = {}
+        stuck = False
+        pool = concurrent.futures.ThreadPoolExecutor(workers)
+        try:
+            while (queue or pending) and not stuck:
+                while queue and len(pending) < workers:
+                    chunk = queue.pop(0)
+                    pending[pool.submit(_worker_chunk, chunk)] = (
+                        chunk, Stopwatch(),
+                    )
+                done, _ = concurrent.futures.wait(
+                    pending, timeout=_poll_budget(pending, timeout),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    pending.pop(future)
+                    outcomes.extend(future.result())
+                if timeout is not None:
+                    overdue = [
+                        future for future, (_, watch) in pending.items()
+                        if watch.elapsed() >= timeout
+                    ]
+                    for future in overdue:
+                        chunk, watch = pending.pop(future)
+                        future.cancel()
+                        for item in chunk:
+                            outcomes.append(
+                                _timeout_outcome(item, watch.elapsed(), timeout)
+                            )
+                        stuck = True
+        except BaseException:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        if stuck:
+            pool.shutdown(wait=False, cancel_futures=True)
+            for chunk, _ in pending.values():
+                queue.insert(0, chunk)
+        else:
+            pool.shutdown(wait=True)
+        remaining = queue
     return outcomes
+
+
+def _poll_budget(
+    pending: Dict[Any, Tuple[List[_Item], "Stopwatch"]],
+    timeout: Optional[float],
+) -> Optional[float]:
+    """How long :func:`concurrent.futures.wait` may block: until the
+    earliest pending deadline (never less than 20 ms), or forever when
+    no timeout is configured."""
+    if timeout is None:
+        return None
+    return max(
+        0.02,
+        min(timeout - watch.elapsed() for _, watch in pending.values()),
+    )
 
 
 def _dispatch_process(
@@ -239,40 +319,97 @@ def _dispatch_process(
     max_redispatch: int,
     telemetry: Telemetry,
 ) -> List[_Outcome]:
-    """Process backend with crash isolation.
+    """Process backend with per-job timeouts and crash isolation.
 
-    Phase 1 runs all chunks on one parallel pool.  If a worker dies
-    (``BrokenProcessPool``), every unfinished job becomes a *suspect*:
-    phase 2 re-dispatches suspects one at a time, each on a fresh
-    single-worker pool, so a poison job can only break a pool containing
-    itself - that is what attributes the crash.  A job gets at most
-    ``max_redispatch`` extra dispatches before it is declared poison and
-    reported as a :class:`~repro.errors.WorkerCrashError` outcome.
+    Phase 1 runs chunks on a parallel pool with at most ``workers``
+    chunks in flight, so a submitted chunk starts immediately and its
+    stopwatch measures actual runtime.  Two events tear a pool
+    generation down early:
+
+    * **timeout** - the over-budget chunks get synthesised
+      :class:`~repro.errors.CampaignTimeoutError` outcomes and the pool
+      is *killed* via :func:`_kill_pool`, never joined (a genuinely hung
+      worker must not block the campaign); innocent in-flight chunks and
+      the un-started remainder continue on a fresh parallel pool;
+    * **crash** (``BrokenProcessPool``, including one raised by
+      ``submit`` itself) - only the chunks actually in flight when the
+      pool broke become *suspects*; the un-started remainder is
+      re-dispatched on a rebuilt parallel pool.
+
+    Phase 2 re-runs each suspect alone on a single-worker pool, so a
+    poison job can only break a pool containing itself - that is what
+    attributes the crash.  A job gets at most ``max_redispatch`` extra
+    dispatches before it is declared poison and reported as a
+    :class:`~repro.errors.WorkerCrashError` outcome.
     """
     outcomes: List[_Outcome] = []
     suspects: List[_Item] = []
     context = _mp_context()
 
-    # Phase 1: normal parallel dispatch.
-    chunks = _chunked(items, chunksize)
-    broke = False
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers, mp_context=context
-    ) as pool:
-        futures = [(pool.submit(_worker_chunk, chunk), chunk) for chunk in chunks]
-        for future, chunk in futures:
-            watch = Stopwatch()
-            try:
-                outcomes.extend(future.result(timeout=timeout))
-            except concurrent.futures.TimeoutError:
-                future.cancel()
-                for item in chunk:
-                    outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
-            except BrokenProcessPool:
-                if not broke:
-                    broke = True
-                    telemetry.record_worker_crash()
-                suspects.extend(chunk)
+    # Phase 1: parallel dispatch over rebuildable pool generations.
+    remaining = _chunked(items, chunksize)
+    while remaining:
+        queue = list(remaining)
+        remaining = []
+        pending: Dict[Any, Tuple[List[_Item], Stopwatch]] = {}
+        broke = stuck = False
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        )
+        try:
+            while (queue or pending) and not broke and not stuck:
+                while queue and len(pending) < workers:
+                    chunk = queue.pop(0)
+                    try:
+                        future = pool.submit(_worker_chunk, chunk)
+                    except BrokenProcessPool:
+                        # The pool died under us mid-submission; this
+                        # chunk never reached a worker, so it is not a
+                        # suspect - it reruns on the next generation.
+                        queue.insert(0, chunk)
+                        broke = True
+                        break
+                    pending[future] = (chunk, Stopwatch())
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
+                    pending, timeout=_poll_budget(pending, timeout),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    chunk, _ = pending.pop(future)
+                    try:
+                        outcomes.extend(future.result())
+                    except BrokenProcessPool:
+                        suspects.extend(chunk)
+                        broke = True
+                if timeout is not None and not broke:
+                    overdue = [
+                        future for future, (_, watch) in pending.items()
+                        if watch.elapsed() >= timeout
+                    ]
+                    for future in overdue:
+                        chunk, watch = pending.pop(future)
+                        for item in chunk:
+                            outcomes.append(
+                                _timeout_outcome(item, watch.elapsed(), timeout)
+                            )
+                        stuck = True
+        except BaseException:
+            _kill_pool(pool)
+            raise
+        if broke:
+            telemetry.record_worker_crash()
+            for chunk, _ in pending.values():
+                suspects.extend(chunk)  # in flight when the pool broke
+            _kill_pool(pool)
+        elif stuck:
+            _kill_pool(pool)  # never join a worker running a hung job
+            for chunk, _ in pending.values():
+                queue.insert(0, chunk)  # innocents rerun on a fresh pool
+        else:
+            pool.shutdown(wait=True)
+        remaining = queue
 
     # Phase 2: crash isolation.  One suspect per single-worker pool; a
     # pool that breaks now indicts exactly the job it was running.
@@ -284,25 +421,31 @@ def _dispatch_process(
         item = queue.pop(0)
         index = item[0]
         dispatches[index] = dispatches.get(index, 0) + 1
-        with concurrent.futures.ProcessPoolExecutor(
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=1, mp_context=context
-        ) as pool:
-            future = pool.submit(_worker_chunk, [item])
-            watch = Stopwatch()
-            try:
-                outcomes.extend(future.result(timeout=timeout))
-                continue
-            except concurrent.futures.TimeoutError:
-                future.cancel()
-                outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
-                continue
-            except BrokenProcessPool:
-                telemetry.record_worker_crash()
-        if dispatches[index] > max_redispatch:
-            outcomes.append(_crash_outcome(item, dispatches[index]))
-        else:
-            telemetry.record_redispatch()
-            queue.append(item)
+        )
+        future = pool.submit(_worker_chunk, [item])
+        watch = Stopwatch()
+        try:
+            chunk_outcomes = future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+            _kill_pool(pool)
+            continue
+        except BrokenProcessPool:
+            _kill_pool(pool)
+            telemetry.record_worker_crash()
+            if dispatches[index] > max_redispatch:
+                outcomes.append(_crash_outcome(item, dispatches[index]))
+            else:
+                telemetry.record_redispatch()
+                queue.append(item)
+            continue
+        except BaseException:
+            _kill_pool(pool)
+            raise
+        pool.shutdown(wait=True)
+        outcomes.extend(chunk_outcomes)
     return outcomes
 
 
@@ -389,8 +532,10 @@ def run_campaign(
         Per-job wall-time bound in seconds, enforced on the thread and
         process backends.  Raises (or collects) a
         :class:`~repro.errors.CampaignTimeoutError` carrying the job
-        descriptor, attempt count and elapsed time.  The serial backend
-        cannot interrupt a running integration and ignores it.
+        descriptor, attempt count and elapsed time.  A process worker
+        stuck past the budget is killed; a stuck thread cannot be and is
+        abandoned with its pool instead.  The serial backend cannot
+        interrupt a running integration and ignores it.
     cache:
         ``"default"`` uses the process-wide :func:`get_cache`; ``None``
         disables caching; any :class:`ResultCache` is used as given.

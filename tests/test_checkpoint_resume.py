@@ -55,6 +55,15 @@ def _slow_marked(job):
     return _logged_ok(job)
 
 
+_HANG_SKEW = ns(9.9)
+
+
+def _hung_marked(job):
+    if job.skew == _HANG_SKEW:
+        time.sleep(60.0)  # effectively hung: far beyond any test budget
+    return _logged_ok(job)
+
+
 _FAIL_SKEW = ns(3.3)
 
 
@@ -192,6 +201,23 @@ def test_worker_crash_is_collected_and_remaining_jobs_finish():
     assert telemetry.jobs_failed == 1
 
 
+def test_crash_isolates_only_in_flight_jobs():
+    """A crash must not serialise the never-started remainder: only the
+    jobs in flight when the pool broke (at most ``max_workers``) are
+    re-dispatched in isolation; the rest rerun on a parallel pool."""
+    jobs = _jobs(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.7, 8.0)
+    telemetry = Telemetry()
+    campaign = run_campaign(
+        jobs, backend="process", max_workers=2, evaluate=_crashy,
+        on_error="collect", retries=0, max_redispatch=0, telemetry=telemetry,
+    )
+    assert len(campaign) == len(jobs)
+    (crashed,) = campaign.errors
+    assert crashed.error == "WorkerCrashError"
+    assert crashed.job.skew == _CRASH_SKEW
+    assert telemetry.redispatches <= 2  # bounded by the worker count
+
+
 def test_worker_crash_raises_with_job_descriptor():
     jobs = _jobs(1.0, 7.7)
     with pytest.raises(WorkerCrashError) as excinfo:
@@ -223,6 +249,23 @@ def test_timeout_collects_job_error_with_descriptor():
     assert isinstance(error, CampaignTimeoutError)
     assert isinstance(error, TimeoutError)
     assert timed_out.diagnostics["extra"]["elapsed_s"] > 0
+    assert campaign[0].ok and campaign[2].ok
+
+
+def test_process_timeout_kills_stuck_worker():
+    """A genuinely hung process worker must be killed, not joined: the
+    campaign finishes in ~timeout wall time, not the job's 60 s."""
+    jobs = _jobs(1.0, 9.9, 2.0)  # job[1] hangs far past the budget
+    watch = time.perf_counter()
+    campaign = run_campaign(
+        jobs, backend="process", max_workers=2, evaluate=_hung_marked,
+        timeout=1.0, on_error="collect",
+    )
+    assert time.perf_counter() - watch < 30.0  # nowhere near the 60 s sleep
+    timed_out = campaign[1]
+    assert isinstance(timed_out, JobError)
+    assert timed_out.error == "CampaignTimeoutError"
+    assert timed_out.job.skew == _HANG_SKEW
     assert campaign[0].ok and campaign[2].ok
 
 
