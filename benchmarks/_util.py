@@ -14,8 +14,11 @@ it to the benchmark output directory and re-exports the pieces the
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+import platform
+import time
+from typing import Any, Dict, Iterable
 
 from repro.analog.engine import TransientOptions
 from repro.runtime.telemetry import (  # noqa: F401  (re-exported for benches)
@@ -25,9 +28,18 @@ from repro.runtime.telemetry import (  # noqa: F401  (re-exported for benches)
     format_duration,
 )
 
-#: Engine options used by the benches: ~10 mV accurate, ~2x faster than
+#: Engine options used by most benches: ~10 mV accurate, ~2x faster than
 #: the defaults.
 BENCH_OPTIONS = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+#: Grid-converged options for cross-engine comparisons.  The scalar
+#: engine carries a tolerance-blind trajectory error after clock edges
+#: (the post-edge discharge satisfies the LTE estimator at dt_max-sized
+#: steps while accruing ~10 mV; only dt_max shrinks it), so any check of
+#: "batch equals scalar to 1 mV" must run where the scalar itself is
+#: converged: at dt_max = 5 ps both engines sit within ~0.2 mV of the
+#: dt_max = 2 ps reference.
+ACCURATE_OPTIONS = TransientOptions(dt_max=5e-12, reltol=1e-3)
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
@@ -35,3 +47,27 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 def emit(name: str, lines: Iterable[str]) -> str:
     """Print a result block and persist it under ``benchmarks/out/``."""
     return emit_block(name, lines, OUT_DIR)
+
+
+def write_bench_json(name: str, payload: Dict[str, Any]) -> str:
+    """Persist machine-readable bench metrics as ``out/BENCH_<name>.json``.
+
+    ``payload`` carries the bench-specific numbers (wall times, samples/s,
+    backend, cache hit rate, deviations...); a small envelope (bench name,
+    unix timestamp, platform) is added so CI artifacts from different runs
+    remain distinguishable.
+    """
+    os.makedirs(OUT_DIR, exist_ok=True)
+    document = {
+        "bench": name,
+        "timestamp": time.time(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        **payload,
+    }
+    path = os.path.join(OUT_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return path

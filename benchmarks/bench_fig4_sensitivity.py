@@ -7,6 +7,11 @@ Paper claims reproduced here:
   with load capacitance (paper: ~0.09 ns to ~0.16 ns over 80..240 fF);
 * "for each load value ... the resulting curves are almost
   indistinguishable" across clock slews 0.1..0.4 ns.
+
+The same (load, slew, skew) grid is also pushed through the lockstep
+batch engine (``backend="batch"``, fresh integrations) and timed against
+the serial scalar sweep; the extracted ``tau_min`` values must agree and
+the throughputs land in ``out/BENCH_fig4_sensitivity.json``.
 """
 
 import numpy as np
@@ -14,24 +19,67 @@ import numpy as np
 from repro.core.sensitivity import sensitivity_family
 from repro.units import VTH_INTERPRET, fF, ns, to_ns
 
-from _util import BENCH_OPTIONS, emit
+from _util import BENCH_OPTIONS, Stopwatch, emit, write_bench_json
 
 LOADS_FF = (80, 160, 240)
 SLEWS_NS = (0.1, 0.2, 0.3, 0.4)
 SKEWS_NS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
 
+#: Bar on scalar-vs-batch tau_min agreement: the Vmin curve crosses the
+#: threshold with a slope of tens of volts per nanosecond, so even at the
+#: coarse BENCH_OPTIONS grid the crossing moves by well under 5 ps.
+TAU_MIN_TOL = ns(0.005)
 
-def run():
+
+def _family(backend):
+    """One fresh (cache-bypassing) Fig.-4 family on the given backend."""
     return sensitivity_family(
         loads=[fF(c) for c in LOADS_FF],
         slews=[ns(s) for s in SLEWS_NS],
         skews=[ns(t) for t in SKEWS_NS],
         options=BENCH_OPTIONS,
+        backend=backend,
+        cache=None,
     )
 
 
+def run():
+    watch = Stopwatch()
+    curves = _family("serial")
+    t_scalar = watch.restart()
+    batch_curves = _family("batch")
+    t_batch = watch.elapsed()
+    return curves, batch_curves, t_scalar, t_batch
+
+
 def test_fig4_vmin_vs_skew(benchmark):
-    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    curves, batch_curves, t_scalar, t_batch = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    n_points = len(LOADS_FF) * len(SLEWS_NS) * len(SKEWS_NS)
+    tau_deltas = np.array([
+        abs(s.tau_min - b.tau_min)
+        for s, b in zip(curves, batch_curves)
+        if s.tau_min is not None and b.tau_min is not None
+    ])
+    write_bench_json("fig4_sensitivity", {
+        "options": {"dt_max": BENCH_OPTIONS.dt_max,
+                    "reltol": BENCH_OPTIONS.reltol},
+        "grid": {"loads_fF": list(LOADS_FF), "slews_ns": list(SLEWS_NS),
+                 "skews_ns": list(SKEWS_NS)},
+        "scalar": {"backend": "serial", "wall_s": t_scalar,
+                   "samples_per_s": n_points / t_scalar,
+                   "cache_hit_rate": 0.0},
+        "batch": {"backend": "batch", "wall_s": t_batch,
+                  "samples_per_s": n_points / t_batch,
+                  "cache_hit_rate": 0.0},
+        "speedup_batch_vs_serial": t_scalar / t_batch,
+        "tau_min_deviation_max_s": float(tau_deltas.max()),
+    })
+    assert len(tau_deltas) == len(curves), "batch lost a tau_min crossing"
+    assert tau_deltas.max() <= TAU_MIN_TOL, (
+        f"batch tau_min deviates {tau_deltas.max() * 1e12:.2f} ps"
+    )
 
     lines = [
         "Fig. 4 reproduction: Vmin of the late output vs skew tau",

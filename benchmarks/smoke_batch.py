@@ -1,0 +1,79 @@
+"""CI smoke check of the batched engine: tiny equivalence + timing run.
+
+A trimmed-down version of ``bench_fig5_montecarlo.py`` sized for a
+continuous-integration minute: a small seeded population is evaluated
+through the serial scalar backend and the lockstep batch backend at the
+grid-converged :data:`_util.ACCURATE_OPTIONS`, per-point ``Vmin`` values
+are compared, and the measured throughputs are written to
+``out/BENCH_smoke_batch.json``.  Runs standalone
+(``python benchmarks/smoke_batch.py``) so the CI job does not depend on
+the pytest-benchmark plugin.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.montecarlo.parallel import scatter_analysis_parallel
+from repro.montecarlo.sampling import sample_population
+from repro.units import fF, ns
+
+from _util import ACCURATE_OPTIONS, Stopwatch, Telemetry, write_bench_json
+
+N_SAMPLES = 4
+SKEWS_NS = (0.0, 0.1, 0.4)
+LOAD = fF(160)
+SEED = 7
+
+#: Equivalence bar, volts (same as the full fig5 bench).
+EQUIVALENCE_TOL = 1e-3
+
+
+def _run_backend(backend, samples):
+    telemetry = Telemetry()
+    watch = Stopwatch()
+    points = scatter_analysis_parallel(
+        samples, skews=[ns(t) for t in SKEWS_NS], options=ACCURATE_OPTIONS,
+        backend=backend, n_workers=1, cache=None, telemetry=telemetry,
+    )
+    wall = watch.elapsed()
+    return points, {
+        "backend": backend,
+        "wall_s": wall,
+        "samples_per_s": len(points) / wall,
+        "jobs": len(points),
+        "cache_hit_rate": 0.0,
+        "batch_fallbacks": telemetry.batch_fallbacks,
+    }
+
+
+def main():
+    """Run the smoke comparison; exit non-zero on an equivalence miss."""
+    samples = sample_population(N_SAMPLES, LOAD, seed=SEED)
+    scalar_points, scalar_metrics = _run_backend("serial", samples)
+    batch_points, batch_metrics = _run_backend("batch", samples)
+    deviations = np.array([
+        abs(s.vmin - b.vmin) for s, b in zip(scalar_points, batch_points)
+    ])
+    speedup = batch_metrics["samples_per_s"] / scalar_metrics["samples_per_s"]
+    write_bench_json("smoke_batch", {
+        "options": {"dt_max": ACCURATE_OPTIONS.dt_max,
+                    "reltol": ACCURATE_OPTIONS.reltol},
+        "grid": {"samples": N_SAMPLES, "skews_ns": list(SKEWS_NS),
+                 "seed": SEED},
+        "scalar": scalar_metrics,
+        "batch": batch_metrics,
+        "speedup_batch_vs_serial": speedup,
+        "vmin_deviation_max": float(deviations.max()),
+    })
+    print(f"smoke_batch: max |dVmin| {deviations.max() * 1e3:.3f} mV, "
+          f"speedup {speedup:.2f}x, "
+          f"fallbacks {batch_metrics['batch_fallbacks']}")
+    if deviations.max() > EQUIVALENCE_TOL:
+        print("FAIL: batch-vs-scalar deviation above 1 mV", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Batched vectorized simulation engine: lockstep many-circuit transients.
+
+Every headline figure of the paper (Fig. 4's ``Vmin`` vs skew sweeps,
+Fig. 5's Monte Carlo scatter) re-simulates thousands of *structurally
+identical* 10-transistor sensors that differ only in parameters, loads,
+slews and skew.  This package turns that shape into vectorized math:
+
+* :mod:`repro.batch.compile` - :func:`compile_batch` stacks N parameter
+  variants of one netlist topology into batched MNA tensors (the
+  :class:`~repro.analog.compile.CompiledCircuit` arrays with a leading
+  batch axis, per-sample model cards, shared connectivity);
+* :mod:`repro.batch.engine` - :func:`batch_transient` integrates the
+  whole stack in lockstep: one shared adaptive time axis, vectorized
+  Newton with per-sample convergence masks, per-sample local-error
+  control driving a shared step size (a sample that rejects a step drops
+  the batch to the smallest accepted ``h``), and mask-out semantics for
+  samples that exhaust the in-batch ladder;
+* :mod:`repro.batch.response` - :func:`evaluate_jobs_batch` evaluates a
+  stack of :class:`~repro.runtime.SensorJob` descriptions and reports
+  which samples need the scalar engine (the *fallback contract*: a
+  masked-out sample is re-dispatched to :mod:`repro.analog.engine`, so
+  PR 2's escalation ladder and failure diagnostics are preserved, never
+  silently degraded);
+* :mod:`repro.batch.dispatch` - campaign integration: grouping of
+  compatible jobs into batches, ``REPRO_BATCH_SIZE`` chunking, optional
+  process-pool fan-out of whole batches, and the outcome protocol the
+  :func:`repro.runtime.run_campaign` executor consumes via
+  ``backend="batch"``.
+"""
+
+from repro.batch.compile import BatchCompiledCircuit, BatchTopologyError, compile_batch
+from repro.batch.dispatch import (
+    DEFAULT_BATCH_SIZE,
+    ENV_BATCH_SIZE,
+    batch_signature,
+    dispatch_batches,
+    group_batches,
+    resolve_batch_size,
+)
+from repro.batch.engine import BatchTransientResult, batch_transient
+from repro.batch.response import BatchEvaluation, evaluate_jobs_batch
+
+__all__ = [
+    "BatchCompiledCircuit",
+    "BatchEvaluation",
+    "BatchTopologyError",
+    "BatchTransientResult",
+    "DEFAULT_BATCH_SIZE",
+    "ENV_BATCH_SIZE",
+    "batch_signature",
+    "batch_transient",
+    "compile_batch",
+    "dispatch_batches",
+    "evaluate_jobs_batch",
+    "group_batches",
+    "resolve_batch_size",
+]

@@ -1,0 +1,219 @@
+"""Campaign-side dispatch of the batch engine.
+
+This module is what ``run_campaign(backend="batch")`` lazily imports.
+It takes the executor's post-cache work items (cache hits were already
+satisfied upstream, so only cold samples reach the stack), groups them
+into batchable stacks, and returns outcomes in the executor's standard
+worker protocol - so caching, journaling, telemetry and error policies
+behave identically across backends.
+
+Grouping and chunking
+---------------------
+Jobs are grouped by :func:`batch_signature` (the fields one lockstep run
+must share: horizon, topology switches, engine options) and each group
+is split into chunks of at most :func:`resolve_batch_size` samples
+(``chunksize`` argument, else ``REPRO_BATCH_SIZE``, else
+:data:`DEFAULT_BATCH_SIZE`).  Oversized batches trade diminishing
+vectorization gains for a denser merged-breakpoint schedule, so the
+default keeps stacks moderate.
+
+Fallback contract
+-----------------
+A sample the lockstep engine masks out is re-evaluated through the
+executor's scalar :func:`~repro.runtime.executor._evaluate_outcome` -
+the same path the serial backend uses, with the same bounded
+ConvergenceError retries and the same serialised error diagnostics.  If
+an entire stack fails to build or integrate, every sample of that chunk
+takes the scalar path.  Nothing is silently degraded: every re-dispatch
+is counted in ``Telemetry.batch_fallbacks``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.compile import BatchTopologyError
+from repro.batch.response import evaluate_jobs_batch
+from repro.errors import SimulationError
+from repro.runtime.executor import _evaluate_outcome, _Item, _mp_context, _Outcome
+from repro.runtime.jobs import SensorJob
+from repro.runtime.telemetry import Stopwatch, Telemetry
+
+#: Environment variable overriding the per-stack sample count.
+ENV_BATCH_SIZE = "REPRO_BATCH_SIZE"
+
+#: Default samples per lockstep stack.
+DEFAULT_BATCH_SIZE = 64
+
+
+def resolve_batch_size(chunksize: Optional[int] = None) -> int:
+    """Samples per stack: explicit arg > ``REPRO_BATCH_SIZE`` > default."""
+    if chunksize is not None:
+        return max(1, int(chunksize))
+    env = os.environ.get(ENV_BATCH_SIZE, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"{ENV_BATCH_SIZE} must be an integer, got {env!r}"
+            ) from None
+    return DEFAULT_BATCH_SIZE
+
+
+def batch_signature(job: SensorJob) -> Hashable:
+    """The fields every job of one lockstep stack must share.
+
+    ``period``/``settle`` fix the shared time horizon, ``full_swing``/
+    ``parasitics`` fix the circuit topology, and ``options`` fixes the
+    engine knobs.  Everything else (skew, slews, loads, sizing, process
+    corner, threshold) may vary per sample - that is the point.
+    """
+    resolved = job.resolved()
+    return (
+        resolved.period,
+        resolved.settle,
+        resolved.full_swing,
+        resolved.parasitics,
+        resolved.options,
+    )
+
+
+def group_batches(
+    items: Sequence[_Item], batch_size: int
+) -> List[List[_Item]]:
+    """Split work items into batchable chunks.
+
+    Items are grouped by :func:`batch_signature` preserving first-seen
+    order, then each group is chunked to at most ``batch_size`` samples.
+    """
+    groups: Dict[Hashable, List[_Item]] = {}
+    order: List[Hashable] = []
+    for item in items:
+        signature = batch_signature(item[1])
+        if signature not in groups:
+            groups[signature] = []
+            order.append(signature)
+        groups[signature].append(item)
+    chunks: List[List[_Item]] = []
+    for signature in order:
+        group = groups[signature]
+        for start in range(0, len(group), batch_size):
+            chunks.append(group[start:start + batch_size])
+    return chunks
+
+
+def evaluate_batch_chunk(
+    chunk: Sequence[_Item],
+) -> Tuple[List[_Outcome], Dict[str, object]]:
+    """Evaluate one stack; scalar-re-dispatch masked-out samples.
+
+    Returns ``(outcomes, stats)`` where outcomes follow the executor's
+    worker protocol and ``stats`` carries ``batched_samples`` (results
+    produced by the lockstep engine), ``batch_fallbacks`` (samples that
+    took the scalar path) and the batch-level ``escalations`` tally.
+    """
+    stats: Dict[str, object] = {
+        "batched_samples": 0, "batch_fallbacks": 0, "escalations": {},
+    }
+    outcomes: List[_Outcome] = []
+    watch = Stopwatch()
+    try:
+        evaluation = evaluate_jobs_batch([item[1] for item in chunk])
+    except (BatchTopologyError, SimulationError, np.linalg.LinAlgError):
+        # The stack itself failed; every sample takes the scalar path
+        # (same retries, same diagnostics - the fallback contract).
+        evaluation = None
+    if evaluation is None:
+        for item in chunk:
+            outcomes.append(_evaluate_outcome(item))
+        stats["batch_fallbacks"] = len(chunk)
+        return outcomes, stats
+
+    stats["escalations"] = evaluation.escalations
+    share = watch.elapsed() / max(1, len(chunk))
+    for item, result in zip(chunk, evaluation.results):
+        if result is None:
+            outcomes.append(_evaluate_outcome(item))
+            stats["batch_fallbacks"] = int(stats["batch_fallbacks"]) + 1
+        else:
+            outcomes.append((item[0], "ok", result, share, 1))
+            stats["batched_samples"] = int(stats["batched_samples"]) + 1
+    return outcomes, stats
+
+
+def _fold_stats(telemetry: Optional[Telemetry], stats: Dict[str, object]) -> None:
+    """Record one chunk's stats into the campaign telemetry."""
+    if telemetry is None:
+        return
+    telemetry.record_batch(
+        samples=int(stats.get("batched_samples", 0)),
+        fallbacks=int(stats.get("batch_fallbacks", 0)),
+    )
+    escalations = stats.get("escalations") or {}
+    if escalations:
+        telemetry.record_escalations(escalations)
+
+
+def dispatch_batches(
+    items: Sequence[_Item],
+    workers: int = 1,
+    chunksize: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> List[_Outcome]:
+    """Run all work items through the batch engine.
+
+    Parameters
+    ----------
+    items:
+        The executor's post-cache work items.
+    workers:
+        With ``workers > 1`` whole stacks fan out over a process pool
+        (one stack per task); a broken pool re-evaluates the affected
+        stack in-process, so crashes cost wall time, not results.
+    chunksize:
+        Samples per stack (see :func:`resolve_batch_size`).
+    telemetry:
+        Campaign accumulator receiving ``batched_samples`` /
+        ``batch_fallbacks`` counters and the batch escalation tallies.
+    """
+    chunks = group_batches(items, resolve_batch_size(chunksize))
+    outcomes: List[_Outcome] = []
+    if workers <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            chunk_outcomes, stats = evaluate_batch_chunk(chunk)
+            _fold_stats(telemetry, stats)
+            outcomes.extend(chunk_outcomes)
+        return outcomes
+
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)), mp_context=_mp_context()
+    ) as pool:
+        futures = []
+        for chunk in chunks:
+            try:
+                futures.append((pool.submit(evaluate_batch_chunk, chunk), chunk))
+            except BrokenProcessPool:
+                futures.append((None, chunk))
+        for future, chunk in futures:
+            chunk_outcomes: Optional[List[_Outcome]] = None
+            stats: Optional[Dict[str, object]] = None
+            if future is not None:
+                try:
+                    chunk_outcomes, stats = future.result()
+                except BrokenProcessPool:
+                    chunk_outcomes = None
+            if chunk_outcomes is None:
+                # Pool died under this stack: rerun it in-process.
+                if telemetry is not None:
+                    telemetry.record_worker_crash()
+                    telemetry.record_redispatch(len(chunk))
+                chunk_outcomes, stats = evaluate_batch_chunk(chunk)
+            _fold_stats(telemetry, stats)
+            outcomes.extend(chunk_outcomes)
+    return outcomes

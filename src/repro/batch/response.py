@@ -1,0 +1,157 @@
+"""Evaluating a stack of sensor jobs through the batch engine.
+
+:func:`evaluate_jobs_batch` is the batched twin of
+:func:`repro.runtime.jobs.evaluate_job`: it builds one netlist per job
+(each with its own clock pair, loads, sizing and process corner),
+compiles the stack, runs one lockstep transient over the shared
+``[0, settle + period]`` horizon, and then applies the *exact*
+per-sample measurement windows of
+:func:`repro.core.response.simulate_sensor` - ``Vmin`` over
+``[edge_start, fall_start]`` and the ``(y1, y2)`` code sampled at the
+same ``t_sample`` formula - so a batch result is the scalar result up to
+integration-grid differences (bounded by the engine's LTE control; the
+equivalence suite pins it below 1 mV on ``Vmin``).
+
+Jobs in one call must share the horizon-defining and engine-defining
+fields (``period``, ``settle``, ``full_swing``, ``parasitics``,
+``options``) - that is what
+:func:`repro.batch.dispatch.batch_signature` groups by.  Samples the
+engine masked out come back as ``None`` results for the caller to
+re-dispatch to the scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analog.waveform import Waveform
+from repro.batch.compile import compile_batch
+from repro.batch.engine import BatchTransientResult, batch_transient
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import clock_pair
+from repro.runtime.jobs import JobResult, SensorJob
+
+#: Nodes recorded for the paper's response measurement.
+RECORD_NODES = ("phi1", "phi2", "y1", "y2")
+
+
+@dataclass
+class BatchEvaluation:
+    """Outcome of one :func:`evaluate_jobs_batch` call.
+
+    ``results[i]`` is the :class:`~repro.runtime.jobs.JobResult` of
+    ``jobs[i]``, or ``None`` when the engine masked the sample out
+    (``fallback_reasons[i]`` says why) and it must be re-evaluated by
+    the scalar engine.
+    """
+
+    results: List[Optional[JobResult]]
+    escalations: Dict[str, int] = field(default_factory=dict)
+    fallback_reasons: Dict[int, str] = field(default_factory=dict)
+    steps: int = 0
+
+    @property
+    def fallbacks(self) -> int:
+        """Number of samples needing scalar re-dispatch."""
+        return sum(1 for r in self.results if r is None)
+
+
+def _measure(
+    result: BatchTransientResult, sample: int, job: SensorJob
+) -> JobResult:
+    """Apply ``simulate_sensor``'s measurement windows to one sample."""
+    skew, slew1, slew2 = job.skew, job.slew1, job.slew2
+    settle, period = job.settle, job.period
+    edge_start = settle + min(0.0, skew)
+    late_edge_end = settle + max(0.0, skew) + max(slew1, slew2)
+    fall_start = settle + period / 2.0 - max(slew1, slew2) + min(0.0, skew)
+
+    y1 = result.wave("y1", sample)
+    y2 = result.wave("y2", sample)
+    vmin_y1 = y1.window_min(edge_start, fall_start)
+    vmin_y2 = y2.window_min(edge_start, fall_start)
+
+    t_sample = min(
+        late_edge_end + (fall_start - late_edge_end) * 0.75, fall_start
+    )
+    code = (
+        1 if y1.at(t_sample) > job.threshold else 0,
+        1 if y2.at(t_sample) > job.threshold else 0,
+    )
+    return JobResult(
+        skew=skew,
+        vmin_y1=vmin_y1,
+        vmin_y2=vmin_y2,
+        code=code,
+        steps=len(result),
+        escalations=(),
+    )
+
+
+def evaluate_jobs_batch(jobs: Sequence[SensorJob]) -> BatchEvaluation:
+    """Evaluate ``jobs`` as one lockstep batch.
+
+    Every job is resolved, its sensor netlist built with its own clock
+    pair, and the stack compiled and integrated once.  Jobs must agree
+    on ``period``, ``settle``, ``full_swing``, ``parasitics`` and
+    ``options`` (grouped upstream by
+    :func:`repro.batch.dispatch.batch_signature`); a mismatch raises
+    ``ValueError``.
+    """
+    if not jobs:
+        return BatchEvaluation(results=[])
+    resolved = [job.resolved() for job in jobs]
+    head = resolved[0]
+    for job in resolved[1:]:
+        if (
+            job.period != head.period
+            or job.settle != head.settle
+            or job.full_swing != head.full_swing
+            or job.parasitics != head.parasitics
+            or job.options != head.options
+        ):
+            raise ValueError(
+                "jobs in one batch must share period/settle/full_swing/"
+                "parasitics/options (group with batch_signature first)"
+            )
+
+    netlists = []
+    initial = []
+    for job in resolved:
+        sensor = SkewSensor(
+            process=job.process,
+            sizing=job.sizing,
+            load1=job.load1,
+            load2=job.load2,
+            full_swing=job.full_swing,
+            parasitics=job.parasitics,
+        )
+        phi1, phi2 = clock_pair(
+            period=job.period, slew1=job.slew1, slew2=job.slew2,
+            skew=job.skew, delay=job.settle, vdd=sensor.vdd,
+        )
+        netlists.append(sensor.build(phi1=phi1, phi2=phi2))
+        initial.append(sensor.dc_guess())
+
+    batch = compile_batch(netlists)
+    result = batch_transient(
+        batch,
+        t_stop=head.settle + head.period,
+        record=list(RECORD_NODES),
+        initial=initial,
+        options=head.options,
+    )
+
+    results: List[Optional[JobResult]] = []
+    for index, job in enumerate(resolved):
+        if not result.ok[index]:
+            results.append(None)
+            continue
+        results.append(_measure(result, index, job))
+    return BatchEvaluation(
+        results=results,
+        escalations=dict(result.escalations),
+        fallback_reasons=dict(result.fallback_reasons),
+        steps=len(result),
+    )

@@ -5,8 +5,11 @@ Commands
 ``waves``        Fig.-2/3 style waveform report for a chosen skew.
 ``sensitivity``  Fig.-4 style Vmin-vs-tau sweep and tau_min extraction.
 ``campaign``     Runtime-orchestrated sensitivity campaign: choice of
-                 serial/thread/process backend, cache reuse, telemetry
-                 summary and JSON report.
+                 serial/thread/process/batch backend, cache reuse,
+                 telemetry summary and JSON report.
+``montecarlo``   Fig.-5 style Monte Carlo scatter with a seedable
+                 population; ``--backend batch`` solves the whole
+                 population in lockstep on the vectorised engine.
 ``cache``        Inspect or clear the content-addressed result cache.
 ``testability``  Sec.-3 fault-coverage analysis of the sensor.
 ``scheme``       Fig.-6 style campaign: sensors over an H-tree with an
@@ -106,6 +109,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               f"{curve.slew * 1e9:4.2f} ns : tau_min = {tau_text}")
     print("--- runtime telemetry ---")
     print(telemetry.summary())
+    if args.json:
+        telemetry.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.montecarlo.parallel import scatter_analysis_parallel
+    from repro.montecarlo.sampling import sample_population
+    from repro.runtime import Telemetry
+
+    telemetry = Telemetry()
+    cache = None if args.no_cache else "default"
+    samples = sample_population(args.samples, fF(args.load), seed=args.seed)
+    skews = [ns(tau) for tau in args.skews]
+    with telemetry.timer("montecarlo"):
+        points = scatter_analysis_parallel(
+            samples, skews, options=_FAST, backend=args.backend,
+            n_workers=args.workers, cache=cache, telemetry=telemetry,
+        )
+    seed_text = args.seed if args.seed is not None else "none (fresh draws)"
+    print(f"montecarlo: {args.samples} samples x {len(skews)} skews "
+          f"({args.backend} backend, seed {seed_text})")
+    print("  tau[ns]   Vmin: min    mean    max   flagged")
+    for tau, tau_ns in zip(skews, args.skews):
+        vmins = np.array([p.vmin for p in points if p.skew == tau])
+        flagged = int((vmins > VTH_INTERPRET).sum())
+        print(f"  {tau_ns:6.2f}   {vmins.min():9.2f} {vmins.mean():7.2f} "
+              f"{vmins.max():6.2f}   {flagged}/{len(vmins)}")
+    if args.stats:
+        print("--- runtime telemetry ---")
+        print(telemetry.summary())
     if args.json:
         telemetry.to_json(args.json)
         print(f"wrote {args.json}")
@@ -229,8 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     waves.set_defaults(func=_cmd_waves)
 
     def add_runtime_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=["serial", "thread", "process"],
-                       default="serial", help="campaign executor backend")
+        p.add_argument("--backend",
+                       choices=["serial", "thread", "process", "batch"],
+                       default="serial", help="campaign executor backend "
+                       "(batch = lockstep vectorised engine)")
         p.add_argument("--workers", type=int, default=None,
                        help="pool width (default: REPRO_MAX_WORKERS or "
                             "half the CPUs)")
@@ -272,6 +311,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip jobs already completed in the --checkpoint "
                            "journal instead of re-running them")
     camp.set_defaults(func=_cmd_campaign)
+
+    mc = sub.add_parser(
+        "montecarlo",
+        help="Fig.-5 style Monte Carlo scatter (seedable population)",
+    )
+    mc.add_argument("--samples", type=int, default=30,
+                    help="population size")
+    mc.add_argument("--seed", type=int, default=None,
+                    help="population seed (same seed = same draws; "
+                         "omit for fresh draws)")
+    mc.add_argument("--load", type=float, default=160.0,
+                    help="nominal load in fF")
+    mc.add_argument("--skews", type=float, nargs="+",
+                    default=[0.0, 0.05, 0.1, 0.15, 0.25, 0.4],
+                    help="skew grid in ns")
+    add_runtime_flags(mc)
+    mc.add_argument("--stats", action="store_true",
+                    help="print runtime telemetry (batch counters, timings)")
+    mc.add_argument("--json", type=str, default=None,
+                    help="write the telemetry report to this JSON file")
+    mc.set_defaults(func=_cmd_montecarlo)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the content-addressed result cache"

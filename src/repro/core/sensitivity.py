@@ -107,9 +107,11 @@ def sweep_skew(
 
     The sweep runs as a runtime campaign: cached points are replayed
     without re-integration, fresh ones can be fanned out with
-    ``backend="thread"`` / ``"process"``, and a ``telemetry`` accumulator
-    (see :class:`repro.runtime.Telemetry`) receives per-point timings and
-    hit/miss counts.
+    ``backend="thread"`` / ``"process"`` or solved in lockstep with
+    ``backend="batch"`` (all sweep points share the sensor topology, so
+    the vectorised engine stacks them into one batched transient), and a
+    ``telemetry`` accumulator (see :class:`repro.runtime.Telemetry`)
+    receives per-point timings and hit/miss counts.
     """
     from repro.runtime import run_campaign, sensitivity_job
 
@@ -191,8 +193,10 @@ def sensitivity_family(
     """The full Fig.-4 family: one curve per (load, slew) combination.
 
     The whole (load, slew, skew) grid is submitted as *one* campaign so a
-    parallel backend sees every independent point at once, then the flat
-    results are folded back into per-(load, slew) curves.
+    parallel backend sees every independent point at once (with
+    ``backend="batch"`` the lockstep engine stacks the entire grid into
+    batched transients), then the flat results are folded back into
+    per-(load, slew) curves.
 
     The robustness knobs of :func:`repro.runtime.run_campaign` pass
     through: ``on_error="collect"`` fills failed grid points with NaN

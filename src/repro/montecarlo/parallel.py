@@ -73,8 +73,11 @@ def scatter_analysis_parallel(
     exactly as :func:`~repro.core.response.simulate_sensor` would locally.
 
     Parameters beyond the original signature expose the runtime layer:
-    ``chunksize`` (explicit process-pool chunk size), ``backend``
-    (``"process"``, ``"thread"``, or ``"serial"``), ``cache`` (``None``
+    ``chunksize`` (process-pool chunk size, or samples per stack for the
+    batch backend), ``backend`` (``"process"``, ``"thread"``,
+    ``"serial"``, or ``"batch"`` - the lockstep vectorised engine, the
+    fastest choice for exactly this workload of many same-topology
+    variants), ``cache`` (``None``
     disables result reuse), ``telemetry``, and the robustness knobs of
     :func:`repro.runtime.run_campaign`: ``on_error="collect"`` records a
     NaN-``vmin`` scatter point for a failed grid point instead of
@@ -89,7 +92,10 @@ def scatter_analysis_parallel(
         for tau in skew_list
     ]
     workers = n_workers if n_workers is not None else default_workers()
-    if workers <= 1 or len(jobs) <= 1:
+    if backend in ("thread", "process") and (workers <= 1 or len(jobs) <= 1):
+        # Pool backends degenerate to serial without real parallelism;
+        # "batch" stays: its speed-up comes from vectorisation, not from
+        # worker processes, so it is worth keeping even on one CPU.
         backend = "serial"
     campaign = run_campaign(
         jobs,

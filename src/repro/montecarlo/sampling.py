@@ -39,6 +39,7 @@ def sample_population(
     slew_high: float = ns(0.4),
     base: Optional[ProcessParams] = None,
     balanced: bool = False,
+    seed: Optional[int] = None,
 ) -> List[MonteCarloSample]:
     """Draw ``n`` samples around ``nominal_load``.
 
@@ -49,6 +50,10 @@ def sample_population(
     nominal_load:
         The nominal output load (the paper repeats the analysis for each
         of 80 / 160 / 240 fF).
+    seed:
+        Convenience for reproducible populations without constructing a
+        generator: ``seed=k`` is ``rng=np.random.default_rng(k)``.  An
+        explicit ``rng`` wins; with neither, draws are non-deterministic.
     relative_variation:
         Half-width of the uniform relative window (paper: 0.15).
     slew_low, slew_high:
@@ -64,7 +69,7 @@ def sample_population(
     """
     if n < 1:
         raise ValueError("population size must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(seed)
     base = base or nominal_process()
 
     samples: List[MonteCarloSample] = []

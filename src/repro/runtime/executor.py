@@ -67,7 +67,7 @@ from repro.runtime.jobs import JobResult, SensorJob, evaluate_job
 from repro.runtime.telemetry import Stopwatch, Telemetry
 
 #: Supported executor backends.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "batch")
 
 #: Supported failure policies.
 ON_ERROR_MODES = ("raise", "collect")
@@ -516,9 +516,18 @@ def run_campaign(
         ``evaluate`` (normally :class:`SensorJob`).
     backend:
         ``"serial"`` (in-process loop), ``"thread"``
-        (``ThreadPoolExecutor``), or ``"process"``
+        (``ThreadPoolExecutor``), ``"process"``
         (``ProcessPoolExecutor``, fork context when available, explicit
-        chunksize, crash isolation).
+        chunksize, crash isolation), or ``"batch"`` (the vectorized
+        lockstep engine of :mod:`repro.batch`: cache-cold jobs are
+        stacked into batched MNA tensors and integrated together;
+        samples the lockstep engine masks out are re-dispatched to the
+        scalar path automatically).  The batch backend evaluates
+        :class:`SensorJob` descriptions directly, so it rejects a custom
+        ``evaluate``; it also has no per-job ``timeout`` (samples share
+        one integration).  ``chunksize`` becomes the per-stack sample
+        count (default ``REPRO_BATCH_SIZE`` or 64) and ``max_workers``
+        fans whole stacks out over processes.
     max_workers:
         Pool width; defaults to ``REPRO_MAX_WORKERS`` or half the CPUs.
     chunksize:
@@ -570,6 +579,18 @@ def run_campaign(
         )
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    if backend == "batch":
+        if timeout is not None:
+            raise ValueError(
+                "the batch backend integrates samples in lockstep and "
+                "cannot bound individual jobs; use timeout=None or a "
+                "per-job backend"
+            )
+        if evaluate is not None:
+            raise ValueError(
+                "the batch backend evaluates SensorJob descriptions "
+                "directly and cannot honour a custom evaluate callable"
+            )
     if max_redispatch < 0:
         raise ValueError("max_redispatch must be >= 0")
     if resume and checkpoint is None:
@@ -640,7 +661,18 @@ def run_campaign(
 
     try:
         if items:
-            if backend == "serial" or (len(items) == 1 and timeout is None):
+            if backend == "batch":
+                # Imported lazily: the batch subsystem depends on this
+                # module's worker protocol, not the other way round.
+                from repro.batch.dispatch import dispatch_batches
+
+                outcomes = dispatch_batches(
+                    items,
+                    workers=resolve_workers(max_workers),
+                    chunksize=chunksize,
+                    telemetry=telemetry,
+                )
+            elif backend == "serial" or (len(items) == 1 and timeout is None):
                 # Stream outcomes so an abort (raise mode) stops at the
                 # failing job and still leaves every job completed
                 # before it in the journal.

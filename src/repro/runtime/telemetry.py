@@ -115,6 +115,11 @@ class Telemetry:
     #: worker-process deaths observed while producing the results.
     redispatches: int = 0
     worker_crashes: int = 0
+    #: Batch-backend counters: samples whose result came out of the
+    #: lockstep engine, and samples the lockstep engine masked out and
+    #: re-dispatched to the scalar path (the fallback contract).
+    batched_samples: int = 0
+    batch_fallbacks: int = 0
     #: Extra named durations recorded via :meth:`timer` (setup, report...).
     spans: Dict[str, float] = field(default_factory=dict)
     _wall = None  # type: Optional[Stopwatch]
@@ -163,6 +168,13 @@ class Telemetry:
     def record_worker_crash(self) -> None:
         """Count one observed worker-process death (pool breakage)."""
         self.worker_crashes += 1
+
+    def record_batch(self, samples: int, fallbacks: int = 0) -> None:
+        """Count one batch-engine stack: ``samples`` results produced in
+        lockstep and ``fallbacks`` samples re-dispatched to the scalar
+        engine."""
+        self.batched_samples += int(samples)
+        self.batch_fallbacks += int(fallbacks)
 
     @contextmanager
     def timer(self, label: str) -> Iterator[None]:
@@ -249,6 +261,8 @@ class Telemetry:
             "executor": {
                 "redispatches": self.redispatches,
                 "worker_crashes": self.worker_crashes,
+                "batched_samples": self.batched_samples,
+                "batch_fallbacks": self.batch_fallbacks,
             },
             "wall_s": {
                 "jobs_total": self.wall_total,
@@ -292,6 +306,11 @@ class Telemetry:
                 f"executor  : {self.worker_crashes} worker crash(es), "
                 f"{self.redispatches} job re-dispatch(es)"
             )
+        if self.batched_samples or self.batch_fallbacks:
+            lines.append(
+                f"batch     : {self.batched_samples} sample(s) in lockstep, "
+                f"{self.batch_fallbacks} scalar fallback(s)"
+            )
         lines += [
             f"wall time : {format_duration(wall['elapsed'])} elapsed, "
             f"{format_duration(wall['jobs_total'])} in jobs "
@@ -310,6 +329,8 @@ class Telemetry:
         self.cache_misses += other.cache_misses
         self.redispatches += other.redispatches
         self.worker_crashes += other.worker_crashes
+        self.batched_samples += other.batched_samples
+        self.batch_fallbacks += other.batch_fallbacks
         self.record_escalations(other.ladder_rungs)
         for label, seconds in other.spans.items():
             self.spans[label] = self.spans.get(label, 0.0) + seconds

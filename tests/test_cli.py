@@ -162,3 +162,37 @@ def test_campaign_resume_requires_checkpoint(capsys):
     assert main(["campaign", "--loads", "160", "--points", "2",
                  "--tau-max", "0.4", "--resume"]) == 2
     assert "requires --checkpoint" in capsys.readouterr().err
+
+
+def test_montecarlo_command_batch_backend(capsys, fresh_cache):
+    assert main([
+        "montecarlo", "--samples", "2", "--seed", "3",
+        "--skews", "0.0", "0.3", "--backend", "batch", "--no-cache",
+        "--stats",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "2 samples x 2 skews (batch backend, seed 3)" in out
+    assert "tau[ns]" in out
+    # Every (sample, skew) point went through the lockstep engine.
+    assert "4 sample(s) in lockstep, 0 scalar fallback(s)" in out
+
+
+def test_montecarlo_seed_reproducible(capsys, fresh_cache):
+    args = ["montecarlo", "--samples", "2", "--seed", "11",
+            "--skews", "0.1", "--backend", "serial", "--no-cache"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_sample_population_seed_threading():
+    from repro.montecarlo.sampling import sample_population
+    from repro.units import fF
+
+    a = sample_population(3, fF(160), seed=42)
+    b = sample_population(3, fF(160), seed=42)
+    c = sample_population(3, fF(160), seed=43)
+    assert [s.slew1 for s in a] == [s.slew1 for s in b]
+    assert [s.load1 for s in a] == [s.load1 for s in b]
+    assert [s.slew1 for s in a] != [s.slew1 for s in c]
