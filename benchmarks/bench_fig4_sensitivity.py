@@ -19,7 +19,7 @@ import numpy as np
 from repro.core.sensitivity import sensitivity_family
 from repro.units import VTH_INTERPRET, fF, ns, to_ns
 
-from _util import BENCH_OPTIONS, Stopwatch, emit, write_bench_json
+from _util import BENCH_OPTIONS, Stopwatch, Telemetry, emit, write_bench_json
 
 LOADS_FF = (80, 160, 240)
 SLEWS_NS = (0.1, 0.2, 0.3, 0.4)
@@ -31,7 +31,7 @@ SKEWS_NS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
 TAU_MIN_TOL = ns(0.005)
 
 
-def _family(backend):
+def _family(backend, telemetry):
     """One fresh (cache-bypassing) Fig.-4 family on the given backend."""
     return sensitivity_family(
         loads=[fF(c) for c in LOADS_FF],
@@ -40,21 +40,23 @@ def _family(backend):
         options=BENCH_OPTIONS,
         backend=backend,
         cache=None,
+        telemetry=telemetry,
     )
 
 
 def run():
+    tel_scalar, tel_batch = Telemetry(), Telemetry()
     watch = Stopwatch()
-    curves = _family("serial")
+    curves = _family("serial", tel_scalar)
     t_scalar = watch.restart()
-    batch_curves = _family("batch")
+    batch_curves = _family("batch", tel_batch)
     t_batch = watch.elapsed()
-    return curves, batch_curves, t_scalar, t_batch
+    return curves, batch_curves, t_scalar, t_batch, tel_scalar, tel_batch
 
 
 def test_fig4_vmin_vs_skew(benchmark):
-    curves, batch_curves, t_scalar, t_batch = benchmark.pedantic(
-        run, rounds=1, iterations=1
+    curves, batch_curves, t_scalar, t_batch, tel_scalar, tel_batch = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
     )
     n_points = len(LOADS_FF) * len(SLEWS_NS) * len(SKEWS_NS)
     tau_deltas = np.array([
@@ -69,10 +71,12 @@ def test_fig4_vmin_vs_skew(benchmark):
                  "skews_ns": list(SKEWS_NS)},
         "scalar": {"backend": "serial", "wall_s": t_scalar,
                    "samples_per_s": n_points / t_scalar,
-                   "cache_hit_rate": 0.0},
+                   "cache_hit_rate": 0.0,
+                   "kernel": dict(tel_scalar.kernel)},
         "batch": {"backend": "batch", "wall_s": t_batch,
                   "samples_per_s": n_points / t_batch,
-                  "cache_hit_rate": 0.0},
+                  "cache_hit_rate": 0.0,
+                  "kernel": dict(tel_batch.kernel)},
         "speedup_batch_vs_serial": t_scalar / t_batch,
         "tau_min_deviation_max_s": float(tau_deltas.max()),
     })

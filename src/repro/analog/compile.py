@@ -24,13 +24,13 @@ Fault semantics honoured here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.circuit.netlist import GROUND, Netlist
 from repro.circuit.validate import validate
-from repro.devices.mosfet import MosfetType, level1_ids
+from repro.devices.mosfet import MosfetType, level1_ids  # noqa: F401  (re-export)
 from repro.devices.sources import DCSource
 
 #: Shunt conductance added from every free node to ground for conditioning.
@@ -63,6 +63,17 @@ class CompiledCircuit:
     m_vt: np.ndarray = field(default=None, repr=False)
     m_beta: np.ndarray = field(default=None, repr=False)
     m_lam: np.ndarray = field(default=None, repr=False)
+
+    #: Compile-time ``(node index, source)`` pairs and the reusable
+    #: scratch vector behind :meth:`source_voltages` (the dict walk and
+    #: fresh ``np.zeros`` of the original implementation were a measurable
+    #: per-timestep cost).
+    _source_plan: List[Tuple[int, Any]] = field(default_factory=list, repr=False)
+    _source_plan_dynamic: List[Tuple[int, Any]] = field(
+        default_factory=list, repr=False
+    )
+    _source_scratch: np.ndarray = field(default=None, repr=False)
+    _kernel: Any = field(default=None, repr=False)
 
     @classmethod
     def compile(cls, netlist: Netlist, vdd_node: str = "vdd") -> "CompiledCircuit":
@@ -140,6 +151,15 @@ class CompiledCircuit:
         self.m_vt = np.array(vt_list, dtype=float)
         self.m_beta = np.array(beta_list, dtype=float)
         self.m_lam = np.array(lam_list, dtype=float)
+
+        self._source_plan = [
+            (idx[node], src) for node, src in netlist.sources.items()
+        ]
+        self._source_plan_dynamic = [
+            (i, src) for i, src in self._source_plan
+            if not isinstance(src, DCSource)
+        ]
+        self._source_scratch = np.zeros(n)
         return self
 
     # ------------------------------------------------------------------ #
@@ -148,10 +168,26 @@ class CompiledCircuit:
     def source_voltages(self, t: float) -> np.ndarray:
         """Voltages of all driven nodes at time ``t`` (full-vector layout:
         the first ``n_free`` entries are zero placeholders)."""
-        v = np.zeros(self.n_total)
-        for node, src in self.netlist.sources.items():
-            v[self.node_index[node]] = src.value(t)
-        return v
+        scratch = self._source_scratch
+        for index, src in self._source_plan:
+            scratch[index] = src.value(t)
+        return scratch.copy()
+
+    def source_voltages_into(
+        self, t: float, out: np.ndarray, dynamic_only: bool = False
+    ) -> np.ndarray:
+        """Fill ``out`` (length ``n_total``) with the driven-node voltages
+        at ``t`` - the allocation-free variant the engine hot loop uses.
+        Only driven entries are written; free entries keep their values.
+
+        With ``dynamic_only`` the DC sources are skipped: a caller that
+        reuses one buffer across timesteps writes the constants once and
+        refreshes only the time-varying sources per step.
+        """
+        plan = self._source_plan_dynamic if dynamic_only else self._source_plan
+        for index, src in plan:
+            out[index] = src.value(t)
+        return out
 
     def breakpoints(self, t0: float, t1: float) -> List[float]:
         """All source waveform corners in ``[t0, t1]``, sorted and unique."""
@@ -165,6 +201,21 @@ class CompiledCircuit:
     # ------------------------------------------------------------------ #
     # Device evaluation
     # ------------------------------------------------------------------ #
+    def kernel(self) -> "ScalarKernel":
+        """The compiled scatter/assembly kernel of this circuit (lazy).
+
+        Built on first use so that compilation itself stays cheap for
+        callers that never integrate (structure checks, probes).  The
+        kernel freezes the device *connectivity*; model-card parameters
+        are still read per evaluation, so post-compile mutations of
+        ``m_vt``/``m_beta``/``m_lam`` (fault/poison injection) apply.
+        """
+        if self._kernel is None:
+            from repro.analog.kernels import ScalarKernel
+
+            self._kernel = ScalarKernel(self)
+        return self._kernel
+
     def device_currents(
         self, v: np.ndarray, with_jacobian: bool = True
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -183,36 +234,9 @@ class CompiledCircuit:
         (f, j):
             ``f[k]`` is the total static (resistive + MOSFET) current
             flowing *out of* node ``k`` into devices; ``j`` is ``df/dv``
-            (``None`` when ``with_jacobian`` is false).
+            (``None`` when ``with_jacobian`` is false).  Assembly happens
+            in the compiled :meth:`kernel`; the returned arrays are fresh
+            copies, safe for the caller to keep or mutate.
         """
-        f = self.G @ v
-        j = self.G.copy() if with_jacobian else None
-        if self.m_d.size == 0:
-            return f, j
-
-        vd = v[self.m_d]
-        vg = v[self.m_g]
-        vs = v[self.m_s]
-        sign = self.m_sign
-        swap = sign * (vd - vs) < 0.0
-        md = np.where(swap, self.m_s, self.m_d)
-        ms = np.where(swap, self.m_d, self.m_s)
-        vmd = np.where(swap, vs, vd)
-        vms = np.where(swap, vd, vs)
-        vds = sign * (vmd - vms)
-        vgs = sign * (vg - vms)
-
-        ids, gm, gds = level1_ids(vgs, vds, self.m_vt, self.m_beta, self.m_lam)
-
-        np.add.at(f, md, sign * ids)
-        np.add.at(f, ms, -sign * ids)
-
-        if with_jacobian:
-            gsum = gm + gds
-            np.add.at(j, (md, md), gds)
-            np.add.at(j, (md, self.m_g), gm)
-            np.add.at(j, (md, ms), -gsum)
-            np.add.at(j, (ms, md), -gds)
-            np.add.at(j, (ms, self.m_g), -gm)
-            np.add.at(j, (ms, ms), gsum)
-        return f, j
+        f, j = self.kernel().eval(v, with_jacobian=with_jacobian)
+        return f.copy(), (j.copy() if j is not None else None)

@@ -36,12 +36,14 @@ every source node - the IDDQ probe used by the Sec. 3 testability analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analog.compile import CompiledCircuit
 from repro.analog.dcop import dc_operating_point
+from repro.analog.kernels import REUSE_SLOWDOWN, KernelStats, c_einsum, raw_inv
 from repro.analog.waveform import Waveform
 from repro.circuit.netlist import Netlist
 from repro.errors import (  # noqa: F401  (ConvergenceError: historical import site)
@@ -90,6 +92,16 @@ class TransientOptions:
         Newton failure raises immediately - stricter than the pre-ladder
         engine, which always halved down to ``dt_min`` before giving up;
         pass ``("step-halving",)`` for that historical behaviour.
+    jacobian_policy:
+        ``"reuse"`` (default) enables the modified-Newton factorization
+        cache: a stale Jacobian inverse is reapplied while the update
+        norm keeps contracting (refactoring on slowdown), and
+        convergence is accepted on stale iterations too - the
+        contraction guard bounds the distance to the full-Newton fixed
+        point by a fraction of ``vntol``, far below the local-error
+        tolerances.  ``"dense"`` factors on every iteration - the
+        reference behaviour the golden-waveform tests compare against.
+        Rescue rungs and the operating-point ladder always run dense.
     """
 
     dt_max: float = 100e-12
@@ -101,6 +113,7 @@ class TransientOptions:
     vntol: float = 1e-7
     lte_reject: float = 4.0
     escalation: Tuple[str, ...] = ESCALATION_RUNGS
+    jacobian_policy: str = "reuse"
 
     def __post_init__(self) -> None:
         if not 0 < self.dt_min <= self.dt_start <= self.dt_max:
@@ -119,6 +132,11 @@ class TransientOptions:
             raise ValueError(
                 f"unknown escalation rungs {unknown} (use {ESCALATION_RUNGS})"
             )
+        if self.jacobian_policy not in ("reuse", "dense"):
+            raise ValueError(
+                f"unknown jacobian_policy {self.jacobian_policy!r} "
+                "(use 'reuse' or 'dense')"
+            )
 
 
 @dataclass
@@ -131,12 +149,18 @@ class TransientResult:
     (``"dcop:direct"`` / ``"dcop:gmin"`` / ``"dcop:source-stepping"``).
     An empty dict beyond the ``dcop:*`` entry means the integration never
     needed rescuing.
+
+    ``kernel_stats`` is the hot-loop observability record of the run
+    (:meth:`repro.analog.kernels.KernelStats.as_dict`): per-phase wall
+    times and the modified-Newton ``jacobian_reuses`` /
+    ``refactorizations`` tallies the campaign telemetry aggregates.
     """
 
     times: np.ndarray
     voltages: Dict[str, np.ndarray]
     source_currents: Dict[str, np.ndarray] = field(default_factory=dict)
     escalations: Dict[str, int] = field(default_factory=dict)
+    kernel_stats: Dict[str, float] = field(default_factory=dict)
 
     def wave(self, node: str) -> Waveform:
         """Voltage waveform of ``node``."""
@@ -184,6 +208,65 @@ class TransientResult:
         return len(self.times)
 
 
+class _NewtonWork:
+    """Per-run scratch of the Newton loop.
+
+    Owns the reusable iterate/residual/Jacobian buffers (the hot loop
+    allocates nothing per iteration beyond what LAPACK returns), the
+    cached Jacobian inverse of the modified-Newton policy - keyed on the
+    ``(h, alpha)`` system scaling and persisting *across* time steps, so
+    ``dt_max``-clamped stretches reuse one factorization for many steps -
+    and the :class:`~repro.analog.kernels.KernelStats` counters.
+    """
+
+    def __init__(self, circuit: CompiledCircuit, options: TransientOptions) -> None:
+        n, nf = circuit.n_total, circuit.n_free
+        self.kernel = circuit.kernel()
+        self.stats = KernelStats()
+        self.modified = options.jacobian_policy == "reuse"
+        self.v = np.empty(n)
+        self.qh = np.empty(nf)        # (C_rows / h) @ v scratch
+        self.rhs0 = np.empty(nf)      # iteration-invariant residual part
+        self.residual = np.empty(nf)  # holds the *negated* residual
+        self.delta = np.empty(nf)
+        self.tmp = np.empty(nf)
+        self.abs_buf = np.empty(nf)
+        self.jac = np.empty((nf, nf))
+        self.j_inv = np.empty((nf, nf))
+        self.c_rows = circuit.C[:nf, :]
+        self.c_over_h = np.empty((nf, n))
+        self.h_scaled: Optional[float] = None
+        self.valid = False
+        self.key: Optional[Tuple[float, float]] = None
+        self.info: Dict[str, object] = {
+            "iterations": 0, "worst_index": None,
+            "worst_residual": None, "nonfinite": False,
+        }
+
+    def scaled_c(self, h: float) -> np.ndarray:
+        """``C[:n_free, :] / h``, recomputed only when ``h`` changes.
+
+        The free-free block (columns ``:n_free``) feeds the Jacobian;
+        the full rows turn the per-iteration charge term into a single
+        matvec against the current iterate.
+        """
+        if self.h_scaled != h:
+            np.multiply(self.c_rows, 1.0 / h, out=self.c_over_h)
+            self.h_scaled = h
+        return self.c_over_h
+
+    def note_worst(self, n_free: int, iterations: int) -> Dict[str, object]:
+        """Record the worst-residual observation of the last iterate
+        (deferred to return time: the argmax is failure diagnostics, not
+        hot-loop work)."""
+        self.info["iterations"] = iterations
+        if n_free and iterations:
+            worst = int(np.argmax(np.abs(self.residual)))
+            self.info["worst_index"] = worst
+            self.info["worst_residual"] = float(abs(self.residual[worst]))
+        return self.info
+
+
 def _newton_step(
     circuit: CompiledCircuit,
     v_guess: np.ndarray,
@@ -197,6 +280,7 @@ def _newton_step(
     max_iter: Optional[int] = None,
     shunt: float = 0.0,
     shunt_target: Optional[np.ndarray] = None,
+    work: Optional[_NewtonWork] = None,
 ) -> Tuple[Optional[np.ndarray], Dict[str, object]]:
     """Solve one implicit step; ``alpha = 1`` is BE, ``0.5`` trapezoidal.
 
@@ -210,48 +294,152 @@ def _newton_step(
     ``(solution, info)`` where ``info`` carries the iteration count, the
     worst-residual observation and a ``nonfinite`` flag - the raw
     material of failure diagnostics.
+
+    Modified-Newton policy (``options.jacobian_policy == "reuse"``, only
+    in plain solves - the rescue rungs always run dense): while a cached
+    inverse for the same ``(h, alpha)`` scaling exists, each iteration
+    first reapplies it; the stale update is kept when its norm contracted
+    to at most :data:`~repro.analog.kernels.REUSE_SLOWDOWN` times the
+    previous update, otherwise the Jacobian is refactored on the spot.
+    Convergence (``step < vntol``) is accepted on stale iterations too:
+    the contraction guard bounds the distance to the full-Newton fixed
+    point by ``REUSE_SLOWDOWN * vntol`` - far inside the local-error
+    tolerances, so waveforms stay within solver noise of the dense path
+    (the golden-waveform tests pin this at the microvolt level).
     """
     n_free = circuit.n_free
-    v = v_guess.copy()
+    if work is None:
+        work = _NewtonWork(circuit, options)
+    kernel, stats = work.kernel, work.stats
+    v = work.v
+    np.copyto(v, v_guess)
     v[n_free:] = v_sources[n_free:]
-    c_ff = circuit.C[:n_free, :]
-    history = (1.0 - alpha) * f_prev[:n_free] if f_prev is not None else 0.0
     iters = max_iter if max_iter is not None else options.max_newton
-    info: Dict[str, object] = {"iterations": 0, "worst_index": None,
-                               "worst_residual": None, "nonfinite": False}
+    info = work.info
+    info["iterations"] = 0
+    info["worst_index"] = None
+    info["worst_residual"] = None
+    info["nonfinite"] = False
 
-    for iteration in range(iters):
-        info["iterations"] = iteration + 1
-        f, j = circuit.device_currents(v, with_jacobian=True)
-        q = circuit.C @ v
-        residual = (q[:n_free] - q_prev[:n_free]) / h + alpha * f[:n_free] + history
-        if shunt:
-            anchor = shunt_target if shunt_target is not None else v_guess
-            residual = residual + shunt * (v[:n_free] - anchor[:n_free])
-        if n_free:
-            worst = int(np.argmax(np.abs(residual)))
-            info["worst_index"] = worst
-            info["worst_residual"] = float(abs(residual[worst]))
-        jacobian = c_ff[:, :n_free] / h + alpha * j[:n_free, :n_free]
-        if shunt:
-            jacobian = jacobian + shunt * np.eye(n_free)
-        try:
-            delta = np.linalg.solve(jacobian, -residual)
-        except np.linalg.LinAlgError:
-            return None, info
-        if not np.all(np.isfinite(delta)):
-            info["nonfinite"] = True
-            return None, info
-        step = np.max(np.abs(delta))
-        if step > damping:
-            delta *= damping / step
-        v[:n_free] += delta
-        if not np.all(np.isfinite(v[:n_free])):
-            info["nonfinite"] = True
-            return None, info
-        if step < options.vntol:
-            return v, info
-    return None, info
+    modified = work.modified and damping == 1.0 and shunt == 0.0
+    if not (modified and work.valid and work.key == (h, alpha)):
+        work.valid = False  # never reuse across a system-scaling change
+    anchor = None
+    if shunt:
+        anchor = shunt_target if shunt_target is not None else v_guess
+    neg_res, delta, tmp = work.residual, work.delta, work.tmp
+    abs_buf, qh, j_inv = work.abs_buf, work.qh, work.j_inv
+    max_reduce = np.maximum.reduce  # skips the ndarray.max wrapper chain
+    is_be = alpha == 1.0
+    c_over_h = work.scaled_c(h)
+    # Iteration-invariant part of the negated residual:
+    # ``q_prev / h - (1 - alpha) * f_prev``.
+    rhs0 = work.rhs0
+    np.multiply(q_prev[:n_free], 1.0 / h, out=rhs0)
+    if f_prev is not None:
+        np.multiply(f_prev[:n_free], 1.0 - alpha, out=tmp)
+        rhs0 -= tmp
+    step_prev = np.inf
+    step = 0.0
+    vntol = options.vntol
+    slowdown = REUSE_SLOWDOWN
+    # Quadratic/linear contraction makes the *next* update predictable
+    # from the last two; accepting on the prediction saves the final
+    # confirming iteration.  Only valid for undamped solves (a clipped
+    # update breaks the contraction estimate).
+    can_predict = damping == 1.0
+    # Hot-loop counters accumulate in locals; flushed in ``finally``.
+    n_iters = n_assembles = n_factor = n_refactor = n_reuse = 0
+    assemble_acc = factor_acc = solve_acc = 0.0
+
+    try:
+        for iteration in range(iters):
+            try_stale = modified and work.valid
+            t0 = perf_counter()
+            f, j = kernel.eval(v, with_jacobian=not try_stale)
+            n_iters += 1
+            n_assembles += 1
+            # Negated residual: rhs0 - (C/h) @ v - alpha * f(v).
+            c_einsum("ij,j->i", c_over_h, v, out=qh)
+            np.subtract(rhs0, qh, out=neg_res)
+            if is_be:
+                neg_res -= f[:n_free]
+            else:
+                np.multiply(f[:n_free], alpha, out=tmp)
+                neg_res -= tmp
+            if shunt:
+                np.subtract(v[:n_free], anchor[:n_free], out=tmp)
+                tmp *= shunt
+                neg_res -= tmp
+            assemble_acc += perf_counter() - t0
+
+            fresh = not try_stale
+            if try_stale:
+                t0 = perf_counter()
+                c_einsum("ij,j->i", j_inv, neg_res, out=delta)
+                np.abs(delta, out=abs_buf)
+                step = max_reduce(abs_buf) if n_free else 0.0
+                solve_acc += perf_counter() - t0
+                # NaN fails the comparison too, triggering a refactor.
+                if step <= slowdown * step_prev:
+                    n_reuse += 1
+                else:
+                    t0 = perf_counter()
+                    f, j = kernel.eval(v, with_jacobian=True)
+                    n_assembles += 1
+                    assemble_acc += perf_counter() - t0
+                    n_refactor += 1
+                    fresh = True
+
+            if fresh:
+                t0 = perf_counter()
+                jac = work.jac
+                np.multiply(j[:n_free, :n_free], alpha, out=jac)
+                jac += c_over_h[:, :n_free]
+                if shunt:
+                    jac.reshape(-1)[:: n_free + 1] += shunt
+                # Singular jac -> NaN inverse (see kernels.raw_inv); the
+                # non-finite step guard below turns it into a rejection.
+                raw_inv(jac, out=j_inv)
+                n_factor += 1
+                work.valid = modified
+                work.key = (h, alpha)
+                factor_acc += perf_counter() - t0
+                t0 = perf_counter()
+                c_einsum("ij,j->i", j_inv, neg_res, out=delta)
+                np.abs(delta, out=abs_buf)
+                step = max_reduce(abs_buf) if n_free else 0.0
+                solve_acc += perf_counter() - t0
+
+            if not step < np.inf:  # catches NaN and +inf in one comparison
+                info["nonfinite"] = True
+                work.valid = False
+                return None, work.note_worst(n_free, n_iters)
+            if step > damping:
+                delta *= damping / step
+            v[:n_free] += delta
+            if step < vntol:
+                return v.copy(), info
+            # Predicted acceptance: with contraction ratio step/step_prev,
+            # the next update would be ~ step^2/step_prev; if that is
+            # already below vntol the iterate is within ~vntol of the
+            # Newton fixed point - same error contract as the plain test,
+            # one whole evaluate/solve round cheaper.  (iteration > 0
+            # guards the step_prev = inf bootstrap.)
+            if can_predict and iteration and step * step < vntol * step_prev:
+                return v.copy(), info
+            step_prev = step
+        return None, work.note_worst(n_free, n_iters)
+    finally:
+        info["iterations"] = n_iters
+        stats.newton_iterations += n_iters
+        stats.assembles += n_assembles
+        stats.factorizations += n_factor
+        stats.refactorizations += n_refactor
+        stats.jacobian_reuses += n_reuse
+        stats.assemble_s += assemble_acc
+        stats.factor_s += factor_acc
+        stats.solve_s += solve_acc
 
 
 def _rescue_step(
@@ -261,6 +449,7 @@ def _rescue_step(
     q_prev: np.ndarray,
     h: float,
     options: TransientOptions,
+    work: Optional[_NewtonWork] = None,
 ) -> Tuple[Optional[np.ndarray], Dict[str, object], Optional[str]]:
     """Escalation rungs beyond step-halving, tried at the step floor.
 
@@ -279,7 +468,7 @@ def _rescue_step(
     if "damped-newton" in options.escalation:
         solution, info = _newton_step(
             circuit, v_accepted.copy(), v_sources, q_prev, None, h, 1.0,
-            options, damping=0.1, max_iter=4 * options.max_newton,
+            options, damping=0.1, max_iter=4 * options.max_newton, work=work,
         )
         if solution is not None:
             return solution, info, "damped-newton"
@@ -291,7 +480,7 @@ def _rescue_step(
             attempt, info = _newton_step(
                 circuit, guess, v_sources, q_prev, None, h, 1.0,
                 options, max_iter=4 * options.max_newton,
-                shunt=shunt, shunt_target=v_accepted,
+                shunt=shunt, shunt_target=v_accepted, work=work,
             )
             if attempt is None:
                 failed = True
@@ -300,7 +489,7 @@ def _rescue_step(
         if not failed:
             solution, info = _newton_step(
                 circuit, guess, v_sources, q_prev, None, h, 1.0,
-                options, max_iter=4 * options.max_newton,
+                options, max_iter=4 * options.max_newton, work=work,
             )
             if solution is not None:
                 return solution, info, "gmin-restart"
@@ -393,10 +582,15 @@ def transient(
             diagnostics=diagnostics,
         )
 
+    work = _NewtonWork(circuit, options)
+    kernel, stats = work.kernel, work.stats
+
     times: List[float] = [t_start]
     states: List[np.ndarray] = [v.copy()]
-    f_now, _ = circuit.device_currents(v, with_jacobian=False)
-    currents: List[np.ndarray] = [f_now.copy()]
+    currents: List[np.ndarray] = []
+    if current_nodes:
+        f_now, _ = kernel.eval(v, with_jacobian=False, stats=stats)
+        currents.append(f_now.copy())
 
     t = t_start
     h = options.dt_start
@@ -406,6 +600,17 @@ def transient(
     force_be = True  # first step after t0 behaves like after a breakpoint
     v_prev = v.copy()
     t_prev = t
+
+    # Reusable step buffers: sources, predictor, charge history and the
+    # LTE weight/error scratch - the outer loop allocates only the
+    # accepted states it records.
+    n_total = circuit.n_total
+    v_sources = np.zeros(n_total)
+    circuit.source_voltages_into(t_start, v_sources)  # constants written once
+    v_pred = np.empty(n_total)
+    q_prev = np.empty(n_total)
+    weight = np.empty(n_free)
+    err_buf = np.empty(n_free)
 
     while t < t_stop - eps_t:
         while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + eps_t:
@@ -420,25 +625,31 @@ def transient(
             _fail(StepSizeUnderflowError, "step size underflow", h, {}, None)
 
         t_new = t + h
-        v_sources = circuit.source_voltages(t_new)
-        # Predictor: linear extrapolation of the last two accepted points.
+        circuit.source_voltages_into(t_new, v_sources, dynamic_only=True)
+        # Predictor: linear extrapolation of the last two accepted points
+        # (same rounding order as the original ``v + slope * h``).
         if t > t_prev:
-            slope = (v - v_prev) / (t - t_prev)
-            v_pred = v + slope * h
+            np.subtract(v, v_prev, out=v_pred)
+            v_pred /= t - t_prev
+            v_pred *= h
+            v_pred += v
         else:
-            v_pred = v.copy()
+            np.copyto(v_pred, v)
 
         alpha = 1.0 if force_be else 0.5
         f_hist = None
         if not force_be:
-            f_hist, _ = circuit.device_currents(v, with_jacobian=False)
-        q_prev = circuit.C @ v
+            f_hist, _ = kernel.eval(v, with_jacobian=False, stats=stats)
+        # c_einsum matches the batch engine's ``bij,bj->bi`` bits exactly
+        # (matmul's BLAS accumulation would not) - see kernels.ScalarKernel.
+        c_einsum("ij,j->i", circuit.C, v, out=q_prev)
 
         rescued = False
         v_new, step_info = _newton_step(
-            circuit, v_pred, v_sources, q_prev, f_hist, h, alpha, options
+            circuit, v_pred, v_sources, q_prev, f_hist, h, alpha, options,
+            work=work,
         )
-        if v_new is not None and not np.all(np.isfinite(v_new)):
+        if v_new is not None and not np.isfinite(v_new).all():
             step_info["nonfinite"] = True
             v_new = None
         if v_new is None:
@@ -462,9 +673,9 @@ def transient(
                     h, step_info, options.escalation[-1] if options.escalation else None,
                 )
             v_new, rescue_info, rung = _rescue_step(
-                circuit, v, v_sources, q_prev, h, options
+                circuit, v, v_sources, q_prev, h, options, work=work
             )
-            if v_new is not None and not np.all(np.isfinite(v_new)):
+            if v_new is not None and not np.isfinite(v_new).all():
                 rescue_info["nonfinite"] = True
                 v_new = None
             if v_new is None:
@@ -482,8 +693,20 @@ def transient(
             escalations[rung] = escalations.get(rung, 0) + 1
             rescued = True
 
-        weight = options.reltol * np.maximum(np.abs(v_new[:n_free]), 1.0) + options.vabstol
-        err = float(np.max(np.abs(v_new[:n_free] - v_pred[:n_free]) / weight)) if n_free else 0.0
+        t_accept = perf_counter()
+        # LTE, computed into the reused weight/error buffers (rounding
+        # order matches the original expression exactly).
+        if n_free:
+            np.abs(v_new[:n_free], out=weight)
+            np.maximum(weight, 1.0, out=weight)
+            weight *= options.reltol
+            weight += options.vabstol
+            np.subtract(v_new[:n_free], v_pred[:n_free], out=err_buf)
+            np.abs(err_buf, out=err_buf)
+            err_buf /= weight
+            err = np.maximum.reduce(err_buf)
+        else:
+            err = 0.0
 
         if (
             not rescued
@@ -492,17 +715,16 @@ def transient(
             and h > 4 * options.dt_min
         ):
             h *= 0.4
+            stats.accept_s += perf_counter() - t_accept
             continue
 
-        # Accept (guarded: no NaN/Inf ever enters the recorded history).
-        if not np.all(np.isfinite(v_new)):
-            _fail(NonFiniteStateError, "non-finite state", h, step_info, None)
+        # Finiteness was already guarded right after the solve above.
         v_prev, t_prev = v, t
         v, t = v_new, t_new
         times.append(t)
-        states.append(v.copy())
+        states.append(v)  # _newton_step returned a fresh copy
         if current_nodes:
-            f_now, _ = circuit.device_currents(v, with_jacobian=False)
+            f_now, _ = kernel.eval(v, with_jacobian=False, stats=stats)
             dq = (circuit.C @ v - q_prev) / h
             currents.append(f_now + dq)
         force_be = False
@@ -511,7 +733,8 @@ def transient(
             force_be = True
         else:
             grow = 0.9 * (1.0 / max(err, 1e-12)) ** (1.0 / 3.0)
-            h *= float(np.clip(grow, 0.4, 2.0))
+            h *= float(min(max(grow, 0.4), 2.0))
+        stats.accept_s += perf_counter() - t_accept
 
     time_array = np.asarray(times)
     state_array = np.asarray(states)
@@ -525,5 +748,5 @@ def transient(
             source_currents[node] = current_array[:, circuit.node_index[node]].copy()
     return TransientResult(
         times=time_array, voltages=voltages, source_currents=source_currents,
-        escalations=escalations,
+        escalations=escalations, kernel_stats=stats.as_dict(),
     )

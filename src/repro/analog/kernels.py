@@ -1,0 +1,343 @@
+"""Allocation-free compiled evaluation kernels for the scalar engine.
+
+The transient engine spends nearly all of its time in two places: the
+per-iteration assembly of the device residual/Jacobian and the dense
+linear solve.  This module removes the per-call allocations from the
+first and makes the second factorization-aware:
+
+* :class:`ScalarKernel` precomputes, once per compiled circuit, the flat
+  scatter index arrays and the signed node/device incidence matrix that
+  turn MOSFET stamping into one ``incidence @ weights`` product for the
+  residual and one :func:`np.bincount` for the Jacobian - replacing the
+  ``G.copy()`` plus six ``np.add.at`` calls the old
+  :meth:`~repro.analog.compile.CompiledCircuit.device_currents` paid on
+  every Newton iteration.  Output buffers are preallocated and reused.
+
+* The **fixed-target scatter** is the enabling observation: although the
+  drain/source swap (so the level-1 model only sees ``vds >= 0``)
+  changes which physical node plays "drain" per evaluation, the scatter
+  *targets* can stay the compile-time ``(m_d, m_s)`` pair with
+  swap-adjusted weights.  With ``u = -1`` where swapped else ``+1``, the
+  residual weight at ``m_d`` is ``u * sign * ids`` (and its negative at
+  ``m_s``); the six Jacobian stamps become, in the fixed frame,
+  ``gds' = where(swap, gsum, gds)`` and ``gsum' = where(swap, gds,
+  gsum)`` (the swap exchanges ``gds`` and ``gsum``) plus ``u * gm`` on
+  the gate column.  This is what makes the index arrays precomputable.
+
+* :class:`KernelStats` carries the hot-loop observability counters the
+  runtime telemetry aggregates: per-phase wall time (assemble / factor /
+  solve / accept) and the modified-Newton policy tallies
+  (``jacobian_reuses`` / ``refactorizations``).
+
+:func:`reference_device_currents` preserves the pre-kernel dense
+assembly verbatim; the golden equivalence tests pin the kernel against
+it.  Kernel buffers are reused across calls, so a kernel (like the
+compiled circuit that owns it) must not be shared across threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+try:  # the C entry point skips np.einsum's python-level dispatch (~1.5 us)
+    from numpy._core.multiarray import c_einsum
+except ImportError:  # pragma: no cover - older numpy layout
+    c_einsum = np.einsum
+
+try:  # raw inv gufunc: same LAPACK path as np.linalg.inv (so scalar and
+    # batch invocations stay bit-identical) minus ~4 us of python wrapper;
+    # singular input yields NaNs instead of LinAlgError, which the Newton
+    # loop's non-finite step guard already handles.
+    from numpy.linalg._umath_linalg import inv as raw_inv
+except ImportError:  # pragma: no cover - older numpy layout
+    def raw_inv(a, out=None):
+        try:
+            result = np.linalg.inv(a)
+        except np.linalg.LinAlgError:
+            result = np.full(np.shape(a), np.nan)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+#: A stale factorization is kept only while the Newton update norm keeps
+#: contracting by at least this factor per iteration; a slower stale
+#: iteration triggers a refactorization instead.
+REUSE_SLOWDOWN = 0.5
+
+
+@dataclass
+class KernelStats:
+    """Hot-loop counters of one engine run (scalar or batch).
+
+    Wall times are cumulative seconds per phase: ``assemble`` is device
+    evaluation plus f/J scatter, ``factor`` the Jacobian factorizations,
+    ``solve`` the triangular/matvec applications, ``accept`` the
+    step-acceptance bookkeeping of the outer loop.  ``jacobian_reuses``
+    counts Newton iterations served by a stale factorization,
+    ``refactorizations`` the slowdown-triggered refreshes (a subset of
+    ``factorizations``).
+    """
+
+    assembles: int = 0
+    factorizations: int = 0
+    refactorizations: int = 0
+    jacobian_reuses: int = 0
+    newton_iterations: int = 0
+    assemble_s: float = 0.0
+    factor_s: float = 0.0
+    solve_s: float = 0.0
+    accept_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable counter snapshot."""
+        return {
+            "assembles": self.assembles,
+            "factorizations": self.factorizations,
+            "refactorizations": self.refactorizations,
+            "jacobian_reuses": self.jacobian_reuses,
+            "newton_iterations": self.newton_iterations,
+            "assemble_s": self.assemble_s,
+            "factor_s": self.factor_s,
+            "solve_s": self.solve_s,
+            "accept_s": self.accept_s,
+        }
+
+    def merge(self, other: "KernelStats") -> None:
+        """Fold another stats object into this one."""
+        self.assembles += other.assembles
+        self.factorizations += other.factorizations
+        self.refactorizations += other.refactorizations
+        self.jacobian_reuses += other.jacobian_reuses
+        self.newton_iterations += other.newton_iterations
+        self.assemble_s += other.assemble_s
+        self.factor_s += other.factor_s
+        self.solve_s += other.solve_s
+        self.accept_s += other.accept_s
+
+
+def build_mosfet_scatter(
+    m_d: np.ndarray, m_g: np.ndarray, m_s: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compile-time scatter plan of ``M`` MOSFETs into an ``n``-node system.
+
+    Returns
+    -------
+    (f_idx, j_idx, incidence):
+        ``f_idx`` is the ``(2M,)`` residual target vector
+        (``[m_d..., m_s...]``); ``j_idx`` the ``(6M,)`` flattened
+        row-major Jacobian targets in stamp order ``(d,d) (d,g) (d,s)
+        (s,d) (s,g) (s,s)``; ``incidence`` the signed ``(n, M)``
+        node/device incidence matrix (``+1`` at ``m_d``, ``-1`` at
+        ``m_s`` - a self-connected device cancels to ``0``).
+    """
+    m_d = np.asarray(m_d, dtype=np.intp)
+    m_g = np.asarray(m_g, dtype=np.intp)
+    m_s = np.asarray(m_s, dtype=np.intp)
+    f_idx = np.concatenate([m_d, m_s])
+    j_idx = np.concatenate([
+        m_d * n + m_d, m_d * n + m_g, m_d * n + m_s,
+        m_s * n + m_d, m_s * n + m_g, m_s * n + m_s,
+    ])
+    incidence = np.zeros((n, m_d.size))
+    np.add.at(incidence, (m_d, np.arange(m_d.size)), 1.0)
+    np.add.at(incidence, (m_s, np.arange(m_s.size)), -1.0)
+    return f_idx, j_idx, incidence
+
+
+def reference_device_currents(
+    circuit: Any, v: np.ndarray, with_jacobian: bool = True
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """The pre-kernel dense assembly, kept verbatim as the golden oracle.
+
+    This is the original
+    :meth:`~repro.analog.compile.CompiledCircuit.device_currents` body
+    (``G.copy()`` + ``np.add.at`` scatter); the kernel-equivalence tests
+    assert :meth:`ScalarKernel.eval` matches it to summation-order
+    roundoff on every circuit family.
+    """
+    f = circuit.G @ v
+    j = circuit.G.copy() if with_jacobian else None
+    if circuit.m_d.size == 0:
+        return f, j
+
+    vd = v[circuit.m_d]
+    vg = v[circuit.m_g]
+    vs = v[circuit.m_s]
+    sign = circuit.m_sign
+    swap = sign * (vd - vs) < 0.0
+    md = np.where(swap, circuit.m_s, circuit.m_d)
+    ms = np.where(swap, circuit.m_d, circuit.m_s)
+    vmd = np.where(swap, vs, vd)
+    vms = np.where(swap, vd, vs)
+    vds = sign * (vmd - vms)
+    vgs = sign * (vg - vms)
+
+    from repro.devices.mosfet import level1_ids
+
+    ids, gm, gds = level1_ids(vgs, vds, circuit.m_vt, circuit.m_beta,
+                              circuit.m_lam)
+
+    np.add.at(f, md, sign * ids)
+    np.add.at(f, ms, -sign * ids)
+
+    if with_jacobian:
+        gsum = gm + gds
+        np.add.at(j, (md, md), gds)
+        np.add.at(j, (md, circuit.m_g), gm)
+        np.add.at(j, (md, ms), -gsum)
+        np.add.at(j, (ms, md), -gds)
+        np.add.at(j, (ms, circuit.m_g), -gm)
+        np.add.at(j, (ms, ms), gsum)
+    return f, j
+
+
+class ScalarKernel:
+    """Reusable-buffer device evaluation for one compiled circuit.
+
+    Built lazily by :meth:`CompiledCircuit.kernel`.  Model-card arrays
+    (``m_vt``/``m_beta``/``m_lam``) are read from the owning circuit at
+    every call, so parameter mutations after compilation (the fault- and
+    poison-injection tests rely on this) are honoured; only the
+    *connectivity* (``m_d``/``m_g``/``m_s``) is frozen into the scatter
+    plan.
+    """
+
+    def __init__(self, circuit: Any) -> None:
+        self.circuit = circuit
+        n = circuit.n_total
+        m = circuit.m_d.size
+        self.n = n
+        self.m = m
+        self.f_idx, self.j_idx, self.incidence = build_mosfet_scatter(
+            circuit.m_d, circuit.m_g, circuit.m_s, n
+        )
+        # Reused output/scratch buffers (not thread-safe, by design).
+        self.f = np.empty(n)
+        self.j = np.empty((n, n))
+        self._j_flat = self.j.reshape(-1)
+        self._fs = np.empty(n)        # incidence @ weights scratch
+        self._jw = np.empty((6, m))   # Jacobian stamp weights, row-major
+        self._jw_flat = self._jw.reshape(-1)
+        self._nn = n * n
+        self._b = np.empty((10, m))   # elementwise scratch rows
+        self._swap = np.empty(m, dtype=bool)
+        # One combined gather plus a premultiplied polarity vector turns
+        # the three separate model-space transforms into a single
+        # elementwise product (sign is exactly +/-1, so premultiplying
+        # the gathered voltages is bit-identical to the reference).
+        self._idx_all = np.concatenate(
+            [np.asarray(circuit.m_d, dtype=np.intp),
+             np.asarray(circuit.m_g, dtype=np.intp),
+             np.asarray(circuit.m_s, dtype=np.intp)]
+        )
+        self._sign3 = np.tile(np.asarray(circuit.m_sign, dtype=float), 3)
+
+    def eval(
+        self,
+        v: np.ndarray,
+        with_jacobian: bool = True,
+        stats: Optional[KernelStats] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Assemble ``(f, j)`` at ``v`` into the kernel's reused buffers.
+
+        The returned arrays are owned by the kernel and overwritten by
+        the next call; callers that keep them must copy (the public
+        :meth:`CompiledCircuit.device_currents` does).
+
+        The body is the level-1 evaluation of
+        :func:`repro.devices.mosfet.level1_ids` inlined with every
+        intermediate written into a preallocated scratch row - each
+        floating-point operation keeps the operand order of the
+        reference path, so currents stay bit-identical and derivatives
+        within one ulp of :func:`reference_device_currents` up to the
+        scatter summation order.  ``gm``/``gds`` are skipped entirely on
+        residual-only calls.
+        """
+        t0 = perf_counter() if stats is not None else 0.0
+        circuit = self.circuit
+        # c_einsum, not matmul: the batched kernel's ``bij,bj->bi`` form
+        # is bit-identical to this ``ij,j->i`` per sample (same inner
+        # summation loop), while BLAS matmul accumulates differently -
+        # and the B == 1 batch/scalar equivalence pin needs identical
+        # bits so the engines' accept decisions can never diverge.
+        f = c_einsum("ij,j->i", circuit.G, v, out=self.f)
+        j = None
+        if with_jacobian:
+            j = self.j
+            j[...] = circuit.G
+        if self.m == 0:
+            if stats is not None:
+                stats.assembles += 1
+                stats.assemble_s += perf_counter() - t0
+            return f, j
+
+        m = self.m
+        sv = v[self._idx_all]  # sign-premultiplied (vd, vg, vs) gather
+        sv *= self._sign3
+        svd = sv[:m]
+        svg = sv[m:2 * m]
+        svs = sv[2 * m:]
+        b = self._b
+        dv = np.subtract(svd, svs, out=b[0])
+        swap = np.less(dv, 0.0, out=self._swap)
+        vds = np.abs(dv, out=b[1])
+        # Model-space vgs, referenced to the post-swap source terminal:
+        # ``where(swap, svd, svs)`` is exactly ``min(svd, svs)`` (swap
+        # means svd < svs), and ``minimum`` is a plain ufunc - no
+        # python-level ``np.where`` dispatch on the hot path.
+        vmin = np.minimum(svd, svs, out=b[2])
+        vgs = np.subtract(svg, vmin, out=b[2])
+        vov = np.subtract(vgs, circuit.m_vt, out=b[3])
+        np.maximum(vov, 0.0, out=vov)
+        x = np.minimum(vds, vov, out=b[4])
+        clm = np.multiply(circuit.m_lam, vds, out=b[5])
+        clm += 1.0
+        xx = np.multiply(x, x, out=b[6])
+        xx *= 0.5  # power-of-2 scale: identical to the 0.5*x*x reference
+        core = np.multiply(vov, x, out=b[7])
+        core -= xx
+        ids = np.multiply(circuit.m_beta, core, out=b[8])
+        ids *= clm
+        # Node weight: +sign*ids at the fixed drain target, negated where
+        # the evaluation swapped drain/source (negating is exact).
+        w = np.multiply(ids, circuit.m_sign, out=b[9])
+        np.negative(w, out=w, where=swap)
+        f += c_einsum("nm,m->n", self.incidence, w, out=self._fs)
+
+        if with_jacobian:
+            gm = np.multiply(circuit.m_beta, x, out=b[8])  # ids row is spent
+            gm *= clm
+            gds = np.subtract(vov, x, out=b[9])
+            gds *= clm
+            lamcore = core
+            lamcore *= circuit.m_lam
+            gds += lamcore
+            gds *= circuit.m_beta
+            # Fixed-frame stamps without ``np.where``'s dispatch cost:
+            # with ``sg = swap * gm`` (exactly gm or 0.0),
+            # ``gds + sg`` is ``where(swap, gds + gm, gds)`` and
+            # ``gds + (gm - sg)`` its mirror - additions against an exact
+            # 0.0 / exact cancellation, so bit-equal to the where() form.
+            jw = self._jw
+            sg = np.multiply(swap, gm, out=b[1])
+            sg2 = np.subtract(gm, sg, out=b[2])
+            np.add(gds, sg, out=jw[0])             # swap exchanges gds <-> gsum
+            np.add(gds, sg2, out=jw[5])
+            jw1 = jw[1]
+            jw1[...] = gm
+            np.negative(jw1, out=jw1, where=swap)
+            np.negative(jw[5], out=jw[2])
+            np.negative(jw[0], out=jw[3])
+            np.negative(jw1, out=jw[4])
+            self._j_flat += np.bincount(
+                self.j_idx, weights=self._jw_flat, minlength=self._nn
+            )
+        if stats is not None:
+            stats.assembles += 1
+            stats.assemble_s += perf_counter() - t0
+        return f, j

@@ -17,11 +17,13 @@ array               shape        meaning
 ==================  ===========  ========================================
 
 Device evaluation mirrors :meth:`CompiledCircuit.device_currents` but
-runs once for the whole stack: the drain/source swap becomes a ``(B,M)``
-mask, :func:`repro.devices.mosfet.level1_ids` evaluates elementwise on
-``(B,M)`` arrays, and the node scatter uses flattened-index
-``np.bincount`` (one pass for all samples - markedly faster than
-``np.add.at`` on batched indices).
+runs once for the whole stack, in the compiled
+:class:`~repro.batch.kernels.BatchKernel` (lazy, see :meth:`kernel`):
+the level-1 model evaluates elementwise on ``(B, M)`` scratch rows and
+the node scatter is one flattened-index ``np.bincount`` for all samples
+- the allocation-free twin of the scalar kernel, operation for
+operation, so a single-sample batch stays bit-identical to the scalar
+engine.
 
 Source evaluation is grouped per driven node at compile time: a node
 driven by :class:`~repro.devices.sources.DCSource` in every sample
@@ -40,7 +42,6 @@ import numpy as np
 
 from repro.analog.compile import CompiledCircuit
 from repro.circuit.netlist import Netlist
-from repro.devices.mosfet import level1_ids
 from repro.devices.sources import ClockSource, DCSource
 
 
@@ -116,6 +117,7 @@ class BatchCompiledCircuit:
     _dc_values: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
     _clock_groups: List[_ClockGroup] = field(default_factory=list, repr=False)
     _slow_nodes: List[int] = field(default_factory=list, repr=False)
+    _kernel: object = field(default=None, repr=False)
 
     @property
     def batch_size(self) -> int:
@@ -130,15 +132,28 @@ class BatchCompiledCircuit:
         (free-node entries are zero placeholders, like the scalar layout).
         """
         v = np.zeros((self.batch_size, self.n_total))
-        for node, column in self._dc_values.items():
-            v[:, node] = column
+        return self.source_voltages_into(t, v)
+
+    def source_voltages_into(
+        self, t: float, out: np.ndarray, dynamic_only: bool = False
+    ) -> np.ndarray:
+        """Fill ``out`` (``(B, n_total)``) with the driven-node voltages
+        at ``t`` - the allocation-free variant the lockstep hot loop
+        uses.  Only driven entries are written; free entries keep their
+        values.  With ``dynamic_only`` the DC columns are skipped: a
+        caller reusing one buffer across timesteps writes the constants
+        once and refreshes only the time-varying sources per step.
+        """
+        if not dynamic_only:
+            for node, column in self._dc_values.items():
+                out[:, node] = column
         for group in self._clock_groups:
-            v[:, group.node] = group.values(t)
+            out[:, group.node] = group.values(t)
         for node in self._slow_nodes:
             name = self._node_name(node)
             for b, circuit in enumerate(self.circuits):
-                v[b, node] = circuit.netlist.sources[name].value(t)
-        return v
+                out[b, node] = circuit.netlist.sources[name].value(t)
+        return out
 
     def _node_name(self, index: int) -> str:
         for name, i in self.node_index.items():
@@ -156,6 +171,20 @@ class BatchCompiledCircuit:
     # ------------------------------------------------------------------ #
     # Device evaluation
     # ------------------------------------------------------------------ #
+    def kernel(self) -> "BatchKernel":
+        """The compiled scatter/assembly kernel of this batch (lazy).
+
+        Mirrors :meth:`CompiledCircuit.kernel`: connectivity is frozen
+        into the scatter plan, model-card parameters are read per
+        evaluation, so post-compile mutations of ``m_vt``/``m_beta``/
+        ``m_lam`` (fault/poison injection) apply.
+        """
+        if self._kernel is None:
+            from repro.batch.kernels import BatchKernel
+
+            self._kernel = BatchKernel(self)
+        return self._kernel
+
     def device_currents(
         self, v: np.ndarray, with_jacobian: bool = True
     ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
@@ -173,54 +202,12 @@ class BatchCompiledCircuit:
             (``None`` when ``with_jacobian`` is false).  Sample ``b`` of
             the output equals the scalar
             :meth:`~repro.analog.compile.CompiledCircuit.device_currents`
-            on ``v[b]`` up to floating-point summation order.
+            on ``v[b]`` up to floating-point summation order.  Assembly
+            happens in the compiled :meth:`kernel`; the returned arrays
+            are fresh copies, safe for the caller to keep or mutate.
         """
-        B, n = v.shape
-        f = np.einsum("bij,bj->bi", self.G, v)
-        j = self.G.copy() if with_jacobian else None
-        if self.m_d.size == 0:
-            return f, j
-
-        vd = v[:, self.m_d]
-        vg = v[:, self.m_g]
-        vs = v[:, self.m_s]
-        sign = self.m_sign
-        swap = sign * (vd - vs) < 0.0
-        md = np.where(swap, self.m_s, self.m_d)
-        ms = np.where(swap, self.m_d, self.m_s)
-        vmd = np.where(swap, vs, vd)
-        vms = np.where(swap, vd, vs)
-        vds = sign * (vmd - vms)
-        vgs = sign * (vg - vms)
-
-        ids, gm, gds = level1_ids(vgs, vds, self.m_vt, self.m_beta, self.m_lam)
-
-        base = (np.arange(B) * n)[:, None]
-        contrib = sign * ids
-        flat = np.concatenate([(base + md).ravel(), (base + ms).ravel()])
-        weights = np.concatenate([contrib.ravel(), -contrib.ravel()])
-        f += np.bincount(flat, weights=weights, minlength=B * n).reshape(B, n)
-
-        if with_jacobian:
-            gsum = gm + gds
-            mg = np.broadcast_to(self.m_g, md.shape)
-            base2 = (np.arange(B) * n * n)[:, None]
-            pairs = (
-                (md, md, gds),
-                (md, mg, gm),
-                (md, ms, -gsum),
-                (ms, md, -gds),
-                (ms, mg, -gm),
-                (ms, ms, gsum),
-            )
-            flat2 = np.concatenate(
-                [(base2 + row * n + col).ravel() for row, col, _ in pairs]
-            )
-            weights2 = np.concatenate([w.ravel() for _, _, w in pairs])
-            j += np.bincount(
-                flat2, weights=weights2, minlength=B * n * n
-            ).reshape(B, n, n)
-        return f, j
+        f, j = self.kernel().eval(v, with_jacobian=with_jacobian)
+        return f.copy(), (j.copy() if j is not None else None)
 
 
 def _check_identical(reference: CompiledCircuit, other: CompiledCircuit) -> None:

@@ -116,10 +116,12 @@ def evaluate_batch_chunk(
     Returns ``(outcomes, stats)`` where outcomes follow the executor's
     worker protocol and ``stats`` carries ``batched_samples`` (results
     produced by the lockstep engine), ``batch_fallbacks`` (samples that
-    took the scalar path) and the batch-level ``escalations`` tally.
+    took the scalar path), the batch-level ``escalations`` tally and the
+    stack's hot-loop ``kernel`` counters.
     """
     stats: Dict[str, object] = {
         "batched_samples": 0, "batch_fallbacks": 0, "escalations": {},
+        "kernel": {},
     }
     outcomes: List[_Outcome] = []
     watch = Stopwatch()
@@ -136,6 +138,7 @@ def evaluate_batch_chunk(
         return outcomes, stats
 
     stats["escalations"] = evaluation.escalations
+    stats["kernel"] = evaluation.kernel_stats
     share = watch.elapsed() / max(1, len(chunk))
     for item, result in zip(chunk, evaluation.results):
         if result is None:
@@ -158,6 +161,9 @@ def _fold_stats(telemetry: Optional[Telemetry], stats: Dict[str, object]) -> Non
     escalations = stats.get("escalations") or {}
     if escalations:
         telemetry.record_escalations(escalations)
+    kernel = stats.get("kernel") or {}
+    if kernel:
+        telemetry.record_kernel(kernel)
 
 
 def dispatch_batches(

@@ -15,10 +15,15 @@ Three per-sample masks drive the loop:
   meaningful at the time of death) and are excluded from every residual,
   error and growth computation.
 * ``converged`` (inside the Newton solve) - samples whose update norm
-  dropped below ``vntol``; they freeze while the stragglers iterate on.
+  dropped below ``vntol`` (or whose contraction-extrapolated next update
+  did - the scalar engine's predicted-acceptance rule); they freeze
+  while the stragglers iterate on.
 * ``failed`` (inside the Newton solve) - samples whose linear solve went
-  singular or produced NaN/Inf; they are neutralised (identity Jacobian,
-  zero residual) so they cannot poison the batched ``np.linalg.solve``.
+  singular or produced NaN/Inf; their inverse comes back as NaNs from
+  the batched factorization (see :func:`repro.analog.kernels.raw_inv`),
+  the non-finite step guard freezes them at the last finite iterate,
+  and they cannot poison their batchmates (each sample owns its own
+  cached inverse).
 
 Step control is the scalar engine's predictor/corrector scheme applied
 to the worst active sample: any active sample rejecting a step shrinks
@@ -43,12 +48,14 @@ the samples whose lockstep integration completed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analog.dcop import dc_operating_point
 from repro.analog.engine import TransientOptions
+from repro.analog.kernels import REUSE_SLOWDOWN, KernelStats, c_einsum, raw_inv
 from repro.analog.waveform import Waveform
 from repro.batch.compile import BatchCompiledCircuit
 from repro.errors import ConvergenceError
@@ -88,6 +95,12 @@ class BatchTransientResult:
     fallback_reasons:
         ``sample index -> reason`` for every masked-out sample (the
         caller's re-dispatch list).
+    kernel_stats:
+        Hot-loop observability record of the run
+        (:meth:`repro.analog.kernels.KernelStats.as_dict`).
+        ``newton_iterations``/``factorizations``/``jacobian_reuses``
+        count *per sample* (so ratios are comparable with the scalar
+        engine's); ``assembles`` counts whole-stack kernel calls.
     """
 
     times: np.ndarray
@@ -95,6 +108,7 @@ class BatchTransientResult:
     ok: np.ndarray
     escalations: Dict[str, int] = field(default_factory=dict)
     fallback_reasons: Dict[int, str] = field(default_factory=dict)
+    kernel_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def batch_size(self) -> int:
@@ -166,6 +180,47 @@ def _masked_solve(
     return x, solved
 
 
+class _BatchNewtonWork:
+    """Per-run scratch of the lockstep Newton loop.
+
+    The batched twin of :class:`repro.analog.engine._NewtonWork`: owns
+    the reusable residual/Jacobian buffers, the cached per-sample
+    Jacobian inverses of the modified-Newton policy - keyed on the
+    shared ``(h, alpha)`` scaling and persisting across time steps, with
+    a per-sample ``valid`` mask - and the
+    :class:`~repro.analog.kernels.KernelStats` counters.
+    """
+
+    def __init__(
+        self, batch: BatchCompiledCircuit, options: TransientOptions
+    ) -> None:
+        B, n, nf = batch.batch_size, batch.n_total, batch.n_free
+        self.kernel = batch.kernel()
+        self.stats = KernelStats()
+        self.modified = options.jacobian_policy == "reuse"
+        self.qh = np.empty((B, nf))
+        self.rhs0 = np.empty((B, nf))
+        self.neg_res = np.empty((B, nf))
+        self.delta = np.empty((B, nf))
+        self.tmp = np.empty((B, nf))
+        self.abs_buf = np.empty((B, nf))
+        self.j_inv = np.empty((B, nf, nf))
+        self.step = np.empty(B)
+        self.step_prev = np.empty(B)
+        self.c_rows = batch.C[:, :nf, :]
+        self.c_over_h = np.empty((B, nf, n))
+        self.h_scaled: Optional[float] = None
+        self.valid = np.zeros(B, dtype=bool)
+        self.key: Optional[Tuple[float, float]] = None
+
+    def scaled_c(self, h: float) -> np.ndarray:
+        """``C[:, :n_free, :] / h``, recomputed only when ``h`` changes."""
+        if self.h_scaled != h:
+            np.multiply(self.c_rows, 1.0 / h, out=self.c_over_h)
+            self.h_scaled = h
+        return self.c_over_h
+
+
 def _newton_step_batch(
     batch: BatchCompiledCircuit,
     v_guess: np.ndarray,
@@ -176,50 +231,158 @@ def _newton_step_batch(
     alpha: float,
     options: TransientOptions,
     active: np.ndarray,
+    work: Optional[_BatchNewtonWork] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One implicit step for the whole stack; ``alpha=1`` BE, ``0.5`` trap.
 
     Solves the scalar residual
     ``(q - q_prev)/h + alpha*f + (1-alpha)*f_prev = 0`` per sample, with
-    per-sample damping clip and convergence.  Samples converge (and
-    freeze) individually; a sample whose solve fails is frozen at the
-    last finite iterate.
+    the scalar engine's damping clip, modified-Newton factorization
+    cache and predicted-acceptance rule applied per sample (see
+    :func:`repro.analog.engine._newton_step` - the control flow here is
+    that function's, vectorised, so a single-sample batch takes exactly
+    the scalar decision sequence).  Samples converge (and freeze)
+    individually; a sample whose solve goes non-finite is frozen at the
+    last finite iterate with its cached factorization invalidated.
 
     Returns ``(v_new, converged)``; ``converged`` is a subset of
     ``active`` - the samples whose step succeeded.  Rows of
-    non-converged samples hold their guess and must not be accepted.
+    non-converged samples hold their last iterate and must not be
+    accepted.
     """
     n_free = batch.n_free
+    if work is None:
+        work = _BatchNewtonWork(batch, options)
+    kernel, stats = work.kernel, work.stats
     v = v_guess.copy()
     v[:, n_free:] = v_sources[:, n_free:]
-    history = (1.0 - alpha) * f_prev[:, :n_free] if f_prev is not None else 0.0
+
+    modified = work.modified
+    if not (modified and work.key == (h, alpha)):
+        work.valid[:] = False  # never reuse across a system-scaling change
+    valid = work.valid
+    j_inv = work.j_inv
+    c_over_h = work.scaled_c(h)
+    # Iteration-invariant part of the negated residual:
+    # ``q_prev / h - (1 - alpha) * f_prev``.
+    rhs0, tmp = work.rhs0, work.tmp
+    np.multiply(q_prev[:, :n_free], 1.0 / h, out=rhs0)
+    if f_prev is not None:
+        np.multiply(f_prev[:, :n_free], 1.0 - alpha, out=tmp)
+        rhs0 -= tmp
+
+    neg_res, delta, qh = work.neg_res, work.delta, work.qh
+    abs_buf, step, step_prev = work.abs_buf, work.step, work.step_prev
+    step_prev[:] = np.inf
+    step[:] = 0.0
+    vntol = options.vntol
+    slowdown = REUSE_SLOWDOWN
+    is_be = alpha == 1.0
     converged = np.zeros(batch.batch_size, dtype=bool)
     live = active.copy()
 
-    for _ in range(options.max_newton):
-        if not live.any():
-            break
-        f, j = batch.device_currents(v, with_jacobian=True)
-        q = np.einsum("bij,bj->bi", batch.C, v)
-        residual = (q[:, :n_free] - q_prev[:, :n_free]) / h \
-            + alpha * f[:, :n_free] + history
-        jacobian = batch.C[:, :n_free, :n_free] / h + alpha * j[:, :n_free, :n_free]
-        delta, solved = _masked_solve(jacobian, -residual, live)
-        live &= solved  # singular/non-finite solves freeze the sample
+    # Hot-loop counters accumulate in locals; flushed in ``finally``.
+    n_iters = n_assembles = n_factor = n_refactor = n_reuse = 0
+    assemble_acc = factor_acc = solve_acc = 0.0
 
-        step = np.max(np.abs(delta), axis=1) if n_free else np.zeros(len(delta))
-        over = live & (step > 1.0)
-        if over.any():
-            delta[over] *= (1.0 / step[over])[:, None]
-        v[live, :n_free] += delta[live]
+    try:
+        for iteration in range(options.max_newton):
+            if not live.any():
+                break
+            need_fresh = live & ~valid
+            t0 = perf_counter()
+            f, j = kernel.eval(v, with_jacobian=bool(need_fresh.any()))
+            n_iters += int(np.count_nonzero(live))
+            n_assembles += 1
+            # Negated residual: rhs0 - (C/h) @ v - alpha * f(v).
+            c_einsum("bij,bj->bi", c_over_h, v, out=qh)
+            np.subtract(rhs0, qh, out=neg_res)
+            if is_be:
+                neg_res -= f[:, :n_free]
+            else:
+                np.multiply(f[:, :n_free], alpha, out=tmp)
+                neg_res -= tmp
+            assemble_acc += perf_counter() - t0
 
-        blown = live & ~np.isfinite(v[:, :n_free]).all(axis=1)
-        if blown.any():
-            v[blown] = v_guess[blown]  # keep the iterate finite for the rest
-            live &= ~blown
-        just_done = live & (step < options.vntol)
-        converged |= just_done
-        live &= ~just_done
+            try_stale = live & valid
+            if try_stale.any():
+                t0 = perf_counter()
+                c_einsum("bij,bj->bi", j_inv, neg_res, out=delta)
+                if n_free:
+                    np.abs(delta, out=abs_buf)
+                    np.maximum.reduce(abs_buf, axis=1, out=step)
+                else:
+                    step[:] = 0.0
+                solve_acc += perf_counter() - t0
+                # NaN fails the comparison too, triggering a refactor.
+                reuse = try_stale & (step <= slowdown * step_prev)
+                n_reuse += int(np.count_nonzero(reuse))
+                n_refactor += int(np.count_nonzero(try_stale & ~reuse))
+                fresh = live & ~reuse
+            else:
+                fresh = need_fresh
+
+            if fresh.any():
+                if j is None:
+                    t0 = perf_counter()
+                    f, j = kernel.eval(v, with_jacobian=True)
+                    n_assembles += 1
+                    assemble_acc += perf_counter() - t0
+                t0 = perf_counter()
+                sub = np.flatnonzero(fresh)
+                jac = j[sub][:, :n_free, :n_free] * alpha
+                jac += c_over_h[sub][:, :, :n_free]
+                # Singular jac -> NaN inverse (see kernels.raw_inv); the
+                # non-finite step guard below freezes the sample.
+                inv_sub = raw_inv(jac)
+                j_inv[sub] = inv_sub
+                valid[sub] = modified
+                work.key = (h, alpha)
+                n_factor += len(sub)
+                factor_acc += perf_counter() - t0
+                t0 = perf_counter()
+                delta[sub] = c_einsum("bij,bj->bi", inv_sub, neg_res[sub])
+                if n_free:
+                    np.abs(delta, out=abs_buf)
+                    np.maximum.reduce(abs_buf, axis=1, out=step)
+                else:
+                    step[:] = 0.0
+                solve_acc += perf_counter() - t0
+
+            # Catches NaN and +inf in one comparison, before the update
+            # is applied - the frozen iterate stays finite.
+            bad = live & ~(step < np.inf)
+            if bad.any():
+                valid &= ~bad
+                live &= ~bad
+                if not live.any():
+                    break
+
+            over = live & (step > 1.0)
+            if over.any():
+                delta[over] *= (1.0 / step[over])[:, None]
+            v[live, :n_free] += delta[live]
+
+            done = live & (step < vntol)
+            if iteration:
+                # Predicted acceptance, per sample: the contraction-
+                # extrapolated next update ``step^2 / step_prev`` already
+                # under vntol accepts one evaluate/solve round early
+                # (``iteration > 0`` guards the step_prev = inf
+                # bootstrap) - the scalar engine's exact rule.
+                done |= live & (step * step < vntol * step_prev)
+            converged |= done
+            live &= ~done
+            np.copyto(step_prev, step, where=live)
+    finally:
+        stats.newton_iterations += n_iters
+        stats.assembles += n_assembles
+        stats.factorizations += n_factor
+        stats.refactorizations += n_refactor
+        stats.jacobian_reuses += n_reuse
+        stats.assemble_s += assemble_acc
+        stats.factor_s += factor_acc
+        stats.solve_s += solve_acc
     return v, converged
 
 
@@ -387,6 +550,9 @@ def batch_transient(
     fallback_reasons: Dict[int, str] = {}
     v, alive = _batch_dcop(batch, t_start, initial, escalations, fallback_reasons)
 
+    work = _BatchNewtonWork(batch, options)
+    kernel, stats = work.kernel, work.stats
+
     times: List[float] = [t_start]
     states: List[np.ndarray] = [v.copy()]
 
@@ -397,6 +563,19 @@ def batch_transient(
     force_be = True
     v_prev = v.copy()
     t_prev = t
+
+    # Reusable step buffers, mirroring the scalar engine's workspaces:
+    # sources, predictor, charge history and the LTE weight/error
+    # scratch - the lockstep loop allocates only the accepted states it
+    # records and the Newton iterate it hands back.
+    n_total = batch.n_total
+    v_sources = np.zeros((B, n_total))
+    batch.source_voltages_into(t_start, v_sources)  # constants written once
+    v_pred = np.empty((B, n_total))
+    q_prev = np.empty((B, n_total))
+    weight = np.empty((B, n_free))
+    err_buf = np.empty((B, n_free))
+    err_all = np.zeros(B)
 
     def _mask(samples: np.ndarray, reason: str) -> None:
         for b in np.flatnonzero(samples):
@@ -417,21 +596,26 @@ def batch_transient(
             break
 
         t_new = t + h
-        v_sources = batch.source_voltages(t_new)
+        batch.source_voltages_into(t_new, v_sources, dynamic_only=True)
+        # Predictor: linear extrapolation of the last two accepted points
+        # (same rounding order as the scalar engine's in-place form).
         if t > t_prev:
-            slope = (v - v_prev) / (t - t_prev)
-            v_pred = v + slope * h
+            np.subtract(v, v_prev, out=v_pred)
+            v_pred /= t - t_prev
+            v_pred *= h
+            v_pred += v
         else:
-            v_pred = v.copy()
+            np.copyto(v_pred, v)
 
         alpha = 1.0 if force_be else 0.5
         f_hist = None
         if not force_be:
-            f_hist, _ = batch.device_currents(v, with_jacobian=False)
-        q_prev = np.einsum("bij,bj->bi", batch.C, v)
+            f_hist, _ = kernel.eval(v, with_jacobian=False, stats=stats)
+        c_einsum("bij,bj->bi", batch.C, v, out=q_prev)
 
         v_new, converged = _newton_step_batch(
-            batch, v_pred, v_sources, q_prev, f_hist, h, alpha, options, alive
+            batch, v_pred, v_sources, q_prev, f_hist, h, alpha, options,
+            alive, work=work,
         )
         blown = converged & ~np.isfinite(v_new).all(axis=1)
         converged &= ~blown
@@ -452,15 +636,20 @@ def batch_transient(
             if not alive.any():
                 break
 
-        # Per-sample LTE on the active samples.
-        weight = options.reltol * np.maximum(np.abs(v_new[:, :n_free]), 1.0) \
-            + options.vabstol
+        t_accept = perf_counter()
+        # Per-sample LTE on the active samples, computed into the reused
+        # buffers (rounding order matches the scalar expression exactly).
         if n_free:
-            err_all = np.max(
-                np.abs(v_new[:, :n_free] - v_pred[:, :n_free]) / weight, axis=1
-            )
+            np.abs(v_new[:, :n_free], out=weight)
+            np.maximum(weight, 1.0, out=weight)
+            weight *= options.reltol
+            weight += options.vabstol
+            np.subtract(v_new[:, :n_free], v_pred[:, :n_free], out=err_buf)
+            np.abs(err_buf, out=err_buf)
+            err_buf /= weight
+            np.maximum.reduce(err_buf, axis=1, out=err_all)
         else:
-            err_all = np.zeros(B)
+            err_all[:] = 0.0
         err_active = err_all[alive]
         err_worst = float(err_active.max()) if err_active.size else 0.0
 
@@ -471,14 +660,15 @@ def batch_transient(
             and h > 4 * options.dt_min
         ):
             h *= 0.4  # any rejecting sample shrinks the shared step
+            stats.accept_s += perf_counter() - t_accept
             continue
 
         # Accept: dead samples carry their last state forward frozen.
-        v_new = np.where(alive[:, None], v_new, v)
+        np.copyto(v_new, v, where=~alive[:, None])
         v_prev, t_prev = v, t
         v, t = v_new, t_new
         times.append(t)
-        states.append(v.copy())
+        states.append(v)  # _newton_step_batch returned a fresh array
         force_be = False
         if hit_bp or masked_now:
             h = options.dt_start
@@ -486,6 +676,7 @@ def batch_transient(
         else:
             grow = 0.9 * (1.0 / max(err_worst, 1e-12)) ** (1.0 / 3.0)
             h *= float(np.clip(grow, 0.4, GROWTH_MAX))
+        stats.accept_s += perf_counter() - t_accept
 
     time_array = np.asarray(times)
     state_array = np.asarray(states)  # (T, B, n)
@@ -498,4 +689,5 @@ def batch_transient(
         ok=alive.copy(),
         escalations=escalations,
         fallback_reasons=fallback_reasons,
+        kernel_stats=stats.as_dict(),
     )

@@ -1,0 +1,159 @@
+"""Batched twin of the scalar evaluation kernel.
+
+:class:`BatchKernel` assembles the device residual and Jacobian of a
+whole :class:`~repro.batch.compile.BatchCompiledCircuit` stack into
+preallocated buffers, mirroring :class:`repro.analog.kernels.ScalarKernel`
+*operation for operation*: the same fixed-target scatter plan, the same
+sign-premultiplied gather, the same ``minimum``/``negative(where=)``
+branchless forms, the same scratch-row evaluation order of the level-1
+model.  Every elementwise operation keeps the scalar kernel's operand
+order, and the flattened Jacobian scatter indexes sample-major with the
+scalar's six-block stamp order inside each sample - so a batch of size
+one adds its weights in exactly the scalar sequence.  That is what keeps
+the ``B == 1`` batch bit-identical to the scalar engine (the white-box
+equivalence tests pin it).
+
+Model-card arrays (``m_vt``/``m_beta``/``m_lam``) are read from the
+owning batch at every call, so post-compile parameter mutations (fault
+poisoning in the mask-semantics tests) are honoured; only connectivity
+is frozen into the scatter plan.  Buffers are reused across calls - a
+kernel must not be shared across threads.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.analog.kernels import (
+    KernelStats,
+    build_mosfet_scatter,
+    c_einsum,
+)
+
+
+class BatchKernel:
+    """Reusable-buffer device evaluation for one compiled batch.
+
+    Built lazily by :meth:`BatchCompiledCircuit.kernel`.  All scratch is
+    sized ``(B, M)`` at construction; the evaluation itself allocates
+    only what :func:`np.bincount` returns.
+    """
+
+    def __init__(self, batch: Any) -> None:
+        self.batch = batch
+        B = batch.batch_size
+        n = batch.n_total
+        m = batch.m_d.size
+        self.B = B
+        self.n = n
+        self.m = m
+        self.f_idx, self.j_idx, self.incidence = build_mosfet_scatter(
+            batch.m_d, batch.m_g, batch.m_s, n
+        )
+        #: Sample-major flattened Jacobian targets: sample ``b``'s block
+        #: keeps the scalar six-stamp order, so the ``B == 1`` bincount
+        #: accumulates in the scalar kernel's exact sequence.
+        self._j_idx_all = (
+            np.arange(B, dtype=np.intp)[:, None] * (n * n)
+            + self.j_idx[None, :]
+        ).ravel()
+        # Reused output/scratch buffers (not thread-safe, by design).
+        self.f = np.empty((B, n))
+        self.j = np.empty((B, n, n))
+        self._j_flat = self.j.reshape(-1)
+        self._fs = np.empty((B, n))
+        self._jw = np.empty((B, 6, m))
+        self._jw_flat = self._jw.reshape(-1)
+        self._nnB = B * n * n
+        self._b = np.empty((10, B, m))
+        self._swap = np.empty((B, m), dtype=bool)
+        self._sv = np.empty((B, 3 * m))
+        self._idx_all = np.concatenate(
+            [np.asarray(batch.m_d, dtype=np.intp),
+             np.asarray(batch.m_g, dtype=np.intp),
+             np.asarray(batch.m_s, dtype=np.intp)]
+        )
+        self._sign3 = np.tile(np.asarray(batch.m_sign, dtype=float), 3)
+
+    def eval(
+        self,
+        v: np.ndarray,
+        with_jacobian: bool = True,
+        stats: Optional[KernelStats] = None,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Assemble ``(f, j)`` at ``v`` (``(B, n)``) into reused buffers.
+
+        The returned arrays are owned by the kernel and overwritten by
+        the next call; callers that keep them must copy (the public
+        :meth:`BatchCompiledCircuit.device_currents` does).
+        """
+        t0 = perf_counter() if stats is not None else 0.0
+        batch = self.batch
+        f = c_einsum("bij,bj->bi", batch.G, v, out=self.f)
+        j = None
+        if with_jacobian:
+            j = self.j
+            j[...] = batch.G
+        if self.m == 0:
+            if stats is not None:
+                stats.assembles += 1
+                stats.assemble_s += perf_counter() - t0
+            return f, j
+
+        m = self.m
+        sv = np.take(v, self._idx_all, axis=1, out=self._sv)
+        sv *= self._sign3
+        svd = sv[:, :m]
+        svg = sv[:, m:2 * m]
+        svs = sv[:, 2 * m:]
+        b = self._b
+        dv = np.subtract(svd, svs, out=b[0])
+        swap = np.less(dv, 0.0, out=self._swap)
+        vds = np.abs(dv, out=b[1])
+        vmin = np.minimum(svd, svs, out=b[2])
+        vgs = np.subtract(svg, vmin, out=b[2])
+        vov = np.subtract(vgs, batch.m_vt, out=b[3])
+        np.maximum(vov, 0.0, out=vov)
+        x = np.minimum(vds, vov, out=b[4])
+        clm = np.multiply(batch.m_lam, vds, out=b[5])
+        clm += 1.0
+        xx = np.multiply(x, x, out=b[6])
+        xx *= 0.5
+        core = np.multiply(vov, x, out=b[7])
+        core -= xx
+        ids = np.multiply(batch.m_beta, core, out=b[8])
+        ids *= clm
+        w = np.multiply(ids, batch.m_sign, out=b[9])
+        np.negative(w, out=w, where=swap)
+        f += c_einsum("nm,bm->bn", self.incidence, w, out=self._fs)
+
+        if with_jacobian:
+            gm = np.multiply(batch.m_beta, x, out=b[8])  # ids row is spent
+            gm *= clm
+            gds = np.subtract(vov, x, out=b[9])
+            gds *= clm
+            lamcore = core
+            lamcore *= batch.m_lam
+            gds += lamcore
+            gds *= batch.m_beta
+            jw = self._jw
+            sg = np.multiply(swap, gm, out=b[1])
+            sg2 = np.subtract(gm, sg, out=b[2])
+            np.add(gds, sg, out=jw[:, 0])          # swap exchanges gds <-> gsum
+            np.add(gds, sg2, out=jw[:, 5])
+            jw1 = jw[:, 1]
+            jw1[...] = gm
+            np.negative(jw1, out=jw1, where=swap)
+            np.negative(jw[:, 5], out=jw[:, 2])
+            np.negative(jw[:, 0], out=jw[:, 3])
+            np.negative(jw1, out=jw[:, 4])
+            self._j_flat += np.bincount(
+                self._j_idx_all, weights=self._jw_flat, minlength=self._nnB
+            )
+        if stats is not None:
+            stats.assembles += 1
+            stats.assemble_s += perf_counter() - t0
+        return f, j

@@ -50,6 +50,11 @@ class BatchEvaluation:
     escalations: Dict[str, int] = field(default_factory=dict)
     fallback_reasons: Dict[int, str] = field(default_factory=dict)
     steps: int = 0
+    #: Whole-stack hot-loop counters of the lockstep run
+    #: (:meth:`repro.analog.kernels.KernelStats.as_dict`).  Kept at the
+    #: stack level - the per-sample ``JobResult.kernel`` tallies stay
+    #: empty for batch results so campaign telemetry never double-counts.
+    kernel_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def fallbacks(self) -> int:
@@ -154,4 +159,5 @@ def evaluate_jobs_batch(jobs: Sequence[SensorJob]) -> BatchEvaluation:
         escalations=dict(result.escalations),
         fallback_reasons=dict(result.fallback_reasons),
         steps=len(result),
+        kernel_stats=dict(result.kernel_stats),
     )

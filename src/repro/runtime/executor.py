@@ -486,6 +486,7 @@ def evaluate_cached(
             "point", wall=wall, attempts=attempts,
             steps=result.steps, cached=False,
             escalations=result.escalation_counts,
+            kernel=result.kernel_counts,
         )
     if key is not None:
         cache.put(key, result.to_payload())
@@ -756,11 +757,13 @@ def _assimilate(
             skew=result.skew, vmin_y1=result.vmin_y1, vmin_y2=result.vmin_y2,
             code=result.code, steps=result.steps, attempts=attempts,
             cached=False, escalations=result.escalations,
+            kernel=result.kernel,
         )
         telemetry.record_job(
             f"job[{index}]", wall=wall, attempts=attempts,
             steps=result.steps, cached=False,
             escalations=result.escalation_counts,
+            kernel=result.kernel_counts,
         )
         if cache is not None and keys[index] is not None:
             cache.put(keys[index], results[index].to_payload())

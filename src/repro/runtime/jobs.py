@@ -79,7 +79,12 @@ class JobResult:
     ``escalations`` is the solver-ladder tally of the underlying
     transient (sorted ``(rung, count)`` pairs - a tuple so the record
     stays hashable), and ``resumed`` marks values replayed from a
-    checkpoint journal rather than computed.
+    checkpoint journal rather than computed.  ``kernel`` is the
+    hot-loop observability record of the transient
+    (:meth:`repro.analog.kernels.KernelStats.as_dict` as sorted pairs);
+    it describes *this run's* work, so it is deliberately not part of
+    the cache payload - cached and resumed replays carry an empty tally,
+    exactly like ``steps``.
     """
 
     skew: float
@@ -91,6 +96,7 @@ class JobResult:
     cached: bool = False
     escalations: Tuple[Tuple[str, int], ...] = ()
     resumed: bool = False
+    kernel: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -102,6 +108,11 @@ class JobResult:
     def escalation_counts(self) -> Dict[str, int]:
         """The ladder tally as a plain dict."""
         return dict(self.escalations)
+
+    @property
+    def kernel_counts(self) -> Dict[str, float]:
+        """The hot-loop kernel tally as a plain dict."""
+        return dict(self.kernel)
 
     @property
     def vmin_late(self) -> float:
@@ -176,6 +187,7 @@ def evaluate_job(job: SensorJob) -> JobResult:
         code=response.code,
         steps=len(response.result),
         escalations=tuple(sorted(response.result.escalations.items())),
+        kernel=tuple(sorted(response.result.kernel_stats.items())),
     )
 
 

@@ -120,6 +120,10 @@ class Telemetry:
     #: re-dispatched to the scalar path (the fallback contract).
     batched_samples: int = 0
     batch_fallbacks: int = 0
+    #: Hot-loop kernel counters summed over evaluated jobs
+    #: (:meth:`repro.analog.kernels.KernelStats.as_dict` fields:
+    #: assembles, factorizations, jacobian_reuses, per-phase seconds...).
+    kernel: Dict[str, float] = field(default_factory=dict)
     #: Extra named durations recorded via :meth:`timer` (setup, report...).
     spans: Dict[str, float] = field(default_factory=dict)
     _wall = None  # type: Optional[Stopwatch]
@@ -140,6 +144,7 @@ class Telemetry:
         resumed: bool = False,
         error: Optional[str] = None,
         escalations: Optional[Mapping[str, int]] = None,
+        kernel: Optional[Mapping[str, float]] = None,
     ) -> None:
         """Record one finished job (fresh, cached, resumed or failed)."""
         self.records.append(
@@ -148,6 +153,8 @@ class Telemetry:
         )
         if escalations:
             self.record_escalations(escalations)
+        if kernel:
+            self.record_kernel(kernel)
 
     def record_cache(self, hit: bool) -> None:
         """Count one cache lookup."""
@@ -168,6 +175,16 @@ class Telemetry:
     def record_worker_crash(self) -> None:
         """Count one observed worker-process death (pool breakage)."""
         self.worker_crashes += 1
+
+    def record_kernel(self, stats: Mapping[str, float]) -> None:
+        """Fold one run's hot-loop kernel counters into the totals.
+
+        Counter fields stay integers; the ``*_s`` phase timings
+        accumulate as float seconds.
+        """
+        for name, value in stats.items():
+            total = self.kernel.get(name, 0) + value
+            self.kernel[name] = float(total) if name.endswith("_s") else int(total)
 
     def record_batch(self, samples: int, fallbacks: int = 0) -> None:
         """Count one batch-engine stack: ``samples`` results produced in
@@ -257,6 +274,7 @@ class Telemetry:
             "engine": {
                 "steps_integrated": self.steps_integrated,
                 "ladder_rungs": dict(self.ladder_rungs),
+                "kernel": dict(self.kernel),
             },
             "executor": {
                 "redispatches": self.redispatches,
@@ -295,6 +313,22 @@ class Telemetry:
             f"engine    : {data['engine']['steps_integrated']} integration "
             "points accepted this run",
         ]
+        if self.kernel:
+            k = self.kernel
+            lines.append(
+                f"kernel    : {int(k.get('newton_iterations', 0))} newton "
+                f"iteration(s), {int(k.get('factorizations', 0))} "
+                f"factorization(s), {int(k.get('jacobian_reuses', 0))} "
+                f"jacobian reuse(s), {int(k.get('refactorizations', 0))} "
+                "slowdown refactor(s)"
+            )
+            phases = ", ".join(
+                f"{name[:-2]} {format_duration(k[name])}"
+                for name in ("assemble_s", "factor_s", "solve_s", "accept_s")
+                if k.get(name)
+            )
+            if phases:
+                lines.append(f"kernel t  : {phases}")
         if self.ladder_rungs:
             rungs = ", ".join(
                 f"{rung}={count}"
@@ -332,5 +366,6 @@ class Telemetry:
         self.batched_samples += other.batched_samples
         self.batch_fallbacks += other.batch_fallbacks
         self.record_escalations(other.ladder_rungs)
+        self.record_kernel(other.kernel)
         for label, seconds in other.spans.items():
             self.spans[label] = self.spans.get(label, 0.0) + seconds

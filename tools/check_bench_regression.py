@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Compare fresh BENCH_*.json throughput against committed baselines.
+
+Walks every ``BENCH_*.json`` in the baseline directory, finds each
+``samples_per_s`` figure (at any nesting depth - the records keep one
+per backend leg), looks up the same path in the freshly generated file
+and reports the relative change.  A figure that regressed by more than
+the threshold (default 25 %) is emitted as a GitHub Actions
+``::warning::`` annotation, so the non-blocking CI job flags it on the
+run without failing the build - shared-runner timings are noisy, and a
+human should look before anyone reverts.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        --baseline benchmarks/baseline --fresh benchmarks/out
+
+Exit status is 0 even when regressions are found unless ``--strict``
+is given (for local use, where timings are trustworthy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, Iterator, Tuple
+
+#: Relative slowdown above which a figure is flagged.
+DEFAULT_THRESHOLD = 0.25
+
+#: The metric compared; every BENCH record carries one per backend leg.
+METRIC = "samples_per_s"
+
+
+def iter_metrics(record: object, path: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, value)`` for every ``samples_per_s`` entry."""
+    if isinstance(record, dict):
+        for key, value in sorted(record.items()):
+            where = f"{path}.{key}" if path else key
+            if key == METRIC and isinstance(value, (int, float)):
+                yield where, float(value)
+            else:
+                yield from iter_metrics(value, where)
+    elif isinstance(record, list):
+        for index, value in enumerate(record):
+            yield from iter_metrics(value, f"{path}[{index}]")
+
+
+def load_metrics(path: str) -> Dict[str, float]:
+    """All throughput figures of one BENCH file, keyed by JSON path."""
+    with open(path) as handle:
+        return dict(iter_metrics(json.load(handle)))
+
+
+def compare(
+    baseline_dir: str, fresh_dir: str, threshold: float
+) -> Tuple[int, int]:
+    """Print a comparison table; return (figures_compared, regressions)."""
+    compared = regressions = 0
+    pattern = os.path.join(baseline_dir, "BENCH_*.json")
+    baselines = sorted(glob.glob(pattern))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {baseline_dir}")
+        return 0, 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        fresh_path = os.path.join(fresh_dir, name)
+        if not os.path.exists(fresh_path):
+            print(f"{name}: no fresh record (bench not rerun) - skipped")
+            continue
+        base = load_metrics(baseline_path)
+        fresh = load_metrics(fresh_path)
+        for where, base_value in sorted(base.items()):
+            if base_value <= 0.0:
+                continue
+            fresh_value = fresh.get(where)
+            if fresh_value is None:
+                print(f"{name}: {where} missing from fresh record - skipped")
+                continue
+            compared += 1
+            change = (fresh_value - base_value) / base_value
+            marker = "ok"
+            if change < -threshold:
+                regressions += 1
+                marker = "REGRESSED"
+                print(
+                    f"::warning file={name}::{where} regressed "
+                    f"{-change * 100:.1f}% ({base_value:.2f} -> "
+                    f"{fresh_value:.2f} {METRIC})"
+                )
+            print(
+                f"{name}: {where} = {fresh_value:8.2f} vs baseline "
+                f"{base_value:8.2f} ({change:+.1%}) {marker}"
+            )
+    return compared, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="benchmarks/baseline",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh", default="benchmarks/out",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative slowdown that counts as a regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any figure regressed (local runs)",
+    )
+    args = parser.parse_args(argv)
+    compared, regressions = compare(args.baseline, args.fresh, args.threshold)
+    print(
+        f"compared {compared} throughput figure(s); "
+        f"{regressions} regressed more than {args.threshold:.0%}"
+    )
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
