@@ -12,14 +12,28 @@ The same (load, slew, skew) grid is also pushed through the lockstep
 batch engine (``backend="batch"``, fresh integrations) and timed against
 the serial scalar sweep; the extracted ``tau_min`` values must agree and
 the throughputs land in ``out/BENCH_fig4_sensitivity.json``.
+
+Warm-start coverage: the serial and batch legs run with prefix
+warm-start on (the default), a cold serial reference leg
+(``warm_start=False``) pins the ``tau_min`` deviation of the warm path
+at the sub-picosecond level, and a bisection leg times
+``extract_tau_min`` warm vs cold (every probe of the warm bisection
+forks the same cached prefix checkpoint).
 """
 
 import numpy as np
 
-from repro.core.sensitivity import sensitivity_family
+from repro.core.sensitivity import extract_tau_min, sensitivity_family
 from repro.units import VTH_INTERPRET, fF, ns, to_ns
 
-from _util import BENCH_OPTIONS, Stopwatch, Telemetry, emit, write_bench_json
+from _util import (
+    BENCH_OPTIONS,
+    Stopwatch,
+    Telemetry,
+    emit,
+    throughput_metrics,
+    write_bench_json,
+)
 
 LOADS_FF = (80, 160, 240)
 SLEWS_NS = (0.1, 0.2, 0.3, 0.4)
@@ -31,7 +45,13 @@ SKEWS_NS = (0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5)
 TAU_MIN_TOL = ns(0.005)
 
 
-def _family(backend, telemetry):
+#: Bar on warm-vs-cold tau_min agreement: the warm path reuses a
+#: bit-exact checkpoint and only truncates the post-measurement tail,
+#: so the crossing must not move by even a picosecond.
+TAU_WARM_TOL = 1e-12
+
+
+def _family(backend, telemetry, warm_start=None):
     """One fresh (cache-bypassing) Fig.-4 family on the given backend."""
     return sensitivity_family(
         loads=[fF(c) for c in LOADS_FF],
@@ -41,48 +61,91 @@ def _family(backend, telemetry):
         backend=backend,
         cache=None,
         telemetry=telemetry,
+        warm_start=warm_start,
     )
 
 
 def run():
-    tel_scalar, tel_batch = Telemetry(), Telemetry()
+    tel_cold, tel_scalar, tel_batch = Telemetry(), Telemetry(), Telemetry()
     watch = Stopwatch()
+    cold_curves = _family("serial", tel_cold, warm_start=False)
+    t_cold = watch.restart()
     curves = _family("serial", tel_scalar)
     t_scalar = watch.restart()
     batch_curves = _family("batch", tel_batch)
-    t_batch = watch.elapsed()
-    return curves, batch_curves, t_scalar, t_batch, tel_scalar, tel_batch
+    t_batch = watch.restart()
+    tau_cold = extract_tau_min(
+        fF(160), options=BENCH_OPTIONS, cache=None, warm_start=False
+    )
+    t_tau_cold = watch.restart()
+    tau_warm = extract_tau_min(
+        fF(160), options=BENCH_OPTIONS, cache=None, warm_start=True
+    )
+    t_tau_warm = watch.elapsed()
+    return {
+        "cold_curves": cold_curves, "curves": curves,
+        "batch_curves": batch_curves,
+        "t_cold": t_cold, "t_scalar": t_scalar, "t_batch": t_batch,
+        "tel_cold": tel_cold, "tel_scalar": tel_scalar,
+        "tel_batch": tel_batch,
+        "tau_cold": tau_cold, "tau_warm": tau_warm,
+        "t_tau_cold": t_tau_cold, "t_tau_warm": t_tau_warm,
+    }
 
 
 def test_fig4_vmin_vs_skew(benchmark):
-    curves, batch_curves, t_scalar, t_batch, tel_scalar, tel_batch = (
-        benchmark.pedantic(run, rounds=1, iterations=1)
-    )
+    leg = benchmark.pedantic(run, rounds=1, iterations=1)
+    curves, batch_curves = leg["curves"], leg["batch_curves"]
+    t_scalar, t_batch = leg["t_scalar"], leg["t_batch"]
     n_points = len(LOADS_FF) * len(SLEWS_NS) * len(SKEWS_NS)
     tau_deltas = np.array([
         abs(s.tau_min - b.tau_min)
         for s, b in zip(curves, batch_curves)
         if s.tau_min is not None and b.tau_min is not None
     ])
+    warm_deltas = np.array([
+        abs(w.tau_min - c.tau_min)
+        for w, c in zip(curves, leg["cold_curves"])
+        if w.tau_min is not None and c.tau_min is not None
+    ])
+    scalar_metrics = throughput_metrics(leg["tel_scalar"], t_scalar, n_points)
+    batch_metrics = throughput_metrics(leg["tel_batch"], t_batch, n_points)
     write_bench_json("fig4_sensitivity", {
         "options": {"dt_max": BENCH_OPTIONS.dt_max,
                     "reltol": BENCH_OPTIONS.reltol},
         "grid": {"loads_fF": list(LOADS_FF), "slews_ns": list(SLEWS_NS),
                  "skews_ns": list(SKEWS_NS)},
-        "scalar": {"backend": "serial", "wall_s": t_scalar,
-                   "samples_per_s": n_points / t_scalar,
-                   "cache_hit_rate": 0.0,
-                   "kernel": dict(tel_scalar.kernel)},
-        "batch": {"backend": "batch", "wall_s": t_batch,
-                  "samples_per_s": n_points / t_batch,
-                  "cache_hit_rate": 0.0,
-                  "kernel": dict(tel_batch.kernel)},
+        "scalar": {"backend": "serial", "cache_hit_rate": 0.0,
+                   "kernel": dict(leg["tel_scalar"].kernel),
+                   **scalar_metrics},
+        "batch": {"backend": "batch", "cache_hit_rate": 0.0,
+                  "kernel": dict(leg["tel_batch"].kernel),
+                  **batch_metrics},
+        "scalar_cold": {"backend": "serial", "warm_start": False,
+                        "wall_s": leg["t_cold"],
+                        "cold_samples_per_s": n_points / leg["t_cold"]},
         "speedup_batch_vs_serial": t_scalar / t_batch,
-        "tau_min_deviation_max_s": float(tau_deltas.max()),
+        "speedup_warm_vs_cold_serial": leg["t_cold"] / t_scalar,
+        "tau_min_deviation_max_s": float(warm_deltas.max()),
+        "tau_min_deviation_batch_s": float(tau_deltas.max()),
+        "tau_extract": {
+            "load_fF": 160.0,
+            "cold_wall_s": leg["t_tau_cold"],
+            "warm_wall_s": leg["t_tau_warm"],
+            "speedup_warm_vs_cold": leg["t_tau_cold"] / leg["t_tau_warm"],
+            "tau_min_deviation_s": abs(leg["tau_warm"] - leg["tau_cold"]),
+        },
     })
     assert len(tau_deltas) == len(curves), "batch lost a tau_min crossing"
     assert tau_deltas.max() <= TAU_MIN_TOL, (
         f"batch tau_min deviates {tau_deltas.max() * 1e12:.2f} ps"
+    )
+    assert len(warm_deltas) == len(curves), "warm start lost a crossing"
+    assert warm_deltas.max() <= TAU_WARM_TOL, (
+        f"warm-start tau_min deviates {warm_deltas.max() * 1e12:.3f} ps"
+    )
+    assert abs(leg["tau_warm"] - leg["tau_cold"]) <= TAU_WARM_TOL, (
+        "warm bisection changed the returned tau_min"
     )
 
     lines = [

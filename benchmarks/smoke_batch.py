@@ -18,7 +18,13 @@ from repro.montecarlo.parallel import scatter_analysis_parallel
 from repro.montecarlo.sampling import sample_population
 from repro.units import fF, ns
 
-from _util import ACCURATE_OPTIONS, Stopwatch, Telemetry, write_bench_json
+from _util import (
+    ACCURATE_OPTIONS,
+    Stopwatch,
+    Telemetry,
+    throughput_metrics,
+    write_bench_json,
+)
 
 N_SAMPLES = 4
 SKEWS_NS = (0.0, 0.1, 0.4)
@@ -39,11 +45,10 @@ def _run_backend(backend, samples):
     wall = watch.elapsed()
     return points, {
         "backend": backend,
-        "wall_s": wall,
-        "samples_per_s": len(points) / wall,
         "jobs": len(points),
         "cache_hit_rate": 0.0,
         "batch_fallbacks": telemetry.batch_fallbacks,
+        **throughput_metrics(telemetry, wall, len(points)),
     }
 
 

@@ -140,6 +140,60 @@ class TransientOptions:
 
 
 @dataclass
+class TransientCheckpoint:
+    """Pure solver state of a transient at one accepted grid point.
+
+    Captures exactly what the integration loop needs to continue from an
+    accepted point ``t``: the full state vector there, plus the previous
+    accepted point ``(t_prev, state_prev)`` that feeds the linear
+    predictor.  Restarting from a checkpoint uses the engine's
+    backward-Euler-after-breakpoint rule (``h = dt_start``, BE first
+    step), so a resumed run walks the same grid a cold run would walk
+    after a breakpoint at ``t`` - that is what makes a forked suffix a
+    legal grid continuation (see ``tests/test_prefix_warm.py``).
+
+    The record is RNG-free and engine-version-agnostic by construction;
+    ``nodes`` (the node names in compiled order) is the legality guard a
+    resume checks against the circuit it is applied to.  Instances
+    pickle directly and round-trip bit-exactly through JSON via
+    :meth:`to_payload` / :meth:`from_payload` (``json`` renders floats
+    with ``repr``, which is exact).
+    """
+
+    t: float
+    t_prev: float
+    state: np.ndarray
+    state_prev: np.ndarray
+    nodes: Tuple[str, ...]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable form (floats survive bit-exactly)."""
+        return {
+            "t": self.t,
+            "t_prev": self.t_prev,
+            "state": [float(x) for x in self.state],
+            "state_prev": [float(x) for x in self.state_prev],
+            "nodes": list(self.nodes),
+        }
+
+    @staticmethod
+    def from_payload(payload: Dict[str, object]) -> "TransientCheckpoint":
+        """Rebuild a checkpoint from its :meth:`to_payload` dict."""
+        return TransientCheckpoint(
+            t=float(payload["t"]),
+            t_prev=float(payload["t_prev"]),
+            state=np.asarray(payload["state"], dtype=float),
+            state_prev=np.asarray(payload["state_prev"], dtype=float),
+            nodes=tuple(str(n) for n in payload["nodes"]),
+        )
+
+
+def _node_order(circuit: CompiledCircuit) -> Tuple[str, ...]:
+    """Node names of ``circuit`` in state-vector order."""
+    return tuple(sorted(circuit.node_index, key=circuit.node_index.get))
+
+
+@dataclass
 class TransientResult:
     """Waveforms of a transient run.
 
@@ -161,6 +215,8 @@ class TransientResult:
     source_currents: Dict[str, np.ndarray] = field(default_factory=dict)
     escalations: Dict[str, int] = field(default_factory=dict)
     kernel_stats: Dict[str, float] = field(default_factory=dict)
+    #: Solver state captured at ``checkpoint_at`` (None unless requested).
+    checkpoint: Optional[TransientCheckpoint] = None
 
     def wave(self, node: str) -> Waveform:
         """Voltage waveform of ``node``."""
@@ -505,6 +561,8 @@ def transient(
     initial: Optional[Dict[str, float]] = None,
     options: Optional[TransientOptions] = None,
     compiled: Optional[CompiledCircuit] = None,
+    resume_from: Optional[TransientCheckpoint] = None,
+    checkpoint_at: Optional[float] = None,
 ) -> TransientResult:
     """Integrate ``netlist`` from ``t_start`` to ``t_stop``.
 
@@ -524,6 +582,20 @@ def transient(
     compiled:
         Reuse an already compiled circuit (Monte Carlo sweeps re-simulate
         the same topology with different stimuli).
+    resume_from:
+        Warm-start the run from a :class:`TransientCheckpoint` instead of
+        solving the operating point: ``t_start`` is taken from the
+        checkpoint and the first step uses the backward-Euler-after-
+        breakpoint rule, so the resumed grid is bit-identical to the tail
+        of a cold run that had a breakpoint at the checkpoint time.  The
+        checkpoint's node order must match the circuit.  Note the first
+        recorded source-current sample of a resumed run is static-only
+        (the charge history before the checkpoint is not carried).
+    checkpoint_at:
+        Capture solver state at this time (inserted as a breakpoint so
+        the grid lands on it exactly); the snapshot is returned as
+        ``result.checkpoint``.  Must satisfy ``t_start < checkpoint_at
+        <= t_stop``.
 
     Raises
     ------
@@ -548,15 +620,36 @@ def transient(
         if node not in circuit.netlist.sources:
             raise KeyError(f"cannot record source current of undriven node {node!r}")
 
+    if resume_from is not None:
+        order = _node_order(circuit)
+        if resume_from.nodes != order:
+            raise ValueError(
+                "checkpoint node order does not match circuit "
+                f"(checkpoint {resume_from.nodes}, circuit {order})"
+            )
+        t_start = resume_from.t
+    if t_stop <= t_start:
+        raise ValueError(f"need t_stop > t_start (got {t_start} .. {t_stop})")
+    if checkpoint_at is not None and not t_start < checkpoint_at <= t_stop:
+        raise ValueError(
+            f"checkpoint_at must lie in (t_start, t_stop] "
+            f"(got {checkpoint_at} for {t_start} .. {t_stop})"
+        )
+
     breakpoints = [b for b in circuit.breakpoints(t_start, t_stop) if b > t_start]
     breakpoints.append(t_stop)
+    if checkpoint_at is not None:
+        breakpoints.append(checkpoint_at)
     breakpoints = sorted(set(breakpoints))
 
-    dcop_stats: Dict[str, object] = {}
-    v = dc_operating_point(circuit, t=t_start, initial=initial, stats=dcop_stats)
     escalations: Dict[str, int] = {}
-    if "dcop_rung" in dcop_stats:
-        escalations[f"dcop:{dcop_stats['dcop_rung']}"] = 1
+    if resume_from is not None:
+        v = resume_from.state.copy()
+    else:
+        dcop_stats: Dict[str, object] = {}
+        v = dc_operating_point(circuit, t=t_start, initial=initial, stats=dcop_stats)
+        if "dcop_rung" in dcop_stats:
+            escalations[f"dcop:{dcop_stats['dcop_rung']}"] = 1
 
     def _fail(kind: type, reason: str, h: float, step_info: Dict[str, object],
               rung: Optional[str]) -> None:
@@ -598,8 +691,16 @@ def transient(
     eps_t = 64.0 * np.spacing(max(abs(t_stop), abs(t_start), 1e-12))
     bp_index = 0
     force_be = True  # first step after t0 behaves like after a breakpoint
-    v_prev = v.copy()
-    t_prev = t
+    if resume_from is not None:
+        # Restore the predictor history; h/force_be above already match
+        # the post-breakpoint restart of a cold run, so from here on the
+        # loop walks the exact grid the cold run would have walked.
+        v_prev = resume_from.state_prev.copy()
+        t_prev = resume_from.t_prev
+    else:
+        v_prev = v.copy()
+        t_prev = t
+    checkpoint: Optional[TransientCheckpoint] = None
 
     # Reusable step buffers: sources, predictor, charge history and the
     # LTE weight/error scratch - the outer loop allocates only the
@@ -723,6 +824,15 @@ def transient(
         v, t = v_new, t_new
         times.append(t)
         states.append(v)  # _newton_step returned a fresh copy
+        if (
+            checkpoint_at is not None
+            and checkpoint is None
+            and abs(t - checkpoint_at) <= eps_t
+        ):
+            checkpoint = TransientCheckpoint(
+                t=t, t_prev=t_prev, state=v.copy(), state_prev=v_prev.copy(),
+                nodes=_node_order(circuit),
+            )
         if current_nodes:
             f_now, _ = kernel.eval(v, with_jacobian=False, stats=stats)
             dq = (circuit.C @ v - q_prev) / h
@@ -735,6 +845,12 @@ def transient(
             grow = 0.9 * (1.0 / max(err, 1e-12)) ** (1.0 / 3.0)
             h *= float(min(max(grow, 0.4), 2.0))
         stats.accept_s += perf_counter() - t_accept
+
+    if checkpoint_at is not None and checkpoint is None:
+        raise RuntimeError(
+            f"transient never landed on checkpoint_at = {checkpoint_at!r} "
+            "(breakpoint insertion failed - this is a bug)"
+        )
 
     time_array = np.asarray(times)
     state_array = np.asarray(states)
@@ -749,4 +865,5 @@ def transient(
     return TransientResult(
         times=time_array, voltages=voltages, source_currents=source_currents,
         escalations=escalations, kernel_stats=stats.as_dict(),
+        checkpoint=checkpoint,
     )

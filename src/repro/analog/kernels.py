@@ -38,6 +38,7 @@ compiled circuit that owns it) must not be shared across threads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from time import perf_counter
 from typing import Any, Dict, Optional, Tuple
 
@@ -149,6 +150,36 @@ def build_mosfet_scatter(
     return f_idx, j_idx, incidence
 
 
+@lru_cache(maxsize=256)
+def _scatter_plan_cached(
+    n: int, d: Tuple[int, ...], g: Tuple[int, ...], s: Tuple[int, ...]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return build_mosfet_scatter(
+        np.asarray(d, dtype=np.intp), np.asarray(g, dtype=np.intp),
+        np.asarray(s, dtype=np.intp), n,
+    )
+
+
+def mosfet_scatter_plan(
+    m_d: np.ndarray, m_g: np.ndarray, m_s: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Memoized :func:`build_mosfet_scatter` keyed on the topology.
+
+    Bisection and serial sweeps recompile the same sensor topology for
+    every probe; the scatter plan depends only on connectivity, so one
+    module-level LRU (shared by the scalar and batch kernels) hands the
+    identical plan back.  The returned arrays are shared across kernels
+    and must be treated as read-only - both kernels only gather from
+    them.
+    """
+    return _scatter_plan_cached(
+        int(n),
+        tuple(int(x) for x in m_d),
+        tuple(int(x) for x in m_g),
+        tuple(int(x) for x in m_s),
+    )
+
+
 def reference_device_currents(
     circuit: Any, v: np.ndarray, with_jacobian: bool = True
 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
@@ -213,7 +244,7 @@ class ScalarKernel:
         m = circuit.m_d.size
         self.n = n
         self.m = m
-        self.f_idx, self.j_idx, self.incidence = build_mosfet_scatter(
+        self.f_idx, self.j_idx, self.incidence = mosfet_scatter_plan(
             circuit.m_d, circuit.m_g, circuit.m_s, n
         )
         # Reused output/scratch buffers (not thread-safe, by design).

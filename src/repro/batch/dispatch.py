@@ -73,14 +73,25 @@ def batch_signature(job: SensorJob) -> Hashable:
     ``parasitics`` fix the circuit topology, and ``options`` fixes the
     engine knobs.  Everything else (skew, slews, loads, sizing, process
     corner, threshold) may vary per sample - that is the point.
+
+    Warm-start jobs additionally carry their prefix key: a stack can
+    fork from one broadcast checkpoint only when every sample shares the
+    same skew-invariant prefix, so warm jobs with different prefixes (or
+    warm and cold jobs) never share a stack.
     """
     resolved = job.resolved()
+    prefix = None
+    if resolved.warm_start:
+        from repro.runtime.prefix import prefix_key, warm_eligible
+
+        prefix = prefix_key(resolved) if warm_eligible(resolved) else "cold"
     return (
         resolved.period,
         resolved.settle,
         resolved.full_swing,
         resolved.parasitics,
         resolved.options,
+        prefix,
     )
 
 
@@ -121,7 +132,7 @@ def evaluate_batch_chunk(
     """
     stats: Dict[str, object] = {
         "batched_samples": 0, "batch_fallbacks": 0, "escalations": {},
-        "kernel": {},
+        "kernel": {}, "prefix": {},
     }
     outcomes: List[_Outcome] = []
     watch = Stopwatch()
@@ -139,6 +150,7 @@ def evaluate_batch_chunk(
 
     stats["escalations"] = evaluation.escalations
     stats["kernel"] = evaluation.kernel_stats
+    stats["prefix"] = evaluation.prefix
     share = watch.elapsed() / max(1, len(chunk))
     for item, result in zip(chunk, evaluation.results):
         if result is None:
@@ -164,6 +176,9 @@ def _fold_stats(telemetry: Optional[Telemetry], stats: Dict[str, object]) -> Non
     kernel = stats.get("kernel") or {}
     if kernel:
         telemetry.record_kernel(kernel)
+    prefix = stats.get("prefix") or {}
+    if prefix:
+        telemetry.record_prefix(prefix)
 
 
 def dispatch_batches(

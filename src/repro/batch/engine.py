@@ -54,7 +54,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analog.dcop import dc_operating_point
-from repro.analog.engine import TransientOptions
+from repro.analog.engine import TransientCheckpoint, TransientOptions
 from repro.analog.kernels import REUSE_SLOWDOWN, KernelStats, c_einsum, raw_inv
 from repro.analog.waveform import Waveform
 from repro.batch.compile import BatchCompiledCircuit
@@ -511,6 +511,7 @@ def batch_transient(
     record: Optional[Iterable[str]] = None,
     initial: Optional[Sequence[Optional[Dict[str, float]]]] = None,
     options: Optional[TransientOptions] = None,
+    resume_from: Optional[TransientCheckpoint] = None,
 ) -> BatchTransientResult:
     """Integrate every sample of ``batch`` in lockstep over
     ``[t_start, t_stop]``.
@@ -523,11 +524,21 @@ def batch_transient(
         Node names whose voltages to keep; defaults to every node.
     initial:
         Per-sample initial-guess dicts for the operating point (length
-        ``B``; entries may be ``None``).
+        ``B``; entries may be ``None``).  Ignored with ``resume_from``.
     options:
         Scalar-engine knobs, shared by the batch; the in-batch ladder
         honours only the ``"step-halving"`` rung (see the module
         docstring's fallback contract).
+    resume_from:
+        A *scalar* :class:`~repro.analog.engine.TransientCheckpoint`
+        broadcast over the whole stack: every sample starts from the
+        same prefix state (``t_start`` is taken from the checkpoint, the
+        per-sample operating-point solves are skipped) and the first
+        step uses the backward-Euler-after-breakpoint restart, exactly
+        like the scalar resume.  Legal because
+        :func:`~repro.batch.compile.compile_batch` enforces an identical
+        node ordering across samples - which is also checked here
+        against the checkpoint's ``nodes`` guard.
 
     Unlike the scalar :func:`~repro.analog.engine.transient`, this never
     raises on a non-convergent sample: the sample is masked out
@@ -542,13 +553,30 @@ def batch_transient(
         if node not in batch.node_index:
             raise KeyError(f"cannot record unknown node {node!r}")
 
+    if resume_from is not None:
+        order = tuple(sorted(batch.node_index, key=batch.node_index.get))
+        if resume_from.nodes != order:
+            raise ValueError(
+                "checkpoint node order does not match batch "
+                f"(checkpoint {resume_from.nodes}, batch {order})"
+            )
+        t_start = resume_from.t
+    if t_stop <= t_start:
+        raise ValueError(f"need t_stop > t_start (got {t_start} .. {t_stop})")
+
     raw = [b for b in batch.breakpoints(t_start, t_stop) if b > t_start]
     raw.append(t_stop)
     breakpoints = merge_breakpoints(raw, BREAKPOINT_MERGE_TOL)
 
     escalations: Dict[str, int] = {}
     fallback_reasons: Dict[int, str] = {}
-    v, alive = _batch_dcop(batch, t_start, initial, escalations, fallback_reasons)
+    if resume_from is not None:
+        v = np.tile(resume_from.state, (B, 1))
+        alive = np.ones(B, dtype=bool)
+    else:
+        v, alive = _batch_dcop(
+            batch, t_start, initial, escalations, fallback_reasons
+        )
 
     work = _BatchNewtonWork(batch, options)
     kernel, stats = work.kernel, work.stats
@@ -561,8 +589,12 @@ def batch_transient(
     eps_t = 64.0 * np.spacing(max(abs(t_stop), abs(t_start), 1e-12))
     bp_index = 0
     force_be = True
-    v_prev = v.copy()
-    t_prev = t
+    if resume_from is not None:
+        v_prev = np.tile(resume_from.state_prev, (B, 1))
+        t_prev = resume_from.t_prev
+    else:
+        v_prev = v.copy()
+        t_prev = t
 
     # Reusable step buffers, mirroring the scalar engine's workspaces:
     # sources, predictor, charge history and the LTE weight/error

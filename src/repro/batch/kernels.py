@@ -29,8 +29,8 @@ import numpy as np
 
 from repro.analog.kernels import (
     KernelStats,
-    build_mosfet_scatter,
     c_einsum,
+    mosfet_scatter_plan,
 )
 
 
@@ -50,7 +50,7 @@ class BatchKernel:
         self.B = B
         self.n = n
         self.m = m
-        self.f_idx, self.j_idx, self.incidence = build_mosfet_scatter(
+        self.f_idx, self.j_idx, self.incidence = mosfet_scatter_plan(
             batch.m_d, batch.m_g, batch.m_s, n
         )
         #: Sample-major flattened Jacobian targets: sample ``b``'s block

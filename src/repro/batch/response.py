@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analog.waveform import Waveform
 from repro.batch.compile import compile_batch
 from repro.batch.engine import BatchTransientResult, batch_transient
+from repro.core.response import measurement_windows
 from repro.core.sensing import SkewSensor
 from repro.devices.sources import clock_pair
 from repro.runtime.jobs import JobResult, SensorJob
@@ -55,6 +56,11 @@ class BatchEvaluation:
     #: stack level - the per-sample ``JobResult.kernel`` tallies stay
     #: empty for batch results so campaign telemetry never double-counts.
     kernel_stats: Dict[str, float] = field(default_factory=dict)
+    #: Stack-level prefix warm-start accounting (``hits``/``builds``/
+    #: ``build_s``/``saved_s``); empty when the stack ran cold.  Like
+    #: ``kernel_stats``, kept at the stack level so telemetry never
+    #: double-counts.
+    prefix: Dict[str, float] = field(default_factory=dict)
 
     @property
     def fallbacks(self) -> int:
@@ -68,18 +74,15 @@ def _measure(
     """Apply ``simulate_sensor``'s measurement windows to one sample."""
     skew, slew1, slew2 = job.skew, job.slew1, job.slew2
     settle, period = job.settle, job.period
-    edge_start = settle + min(0.0, skew)
-    late_edge_end = settle + max(0.0, skew) + max(slew1, slew2)
-    fall_start = settle + period / 2.0 - max(slew1, slew2) + min(0.0, skew)
+    edge_start, _, fall_start, t_sample = measurement_windows(
+        skew, slew1, slew2, period, settle
+    )
 
     y1 = result.wave("y1", sample)
     y2 = result.wave("y2", sample)
     vmin_y1 = y1.window_min(edge_start, fall_start)
     vmin_y2 = y2.window_min(edge_start, fall_start)
 
-    t_sample = min(
-        late_edge_end + (fall_start - late_edge_end) * 0.75, fall_start
-    )
     code = (
         1 if y1.at(t_sample) > job.threshold else 0,
         1 if y2.at(t_sample) > job.threshold else 0,
@@ -140,13 +143,61 @@ def evaluate_jobs_batch(jobs: Sequence[SensorJob]) -> BatchEvaluation:
         initial.append(sensor.dc_guess())
 
     batch = compile_batch(netlists)
-    result = batch_transient(
-        batch,
-        t_stop=head.settle + head.period,
-        record=list(RECORD_NODES),
-        initial=initial,
-        options=head.options,
+
+    # Warm stack: when every sample shares one prefix key, the whole
+    # stack forks from a single scalar checkpoint (broadcast by
+    # batch_transient) and integrates only up to the latest sample's
+    # fall_start - every measurement window lies inside that horizon.
+    checkpoint = None
+    prefix_stats: Dict[str, float] = {}
+    t_stop = head.settle + head.period
+    from repro.runtime.prefix import (
+        prefix_checkpoint, prefix_key, warm_eligible,
     )
+
+    if all(job.warm_start and warm_eligible(job) for job in resolved):
+        keys = {prefix_key(job) for job in resolved}
+        if len(keys) == 1:
+            checkpoint, stats = prefix_checkpoint(resolved[0])
+            # One build (or hit) serves the whole stack: count every
+            # sample as a warm fork, minus the one that paid the build.
+            B = len(resolved)
+            prefix_stats = {
+                "hits": float(B - int(stats.get("builds", 0))),
+                "builds": float(stats.get("builds", 0.0)),
+                "build_s": float(stats.get("build_s", 0.0)),
+            }
+            fork = checkpoint.t
+            fall_stops = [
+                measurement_windows(
+                    job.skew, job.slew1, job.slew2, job.period, job.settle
+                )[2]
+                for job in resolved
+            ]
+            t_stop = max(fall_stops)
+            saved_tail = sum(
+                (head.settle + head.period) - fs for fs in fall_stops
+            )
+            prefix_stats["saved_s"] = (
+                saved_tail + fork * float(prefix_stats["hits"])
+            )
+
+    if checkpoint is not None:
+        result = batch_transient(
+            batch,
+            t_stop=t_stop,
+            record=list(RECORD_NODES),
+            options=head.options,
+            resume_from=checkpoint,
+        )
+    else:
+        result = batch_transient(
+            batch,
+            t_stop=t_stop,
+            record=list(RECORD_NODES),
+            initial=initial,
+            options=head.options,
+        )
 
     results: List[Optional[JobResult]] = []
     for index, job in enumerate(resolved):
@@ -160,4 +211,5 @@ def evaluate_jobs_batch(jobs: Sequence[SensorJob]) -> BatchEvaluation:
         fallback_reasons=dict(result.fallback_reasons),
         steps=len(result),
         kernel_stats=dict(result.kernel_stats),
+        prefix=prefix_stats,
     )

@@ -62,6 +62,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
             fF(load), ns(args.slew), skews, options=_FAST,
             backend=args.backend, cache=cache, telemetry=telemetry,
             max_workers=args.workers,
+            warm_start=False if args.no_warm_start else None,
         )
         for load in args.loads
     ]
@@ -96,6 +97,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             on_error=args.on_error,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            warm_start=False if args.no_warm_start else None,
         )
     print(f"campaign: {len(curves)} curves x {args.points} skew points "
           f"({args.backend} backend)")
@@ -130,6 +132,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         points = scatter_analysis_parallel(
             samples, skews, options=_FAST, backend=args.backend,
             n_workers=args.workers, cache=cache, telemetry=telemetry,
+            warm_start=False if args.no_warm_start else None,
         )
     seed_text = args.seed if args.seed is not None else "none (fresh draws)"
     print(f"montecarlo: {args.samples} samples x {len(skews)} skews "
@@ -150,16 +153,23 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.runtime import get_cache
+    from repro.runtime import get_cache, get_checkpoint_cache
     from repro.runtime.cache import ENV_CACHE_DIR, ENV_CACHE_DISABLE
 
-    cache = get_cache()
+    if args.checkpoints:
+        cache = get_checkpoint_cache()
+        tier = "checkpoint (prefix warm-start)"
+    else:
+        cache = get_cache()
+        tier = "result"
     if args.action == "clear":
         removed = cache.clear()
-        print(f"cleared {removed} cached result(s) from "
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from the {tier} cache at "
               f"{cache.disk_dir or 'memory (disk tier disabled)'}")
         return 0
     # info
+    print(f"tier       : {tier}")
     print(f"version    : v{cache.version} (engine fingerprint)")
     if cache.disk_enabled:
         size = cache.disk_size_bytes()
@@ -275,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "half the CPUs)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache")
+        p.add_argument("--no-warm-start", action="store_true",
+                       help="disable prefix warm-start (full cold "
+                            "transients, bit-identical to the pre-prefix "
+                            "behaviour; same as REPRO_WARM_START=0)")
 
     sens = sub.add_parser("sensitivity", help="Vmin vs tau sweep")
     sens.add_argument("--loads", type=float, nargs="+",
@@ -338,6 +352,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument("action", choices=["info", "clear"], nargs="?",
                        default="info")
+    cache.add_argument("--checkpoints", action="store_true",
+                       help="operate on the prefix-checkpoint tier instead "
+                            "of the result cache")
     cache.set_defaults(func=_cmd_cache)
 
     testa = sub.add_parser("testability", help="Sec.-3 fault coverage")

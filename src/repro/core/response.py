@@ -25,6 +25,26 @@ ERROR_PHI2_LATE = (0, 1)
 ERROR_PHI1_LATE = (1, 0)
 
 
+def measurement_windows(
+    skew: float, slew1: float, slew2: float, period: float, settle: float
+) -> Tuple[float, float, float, float]:
+    """The evaluation-window times of one sensor cycle.
+
+    Returns ``(edge_start, late_edge_end, fall_start, t_sample)``:
+    ``Vmin`` is taken over ``[edge_start, fall_start]`` (first rising
+    edge to the start of the falling edge - the half period during which
+    the paper says the error indication holds) and the logic code is
+    sampled at ``t_sample``.  Single source of truth for the scalar,
+    batch and prefix warm-start measurement paths - the expressions must
+    stay bit-identical across them.
+    """
+    edge_start = settle + min(0.0, skew)
+    late_edge_end = settle + max(0.0, skew) + max(slew1, slew2)
+    fall_start = settle + period / 2.0 - max(slew1, slew2) + min(0.0, skew)
+    t_sample = min(late_edge_end + (fall_start - late_edge_end) * 0.75, fall_start)
+    return edge_start, late_edge_end, fall_start, t_sample
+
+
 @dataclass(frozen=True)
 class SensorResponse:
     """Measured response of one sensor simulation.
@@ -110,9 +130,9 @@ def simulate_sensor(
     )
     netlist = sensor.build(phi1=phi1, phi2=phi2)
 
-    edge_start = settle + min(0.0, skew)
-    late_edge_end = settle + max(0.0, skew) + max(slew1, slew2)
-    fall_start = settle + period / 2.0 - max(slew1, slew2) + min(0.0, skew)
+    edge_start, late_edge_end, fall_start, t_sample = measurement_windows(
+        skew, slew1, slew2, period, settle
+    )
     t_stop = settle + period
 
     # Idle state with both clocks low: the guess steers the operating
@@ -135,7 +155,6 @@ def simulate_sensor(
 
     # Sample the persistent indication after the late edge has fully
     # propagated, comfortably inside the high phase.
-    t_sample = min(late_edge_end + (fall_start - late_edge_end) * 0.75, fall_start)
     code = (
         1 if y1.at(t_sample) > threshold else 0,
         1 if y2.at(t_sample) > threshold else 0,

@@ -71,6 +71,7 @@ def vmin_for_skew(
     load2: Optional[float] = None,
     cache: Any = "default",
     telemetry: Any = None,
+    warm_start: Optional[bool] = None,
 ) -> float:
     """``Vmin`` of the late output for a single operating point.
 
@@ -79,13 +80,19 @@ def vmin_for_skew(
     have been considered independent, in order to account for asymmetric
     conditions").  The point is content-addressed in the runtime cache;
     pass ``cache=None`` to force a fresh transient.
+
+    ``warm_start=None`` resolves from ``REPRO_WARM_START`` (default on):
+    the evaluation forks a cached pre-skew prefix checkpoint and
+    integrates only the measurement suffix (see
+    :mod:`repro.runtime.prefix`); ``False`` forces the cold full-horizon
+    path, bit-identical to the pre-warm-start behaviour.
     """
     from repro.runtime import evaluate_cached, sensitivity_job
 
     job = sensitivity_job(
         load, slew, skew,
         process=process, sizing=sizing, options=options,
-        slew2=slew2, load2=load2,
+        slew2=slew2, load2=load2, warm_start=warm_start,
     )
     return evaluate_cached(job, cache=cache, telemetry=telemetry).vmin_late
 
@@ -102,6 +109,7 @@ def sweep_skew(
     cache: Any = "default",
     telemetry: Any = None,
     max_workers: Optional[int] = None,
+    warm_start: Optional[bool] = None,
 ) -> SensitivityCurve:
     """Sweep ``tau`` and collect the ``Vmin`` curve for one (load, slew).
 
@@ -120,6 +128,7 @@ def sweep_skew(
         sensitivity_job(
             load, slew, float(tau),
             process=process, sizing=sizing, options=options,
+            warm_start=warm_start,
         )
         for tau in skew_array
     ]
@@ -144,6 +153,7 @@ def extract_tau_min(
     options: Optional[TransientOptions] = None,
     cache: Any = "default",
     telemetry: Any = None,
+    warm_start: Optional[bool] = None,
 ) -> float:
     """Sensitivity ``tau_min`` by bisection on the ``Vmin`` crossing.
 
@@ -155,7 +165,7 @@ def extract_tau_min(
     def vmin(tau: float) -> float:
         return vmin_for_skew(
             tau, load, slew, process=process, sizing=sizing, options=options,
-            cache=cache, telemetry=telemetry,
+            cache=cache, telemetry=telemetry, warm_start=warm_start,
         )
 
     lo, hi = 0.0, tau_hi
@@ -189,6 +199,7 @@ def sensitivity_family(
     on_error: str = "raise",
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    warm_start: Optional[bool] = None,
 ) -> List[SensitivityCurve]:
     """The full Fig.-4 family: one curve per (load, slew) combination.
 
@@ -212,6 +223,7 @@ def sensitivity_family(
         sensitivity_job(
             load, slew, float(tau),
             process=process, sizing=sizing, options=options,
+            warm_start=warm_start,
         )
         for load, slew in pairs
         for tau in skew_array

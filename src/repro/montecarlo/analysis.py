@@ -18,8 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.analog.engine import TransientOptions
-from repro.core.response import simulate_sensor
-from repro.core.sensing import SensorSizing, SkewSensor
+from repro.core.sensing import SensorSizing
 from repro.montecarlo.sampling import MonteCarloSample
 from repro.units import VTH_INTERPRET
 
@@ -42,30 +41,32 @@ def scatter_analysis(
     skews: Sequence[float],
     sizing: Optional[SensorSizing] = None,
     options: Optional[TransientOptions] = None,
+    warm_start: Optional[bool] = None,
 ) -> List[ScatterPoint]:
     """Evaluate ``Vmin`` for every (sample, skew) combination.
 
     The skews may themselves be randomised by the caller; the paper sweeps
     a deterministic grid per sample.
+
+    Every point goes through the same job evaluator as
+    :func:`repro.montecarlo.parallel.scatter_analysis_parallel` (with the
+    same ``REPRO_WARM_START``-resolved ``warm_start`` default), so the
+    serial and parallel analyses stay bit-identical whichever way the
+    warm-start switch is set.
     """
+    from repro.montecarlo.parallel import sample_job
+    from repro.runtime.jobs import evaluate_job
+
     points: List[ScatterPoint] = []
     for index, sample in enumerate(samples):
-        sensor = SkewSensor(
-            process=sample.process,
-            sizing=sizing or SensorSizing(),
-            load1=sample.load1,
-            load2=sample.load2,
-        )
         for tau in skews:
-            response = simulate_sensor(
-                sensor,
-                skew=tau,
-                slew1=sample.slew1,
-                slew2=sample.slew2,
-                options=options,
+            job = sample_job(
+                sample, tau, sizing=sizing, options=options,
+                warm_start=warm_start,
             )
+            result = evaluate_job(job)
             points.append(
-                ScatterPoint(skew=tau, vmin=response.vmin_late, sample_index=index)
+                ScatterPoint(skew=tau, vmin=result.vmin_late, sample_index=index)
             )
     return points
 

@@ -37,8 +37,19 @@ def sample_job(
     skew: float,
     sizing: Optional[SensorSizing] = None,
     options: Optional[TransientOptions] = None,
+    warm_start: Optional[bool] = None,
 ) -> SensorJob:
-    """The runtime job of one Monte Carlo (sample, skew) grid point."""
+    """The runtime job of one Monte Carlo (sample, skew) grid point.
+
+    ``warm_start=None`` resolves from ``REPRO_WARM_START`` (default on):
+    warm jobs skip the post-measurement half period and reuse the
+    pre-skew prefix across the skews of one sample (and across reruns,
+    through the checkpoint cache tier).
+    """
+    if warm_start is None:
+        from repro.runtime.prefix import warm_start_default
+
+        warm_start = warm_start_default()
     return SensorJob(
         skew=skew,
         load1=sample.load1,
@@ -48,6 +59,7 @@ def sample_job(
         process=sample.process,
         sizing=sizing or SensorSizing(),
         options=options,
+        warm_start=warm_start,
     )
 
 
@@ -64,6 +76,7 @@ def scatter_analysis_parallel(
     on_error: str = "raise",
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    warm_start: Optional[bool] = None,
 ) -> List[ScatterPoint]:
     """Parallel equivalent of :func:`scatter_analysis`.
 
@@ -87,7 +100,8 @@ def scatter_analysis_parallel(
     """
     skew_list = [float(tau) for tau in skews]
     jobs = [
-        sample_job(sample, tau, sizing=sizing, options=options)
+        sample_job(sample, tau, sizing=sizing, options=options,
+                   warm_start=warm_start)
         for sample in samples
         for tau in skew_list
     ]

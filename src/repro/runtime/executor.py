@@ -488,6 +488,8 @@ def evaluate_cached(
             escalations=result.escalation_counts,
             kernel=result.kernel_counts,
         )
+        if result.prefix:
+            telemetry.record_prefix(dict(result.prefix))
     if key is not None:
         cache.put(key, result.to_payload())
     return result
@@ -660,6 +662,15 @@ def run_campaign(
                           for index, job in pending]
     outcomes: List[_Outcome] = []
 
+    if items and evaluate is None:
+        # Prefix planner: integrate each warm group's shared pre-skew
+        # prefix once in the parent, so serial/thread evaluations and
+        # fork-started workers all inherit the checkpoint from the
+        # memory tier instead of racing to rebuild it.
+        from repro.runtime.prefix import prepare_prefixes
+
+        prepare_prefixes([job for _, job in pending], telemetry)
+
     try:
         if items:
             if backend == "batch":
@@ -757,7 +768,7 @@ def _assimilate(
             skew=result.skew, vmin_y1=result.vmin_y1, vmin_y2=result.vmin_y2,
             code=result.code, steps=result.steps, attempts=attempts,
             cached=False, escalations=result.escalations,
-            kernel=result.kernel,
+            kernel=result.kernel, prefix=result.prefix,
         )
         telemetry.record_job(
             f"job[{index}]", wall=wall, attempts=attempts,
@@ -765,6 +776,8 @@ def _assimilate(
             escalations=result.escalation_counts,
             kernel=result.kernel_counts,
         )
+        if result.prefix:
+            telemetry.record_prefix(dict(result.prefix))
         if cache is not None and keys[index] is not None:
             cache.put(keys[index], results[index].to_payload())
         if journal is not None and keys[index] is not None:

@@ -53,6 +53,14 @@ class SensorJob:
     full_swing: bool = False
     parasitics: bool = True
     options: Optional[TransientOptions] = None
+    #: Evaluate through the prefix warm-start path (fork the shared
+    #: pre-skew waveform from a cached checkpoint and integrate only the
+    #: measurement suffix).  Part of the job identity: warm results live
+    #: under their own cache keys, so disabling warm start reproduces the
+    #: cold results bit-identically.  The raw default is off; the factory
+    #: helpers (:func:`sensitivity_job`, Monte Carlo ``sample_job``)
+    #: resolve their default from ``REPRO_WARM_START``.
+    warm_start: bool = False
 
     def resolved(self) -> "SensorJob":
         """A copy with every default made explicit (process, options)."""
@@ -97,6 +105,10 @@ class JobResult:
     escalations: Tuple[Tuple[str, int], ...] = ()
     resumed: bool = False
     kernel: Tuple[Tuple[str, float], ...] = ()
+    #: Prefix warm-start accounting of *this run* (sorted pairs: hits,
+    #: builds, build_s, saved_s).  Run-local like ``kernel``: not part of
+    #: the cache payload, so cached/resumed replays carry an empty tuple.
+    prefix: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -160,8 +172,17 @@ class JobResult:
 
 
 def evaluate_job(job: SensorJob) -> JobResult:
-    """Run the transient described by ``job`` (no caching, no retries)."""
+    """Run the transient described by ``job`` (no caching, no retries).
+
+    Jobs with ``warm_start=True`` route through the prefix warm-start
+    evaluator (checkpointed pre-skew prefix + forked measurement
+    suffix); everything else takes the cold full-horizon path below.
+    """
     resolved = job.resolved()
+    if resolved.warm_start:
+        from repro.runtime.prefix import evaluate_job_warm
+
+        return evaluate_job_warm(resolved)
     sensor = SkewSensor(
         process=resolved.process,
         sizing=resolved.sizing,
@@ -201,12 +222,19 @@ def sensitivity_job(
     options: Optional[TransientOptions] = None,
     slew2: Optional[float] = None,
     load2: Optional[float] = None,
+    warm_start: Optional[bool] = None,
 ) -> SensorJob:
     """Job for one Fig.-4 operating point (symmetric defaults).
 
     Mirrors the parameter conventions of
-    :func:`repro.core.sensitivity.vmin_for_skew`.
+    :func:`repro.core.sensitivity.vmin_for_skew`.  ``warm_start=None``
+    resolves from the ``REPRO_WARM_START`` environment switch (default
+    on); pass ``False`` to force the cold full-horizon evaluation.
     """
+    if warm_start is None:
+        from repro.runtime.prefix import warm_start_default
+
+        warm_start = warm_start_default()
     return SensorJob(
         skew=skew,
         load1=load,
@@ -217,4 +245,5 @@ def sensitivity_job(
         sizing=sizing or SensorSizing(),
         threshold=threshold,
         options=options,
+        warm_start=warm_start,
     )

@@ -1,0 +1,319 @@
+"""Prefix-shared warm-start evaluation of sensor jobs.
+
+Every Fig. 4 / Table 1 data point re-integrates the sensing circuit from
+``t = 0``, yet all samples sharing (load, slew-independent physics) are
+*identical* until the skew-shifted clock edges: both clocks sit flat at
+0 V over ``[0, settle + min(0, tau))``, so the only thing the skew (and
+the slews, and the period) change about the early waveform is *when* it
+ends.  This module exploits that:
+
+1. **Fork time.**  Each job forks at ``fork = settle + min(0, tau) -
+   PREFIX_GUARD``.  The guard keeps the checkpoint strictly before the
+   first clock corner, so the prefix sees only flat sources; making the
+   fork a *per-job deterministic* function (rather than a per-campaign
+   ``min`` over the submitted taus) is what lets sequential bisection
+   probes - which arrive one at a time - share one cached prefix: every
+   job with ``tau >= 0`` forks at exactly ``settle - PREFIX_GUARD``.
+
+2. **Prefix key.**  The checkpoint is content-addressed on the
+   skew-invariant job fields (loads, process, sizing, topology switches,
+   engine options) plus the fork time - everything except ``tau``, the
+   slews, the period and the interpretation threshold, none of which can
+   influence the circuit before ``fork`` (the clocks' first breakpoints
+   all lie at ``settle + min(0, tau)`` or later).  Keys live in the
+   checkpoint tier of :mod:`repro.runtime.cache`, namespaced by the same
+   physics fingerprint as results.
+
+3. **Warm evaluation.**  A warm job integrates (or fetches) the prefix
+   once with ``checkpoint_at=fork``, then resumes from the checkpoint
+   over the *measurement suffix only* ``[fork, fall_start]`` - every
+   window of :func:`repro.core.response.measurement_windows` lies inside
+   it, so the post-measurement half period (about half of a cold run's
+   accepted steps) is never integrated at all.  The restart uses the
+   engine's backward-Euler-after-breakpoint rule, so the forked run is a
+   legal grid continuation of the prefix.
+
+Warm results are keyed (and cached) under ``SensorJob.warm_start=True``
+identities, disjoint from cold results: disabling warm start (pass
+``warm_start=False`` or set ``REPRO_WARM_START=0``) reproduces the
+pre-change behaviour bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analog.engine import TransientCheckpoint, transient
+from repro.core.response import measurement_windows
+from repro.core.sensing import SkewSensor
+from repro.devices.sources import clock_pair
+from repro.runtime.cache import get_checkpoint_cache, stable_key
+from repro.runtime.jobs import JobResult, SensorJob
+from repro.runtime.telemetry import Stopwatch, Telemetry
+
+#: Namespace of checkpoint-tier keys (never collides with job results).
+PREFIX_NAMESPACE = "transient-prefix"
+
+#: Seconds the fork is kept *before* the earliest clock corner.  The
+#: guard absorbs the engine's breakpoint landing tolerance (a few ULPs at
+#: the horizon scale, ~1e-23 s) with orders of magnitude to spare and
+#: guarantees the checkpoint state is taken while every source is still
+#: flat; 50 ps is also large enough that the post-restart dt ramp
+#: (dt_start = 0.1 ps, growing 2x per accepted step) re-reaches the
+#: pre-edge cruise step before the first clock corner, so the forked
+#: grid meets the edge the same way a cold run does.
+PREFIX_GUARD = 50e-12
+
+#: Environment switch for the factory-level warm-start default.
+ENV_WARM_START = "REPRO_WARM_START"
+
+#: Don't bother forking when the prefix is shorter than this many
+#: dt_start ramps - the checkpoint round-trip would cost more than the
+#: handful of steps it saves.
+_MIN_PREFIX_STEPS = 16.0
+
+
+def warm_start_default() -> bool:
+    """Resolve the warm-start default from ``REPRO_WARM_START``.
+
+    Warm start is on unless the variable is set to a falsy string
+    (``0`` / ``false`` / ``no`` / ``off``).
+    """
+    value = os.environ.get(ENV_WARM_START, "").strip().lower()
+    return value not in ("0", "false", "no", "off")
+
+
+def fork_time(job: SensorJob) -> float:
+    """Fork time of ``job``: just before its earliest clock corner.
+
+    ``settle + min(0, tau) - PREFIX_GUARD``; deterministic per job (not
+    per campaign) so bisection probes submitted one at a time still land
+    on the same cached prefix when ``tau >= 0``.
+    """
+    resolved = job.resolved()
+    return resolved.settle + min(0.0, resolved.skew) - PREFIX_GUARD
+
+
+def warm_eligible(job: SensorJob) -> bool:
+    """Whether the warm path applies to ``job`` at all.
+
+    Requires a usefully long prefix (the fork comfortably after ``t=0``)
+    and a measurement suffix that actually starts after the fork.
+    """
+    resolved = job.resolved()
+    fork = fork_time(resolved)
+    if fork < _MIN_PREFIX_STEPS * resolved.options.dt_start:
+        return False
+    _, _, fall_start, _ = measurement_windows(
+        resolved.skew, resolved.slew1, resolved.slew2,
+        resolved.period, resolved.settle,
+    )
+    return fall_start > fork + PREFIX_GUARD
+
+
+def prefix_signature(job: SensorJob) -> Dict[str, object]:
+    """The skew-invariant fields addressing a prefix checkpoint.
+
+    Everything that shapes the circuit or the solver before the fork:
+    loads, process corner, sizing, topology switches, engine options and
+    the fork time itself.  Deliberately *excludes* ``skew``, ``slew1``/
+    ``slew2``, ``period`` and ``threshold`` - both clocks are flat 0 V
+    on ``[0, fork]`` (their first waveform corners lie at ``settle +
+    min(0, tau) > fork``), so those fields cannot influence the prefix
+    solution or its grid.
+    """
+    resolved = job.resolved()
+    return {
+        "load1": resolved.load1,
+        "load2": resolved.load2,
+        "process": resolved.process,
+        "sizing": resolved.sizing,
+        "full_swing": resolved.full_swing,
+        "parasitics": resolved.parasitics,
+        "options": resolved.options,
+        "fork": fork_time(resolved),
+    }
+
+
+def prefix_key(job: SensorJob) -> str:
+    """Content-address of ``job``'s prefix checkpoint."""
+    return stable_key(prefix_signature(job), namespace=PREFIX_NAMESPACE)
+
+
+def group_by_prefix(
+    jobs: Iterable[SensorJob],
+) -> "Dict[str, List[SensorJob]]":
+    """Plan a campaign: warm-eligible jobs grouped by prefix key.
+
+    First-seen order is preserved; jobs that are cold (``warm_start``
+    off) or ineligible are left out.  Two jobs land in the same group
+    only when *every* skew-invariant field matches - the planner test
+    proves differing non-tau parameters never merge.
+    """
+    groups: Dict[str, List[SensorJob]] = {}
+    for job in jobs:
+        resolved = job.resolved()
+        if not (resolved.warm_start and warm_eligible(resolved)):
+            continue
+        groups.setdefault(prefix_key(resolved), []).append(job)
+    return groups
+
+
+def _build_sensor(resolved: SensorJob) -> SkewSensor:
+    return SkewSensor(
+        process=resolved.process,
+        sizing=resolved.sizing,
+        load1=resolved.load1,
+        load2=resolved.load2,
+        full_swing=resolved.full_swing,
+        parasitics=resolved.parasitics,
+    )
+
+
+def _sensor_netlist(resolved: SensorJob):
+    """(sensor, netlist) of one resolved job, clocks included."""
+    sensor = _build_sensor(resolved)
+    phi1, phi2 = clock_pair(
+        period=resolved.period, slew1=resolved.slew1, slew2=resolved.slew2,
+        skew=resolved.skew, delay=resolved.settle, vdd=sensor.vdd,
+    )
+    return sensor, sensor.build(phi1=phi1, phi2=phi2)
+
+
+def prefix_checkpoint(
+    resolved: SensorJob,
+) -> Tuple[TransientCheckpoint, Dict[str, float]]:
+    """Fetch or integrate the shared prefix checkpoint of ``resolved``.
+
+    Returns ``(checkpoint, stats)`` where ``stats`` carries the prefix
+    accounting the telemetry folds in: ``hits``/``builds`` counts, the
+    wall seconds spent building (``build_s``), the simulated seconds a
+    cache hit skipped (``saved_s``), and the engine escalation/step
+    counts of a fresh build (``steps``, plus ``esc:<rung>`` entries).
+    """
+    fork = fork_time(resolved)
+    key = prefix_key(resolved)
+    cache = get_checkpoint_cache()
+    payload = cache.get(key)
+    if payload is not None:
+        return TransientCheckpoint.from_payload(payload), {
+            "hits": 1.0, "saved_s": fork,
+        }
+    watch = Stopwatch()
+    sensor, netlist = _sensor_netlist(resolved)
+    result = transient(
+        netlist,
+        t_stop=fork,
+        record=[],
+        initial=sensor.dc_guess(),
+        options=resolved.options,
+        checkpoint_at=fork,
+    )
+    checkpoint = result.checkpoint
+    cache.put(key, checkpoint.to_payload())
+    stats: Dict[str, float] = {
+        "builds": 1.0,
+        "build_s": watch.elapsed(),
+        "steps": float(len(result.times) - 1),
+    }
+    for rung, count in result.escalations.items():
+        stats[f"esc:{rung}"] = stats.get(f"esc:{rung}", 0.0) + count
+    return checkpoint, stats
+
+
+def evaluate_job_warm(job: SensorJob) -> JobResult:
+    """Warm-start evaluation: cached prefix + forked measurement suffix.
+
+    Pure function of the job alone (the fork time and suffix horizon are
+    per-job deterministic), so the result is cacheable under the job's
+    ``warm_start=True`` key like any other.  Falls back to the cold
+    evaluator when the job is warm-ineligible.
+    """
+    resolved = job.resolved()
+    if not warm_eligible(resolved):
+        from dataclasses import replace
+
+        from repro.runtime.jobs import evaluate_job
+
+        return evaluate_job(replace(resolved, warm_start=False))
+
+    checkpoint, prefix_stats = prefix_checkpoint(resolved)
+    edge_start, _, fall_start, t_sample = measurement_windows(
+        resolved.skew, resolved.slew1, resolved.slew2,
+        resolved.period, resolved.settle,
+    )
+    _, netlist = _sensor_netlist(resolved)
+    result = transient(
+        netlist,
+        t_stop=fall_start,
+        record=["phi1", "phi2", "y1", "y2"],
+        options=resolved.options,
+        resume_from=checkpoint,
+    )
+    y1 = result.wave("y1")
+    y2 = result.wave("y2")
+    vmin_y1 = y1.window_min(edge_start, fall_start)
+    vmin_y2 = y2.window_min(edge_start, fall_start)
+    code = (
+        1 if y1.at(t_sample) > resolved.threshold else 0,
+        1 if y2.at(t_sample) > resolved.threshold else 0,
+    )
+    # Simulated seconds never integrated by this job: the skipped
+    # post-measurement tail, plus the whole prefix on a cache hit.
+    t_stop_cold = resolved.settle + resolved.period
+    saved = (t_stop_cold - fall_start) + float(prefix_stats.get("saved_s", 0.0))
+    prefix = dict(prefix_stats)
+    prefix["saved_s"] = saved
+    escalations = dict(result.escalations)
+    for name, value in list(prefix.items()):
+        if name.startswith("esc:"):
+            rung = name[4:]
+            escalations[rung] = escalations.get(rung, 0) + int(value)
+            del prefix[name]
+    steps = len(result.times) - 1 + int(prefix.pop("steps", 0))
+    return JobResult(
+        skew=resolved.skew,
+        vmin_y1=vmin_y1,
+        vmin_y2=vmin_y2,
+        code=code,
+        steps=steps,
+        escalations=tuple(sorted(escalations.items())),
+        kernel=tuple(sorted(result.kernel_stats.items())),
+        prefix=tuple(sorted(prefix.items())),
+    )
+
+
+def prepare_prefixes(
+    jobs: Sequence[SensorJob], telemetry: Optional[Telemetry] = None
+) -> int:
+    """Ensure every prefix group's checkpoint exists before dispatch.
+
+    Called by :func:`repro.runtime.executor.run_campaign` on the pending
+    (post-cache) work items: each group's shared prefix is integrated
+    once *in the parent process*, so fork-started worker pools inherit
+    it through the memory tier and thread/serial backends hit it
+    directly.  Workers that miss anyway (spawn contexts, disk-disabled
+    runs) fall back to building their own - correctness never depends on
+    this warm-up.  Returns the number of prefixes built.
+    """
+    from repro.errors import SimulationError
+
+    built = 0
+    cache = get_checkpoint_cache()
+    for key, group in group_by_prefix(jobs).items():
+        if cache.get(key) is not None:
+            continue
+        try:
+            _, stats = prefix_checkpoint(group[0].resolved())
+        except SimulationError:
+            # Let the per-job evaluation surface the failure through the
+            # executor's normal retry/on_error machinery.
+            continue
+        if telemetry is not None:
+            telemetry.record_prefix(
+                {k: v for k, v in stats.items()
+                 if k in ("hits", "builds", "build_s", "saved_s")}
+            )
+        built += int(stats.get("builds", 0))
+    return built

@@ -124,6 +124,14 @@ class Telemetry:
     #: (:meth:`repro.analog.kernels.KernelStats.as_dict` fields:
     #: assembles, factorizations, jacobian_reuses, per-phase seconds...).
     kernel: Dict[str, float] = field(default_factory=dict)
+    #: Prefix warm-start counters: jobs that reused a shared/cached prefix
+    #: checkpoint (``prefix_hits``), prefix transients actually integrated
+    #: (``prefix_builds``), wall seconds spent building them, and the
+    #: total *simulated* seconds the warm path skipped re-integrating.
+    prefix_hits: int = 0
+    prefix_builds: int = 0
+    prefix_build_s: float = 0.0
+    prefix_saved_time_s: float = 0.0
     #: Extra named durations recorded via :meth:`timer` (setup, report...).
     spans: Dict[str, float] = field(default_factory=dict)
     _wall = None  # type: Optional[Stopwatch]
@@ -186,6 +194,20 @@ class Telemetry:
             total = self.kernel.get(name, 0) + value
             self.kernel[name] = float(total) if name.endswith("_s") else int(total)
 
+    def record_prefix(self, stats: Mapping[str, float]) -> None:
+        """Fold prefix warm-start counters into the totals.
+
+        Accepts the keyed tuples/dicts the warm evaluator emits:
+        ``hits`` / ``builds`` (counts), ``build_s`` (wall seconds spent
+        integrating shared prefixes) and ``saved_s`` (simulated seconds
+        the warm path did not re-integrate).
+        """
+        stats = dict(stats)
+        self.prefix_hits += int(stats.get("hits", 0))
+        self.prefix_builds += int(stats.get("builds", 0))
+        self.prefix_build_s += float(stats.get("build_s", 0.0))
+        self.prefix_saved_time_s += float(stats.get("saved_s", 0.0))
+
     def record_batch(self, samples: int, fallbacks: int = 0) -> None:
         """Count one batch-engine stack: ``samples`` results produced in
         lockstep and ``fallbacks`` samples re-dispatched to the scalar
@@ -238,6 +260,12 @@ class Telemetry:
         return sum(r.steps for r in self.records if not r.cached and not r.resumed)
 
     @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix lookups that reused an existing checkpoint."""
+        lookups = self.prefix_hits + self.prefix_builds
+        return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
     def wall_total(self) -> float:
         return sum(r.wall for r in self.records)
 
@@ -275,6 +303,13 @@ class Telemetry:
                 "steps_integrated": self.steps_integrated,
                 "ladder_rungs": dict(self.ladder_rungs),
                 "kernel": dict(self.kernel),
+                "prefix": {
+                    "hits": self.prefix_hits,
+                    "builds": self.prefix_builds,
+                    "hit_rate": self.prefix_hit_rate,
+                    "build_wall_s": self.prefix_build_s,
+                    "integrated_time_saved_s": self.prefix_saved_time_s,
+                },
             },
             "executor": {
                 "redispatches": self.redispatches,
@@ -329,6 +364,14 @@ class Telemetry:
             )
             if phases:
                 lines.append(f"kernel t  : {phases}")
+        if self.prefix_hits or self.prefix_builds:
+            lines.append(
+                f"prefix    : {self.prefix_hits} warm fork(s), "
+                f"{self.prefix_builds} prefix build(s) "
+                f"({format_duration(self.prefix_build_s)} wall), "
+                f"{self.prefix_saved_time_s * 1e9:.1f} ns of simulated "
+                "time not re-integrated"
+            )
         if self.ladder_rungs:
             rungs = ", ".join(
                 f"{rung}={count}"
@@ -365,6 +408,10 @@ class Telemetry:
         self.worker_crashes += other.worker_crashes
         self.batched_samples += other.batched_samples
         self.batch_fallbacks += other.batch_fallbacks
+        self.prefix_hits += other.prefix_hits
+        self.prefix_builds += other.prefix_builds
+        self.prefix_build_s += other.prefix_build_s
+        self.prefix_saved_time_s += other.prefix_saved_time_s
         self.record_escalations(other.ladder_rungs)
         self.record_kernel(other.kernel)
         for label, seconds in other.spans.items():

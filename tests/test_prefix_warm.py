@@ -1,0 +1,303 @@
+"""Prefix warm-start tests: checkpoint/resume, planner, golden equivalence.
+
+Pins the PR-5 warm-start machinery four ways:
+
+* engine-level checkpoint/resume: the resumed tail is *bit-identical* to
+  the checkpointed run's tail (the restart replays the engine's
+  backward-Euler-after-breakpoint rule) and stays within 1 uV of a plain
+  cold run on the sensing circuit, a stuck-on faulted variant and a
+  buffered clock-tree netlist;
+* :class:`~repro.analog.engine.TransientCheckpoint` survives pickle and
+  JSON round trips exactly;
+* the prefix planner groups by the skew-invariant physics only: jobs
+  differing in any non-tau field (load, options, process) never merge,
+  jobs differing only in tau / slew do;
+* end-to-end warm-vs-cold equivalence: job results within 1 uV, the
+  bisection ``tau_min`` unchanged to sub-picosecond, the batch engine's
+  broadcast resume consistent with its cold path, and warm start
+  disabled (flag or ``REPRO_WARM_START=0``) restoring cold evaluation.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analog.engine import TransientCheckpoint, TransientOptions, transient
+from repro.analog.kernels import mosfet_scatter_plan
+from repro.batch.response import evaluate_jobs_batch
+from repro.clocktree.electrical import TreeNetlistBuilder
+from repro.clocktree.htree import build_h_tree
+from repro.clocktree.tree import Buffer
+from repro.core.sensing import SkewSensor
+from repro.core.sensitivity import extract_tau_min
+from repro.devices.process import corner_process
+from repro.devices.sources import ClockSource, clock_pair
+from repro.faults.models import TransistorStuckOn
+from repro.runtime import (
+    Telemetry,
+    evaluate_job,
+    group_by_prefix,
+    prefix_key,
+    sensitivity_job,
+)
+from repro.runtime.prefix import warm_start_default
+from repro.units import fF, ns
+
+FAST = TransientOptions(dt_max=ns(0.2), reltol=5e-3)
+
+#: Bar on warm-vs-cold waveform agreement (interpolated, same grid), volts.
+WAVEFORM_TOL = 1e-6
+
+#: Bar on warm-vs-cold *measured Vmin* agreement, volts.  Looser than the
+#: waveform bar because ``window_min`` is a discrete min over accepted
+#: grid points: the warm and cold grids sample the Vmin valley at
+#: slightly different abscissae, which shifts the measured extremum by
+#: O(dt^2 * curvature) even when the waveforms themselves agree to 1 uV
+#: (the batch-vs-scalar equivalence suite bounds the same artifact at
+#: 1 mV; the threshold crossings it feeds move by well under 1 ps).
+VMIN_TOL = 1e-5
+
+T_CHECK = ns(1.5)
+T_STOP = ns(6.0)
+
+
+def _sensing():
+    sensor = SkewSensor(load1=fF(160), load2=fF(160))
+    phi1, phi2 = clock_pair(
+        period=ns(20.0), slew1=ns(0.2), slew2=ns(0.2),
+        skew=ns(0.15), delay=ns(2.0), vdd=sensor.vdd,
+    )
+    return sensor.build(phi1=phi1, phi2=phi2), sensor.dc_guess()
+
+
+def _stuck_on():
+    netlist, _ = _sensing()
+    name = netlist.mosfets[0].name
+    return TransistorStuckOn(transistor=name).inject(netlist), None
+
+
+def _clocktree():
+    tree = build_h_tree(levels=1, buffer=Buffer())
+    sinks = sorted(s.name for s in tree.sinks())[:2]
+    clock = ClockSource(period=ns(20), slew=ns(0.2), delay=ns(2))
+    return TreeNetlistBuilder(tree, sinks).build(clock), None
+
+
+CIRCUITS = {"sensing": _sensing, "stuck_on": _stuck_on, "clocktree": _clocktree}
+
+
+# --------------------------------------------------------------------- #
+# Engine checkpoint / resume.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(CIRCUITS))
+def test_resume_is_bit_identical_and_matches_cold(name):
+    netlist, initial = CIRCUITS[name]()
+    cold = transient(netlist, t_stop=T_STOP, initial=initial, options=FAST)
+    full = transient(
+        netlist, t_stop=T_STOP, initial=initial, options=FAST,
+        checkpoint_at=T_CHECK,
+    )
+    checkpoint = full.checkpoint
+    assert checkpoint is not None
+    assert abs(checkpoint.t - T_CHECK) <= 1e-18
+
+    resumed = transient(
+        netlist, t_stop=T_STOP, options=FAST, resume_from=checkpoint
+    )
+    t_full = np.asarray(full.times)
+    t_resumed = np.asarray(resumed.times)
+    cut = int(np.searchsorted(t_full, checkpoint.t))
+    assert t_full[cut] == checkpoint.t
+    # Bit-identity: the fork is a legal grid continuation, not merely a
+    # close one.
+    assert np.array_equal(t_resumed, t_full[cut:])
+    for node in full.voltages:
+        assert np.array_equal(
+            np.asarray(resumed.voltages[node]),
+            np.asarray(full.voltages[node])[cut:],
+        ), f"{node}: resumed tail diverged from the checkpointed run"
+
+    # Golden equivalence vs a plain cold run (whose grid has no
+    # breakpoint at the checkpoint time): within 1 uV everywhere.
+    t_cold = np.asarray(cold.times)
+    for node in cold.voltages:
+        v_cold = np.asarray(cold.voltages[node])
+        v_resumed = np.asarray(resumed.voltages[node])
+        mask = t_cold >= checkpoint.t
+        worst = np.max(np.abs(
+            np.interp(t_cold[mask], t_resumed, v_resumed) - v_cold[mask]
+        ))
+        assert worst <= WAVEFORM_TOL, f"{node}: {worst:.3e} V off cold"
+
+
+def test_resume_rejects_mismatched_node_order():
+    netlist, initial = _sensing()
+    full = transient(
+        netlist, t_stop=T_STOP, initial=initial, options=FAST,
+        checkpoint_at=T_CHECK,
+    )
+    other, _ = _clocktree()
+    with pytest.raises(ValueError):
+        transient(other, t_stop=T_STOP, options=FAST,
+                  resume_from=full.checkpoint)
+
+
+def test_checkpoint_pickle_and_json_round_trip():
+    netlist, initial = _sensing()
+    result = transient(
+        netlist, t_stop=T_CHECK, initial=initial, options=FAST,
+        checkpoint_at=T_CHECK,
+    )
+    checkpoint = result.checkpoint
+
+    for clone in (
+        pickle.loads(pickle.dumps(checkpoint)),
+        TransientCheckpoint.from_payload(
+            json.loads(json.dumps(checkpoint.to_payload()))
+        ),
+    ):
+        assert clone.t == checkpoint.t
+        assert clone.t_prev == checkpoint.t_prev
+        assert clone.nodes == checkpoint.nodes
+        assert np.array_equal(clone.state, checkpoint.state)
+        assert np.array_equal(clone.state_prev, checkpoint.state_prev)
+
+
+# --------------------------------------------------------------------- #
+# Prefix planner.
+# --------------------------------------------------------------------- #
+def test_planner_merges_tau_and_slew_only():
+    base = dict(options=FAST, warm_start=True)
+    shared = [
+        sensitivity_job(fF(160), ns(0.2), ns(0.0), **base),
+        sensitivity_job(fF(160), ns(0.2), ns(0.3), **base),   # other tau
+        sensitivity_job(fF(160), ns(0.4), ns(0.15), **base),  # other slew
+    ]
+    different = [
+        sensitivity_job(fF(240), ns(0.2), ns(0.15), **base),  # other load
+        sensitivity_job(fF(160), ns(0.2), ns(0.15),           # other corner
+                        process=corner_process("ss"), warm_start=True),
+        sensitivity_job(fF(160), ns(0.2), ns(0.15),           # other options
+                        options=TransientOptions(dt_max=ns(0.1)),
+                        warm_start=True),
+        sensitivity_job(fF(160), ns(0.2), -ns(0.3), **base),  # other fork
+    ]
+    cold = sensitivity_job(fF(160), ns(0.2), ns(0.15), options=FAST,
+                           warm_start=False)
+
+    groups = group_by_prefix(shared + different + [cold])
+    shared_key = prefix_key(shared[0])
+    assert [job.skew for job in groups[shared_key]] == \
+        [job.skew for job in shared]
+    # Every job with a differing non-tau field lands in its own group.
+    keys = [prefix_key(job) for job in different]
+    assert len(set(keys) | {shared_key}) == len(different) + 1
+    # Cold jobs are never planned.
+    assert sum(len(g) for g in groups.values()) == len(shared) + len(different)
+
+
+def test_env_variable_controls_factory_default(monkeypatch):
+    monkeypatch.setenv("REPRO_WARM_START", "0")
+    assert not warm_start_default()
+    assert not sensitivity_job(fF(160), ns(0.2), 0.0).warm_start
+    monkeypatch.setenv("REPRO_WARM_START", "1")
+    assert warm_start_default()
+    assert sensitivity_job(fF(160), ns(0.2), 0.0).warm_start
+    # Explicit argument always wins over the environment.
+    assert not sensitivity_job(fF(160), ns(0.2), 0.0,
+                               warm_start=False).warm_start
+
+
+# --------------------------------------------------------------------- #
+# End-to-end warm vs cold.
+# --------------------------------------------------------------------- #
+def test_warm_job_matches_cold_job():
+    cold_job = sensitivity_job(fF(160), ns(0.2), ns(0.15), options=FAST,
+                               warm_start=False)
+    warm_job = sensitivity_job(fF(160), ns(0.2), ns(0.15), options=FAST,
+                               warm_start=True)
+    cold = evaluate_job(cold_job)
+    warm = evaluate_job(warm_job)
+    assert cold.prefix == ()
+    assert dict(warm.prefix)  # hits or builds recorded
+    assert abs(warm.vmin_y1 - cold.vmin_y1) <= VMIN_TOL
+    assert abs(warm.vmin_y2 - cold.vmin_y2) <= VMIN_TOL
+    assert warm.code == cold.code
+    # The warm run integrates strictly fewer steps (prefix amortised,
+    # post-measurement tail skipped).
+    assert warm.steps < cold.steps
+
+
+def test_extract_tau_min_warm_equals_cold():
+    kwargs = dict(options=FAST, cache=None, tau_hi=ns(0.5),
+                  tolerance=ns(0.004))
+    cold = extract_tau_min(fF(160), warm_start=False, **kwargs)
+    warm = extract_tau_min(fF(160), warm_start=True, **kwargs)
+    assert abs(warm - cold) <= 1e-12
+
+
+def test_campaign_telemetry_counts_prefix_reuse():
+    from repro.core.sensitivity import sweep_skew
+
+    telemetry = Telemetry()
+    curve = sweep_skew(
+        fF(160), ns(0.2), [ns(t) for t in (0.0, 0.1, 0.2, 0.3)],
+        options=FAST, cache=None, telemetry=telemetry, warm_start=True,
+    )
+    assert np.all(np.isfinite(curve.vmins))
+    assert telemetry.prefix_hits >= 4  # every sweep point forked warm
+    assert telemetry.prefix_hit_rate > 0.0
+    assert telemetry.prefix_saved_time_s > 0.0
+    assert "prefix" in telemetry.as_dict()["engine"]
+
+
+def test_batch_warm_stack_matches_batch_cold():
+    taus = (ns(0.0), ns(0.15), ns(0.3))
+    warm_jobs = [
+        sensitivity_job(fF(160), ns(0.2), tau, options=FAST, warm_start=True)
+        for tau in taus
+    ]
+    cold_jobs = [
+        sensitivity_job(fF(160), ns(0.2), tau, options=FAST, warm_start=False)
+        for tau in taus
+    ]
+    warm = evaluate_jobs_batch(warm_jobs)
+    cold = evaluate_jobs_batch(cold_jobs)
+    assert warm.prefix, "warm stack must report prefix accounting"
+    assert warm.prefix["hits"] + warm.prefix["builds"] == len(taus)
+    assert warm.prefix["saved_s"] > 0.0
+    assert not cold.prefix
+    for w, c in zip(warm.results, cold.results):
+        assert w is not None and c is not None
+        assert abs(w.vmin_y1 - c.vmin_y1) <= 1e-3
+        assert abs(w.vmin_y2 - c.vmin_y2) <= 1e-3
+        assert w.code == c.code
+
+
+def test_batch_resume_rejects_mismatched_nodes():
+    from repro.batch.compile import compile_batch
+    from repro.batch.engine import batch_transient
+
+    netlist, initial = _sensing()
+    batch = compile_batch([netlist, netlist])
+    bad = TransientCheckpoint(
+        t=T_CHECK, t_prev=T_CHECK - 1e-12,
+        state=np.zeros(3), state_prev=np.zeros(3),
+        nodes=("a", "b", "c"),
+    )
+    with pytest.raises(ValueError):
+        batch_transient(batch, t_stop=T_STOP, options=FAST, resume_from=bad)
+
+
+# --------------------------------------------------------------------- #
+# Scatter-plan memoization.
+# --------------------------------------------------------------------- #
+def test_scatter_plan_is_memoized_per_topology():
+    plan_a = mosfet_scatter_plan([0, 2], [1, 1], [3, 4], 5)
+    plan_b = mosfet_scatter_plan(np.array([0, 2]), np.array([1, 1]),
+                                 np.array([3, 4]), 5)
+    assert plan_a is plan_b  # same topology signature -> same plan object
+    plan_c = mosfet_scatter_plan([0, 2], [1, 1], [3, 4], 6)
+    assert plan_c is not plan_a  # different matrix size -> fresh plan

@@ -10,6 +10,11 @@ the threshold (default 25 %) is emitted as a GitHub Actions
 run without failing the build - shared-runner timings are noisy, and a
 human should look before anyone reverts.
 
+``prefix_hit_rate`` figures are checked too, with a sharper rule: a
+rate that was positive in the baseline and is exactly zero in the fresh
+record means the prefix warm-start planner stopped engaging (a silent
+functional regression, not timing noise), so it is always flagged.
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -34,25 +39,31 @@ DEFAULT_THRESHOLD = 0.25
 #: The metric compared; every BENCH record carries one per backend leg.
 METRIC = "samples_per_s"
 
+#: Warm-start effectiveness metric: compared with a drop-to-zero rule
+#: rather than a relative-slowdown threshold.
+HIT_RATE_METRIC = "prefix_hit_rate"
 
-def iter_metrics(record: object, path: str = "") -> Iterator[Tuple[str, float]]:
-    """Yield ``(json_path, value)`` for every ``samples_per_s`` entry."""
+
+def iter_metrics(
+    record: object, metric: str = METRIC, path: str = ""
+) -> Iterator[Tuple[str, float]]:
+    """Yield ``(json_path, value)`` for every ``metric`` entry."""
     if isinstance(record, dict):
         for key, value in sorted(record.items()):
             where = f"{path}.{key}" if path else key
-            if key == METRIC and isinstance(value, (int, float)):
+            if key == metric and isinstance(value, (int, float)):
                 yield where, float(value)
             else:
-                yield from iter_metrics(value, where)
+                yield from iter_metrics(value, metric, where)
     elif isinstance(record, list):
         for index, value in enumerate(record):
-            yield from iter_metrics(value, f"{path}[{index}]")
+            yield from iter_metrics(value, metric, f"{path}[{index}]")
 
 
-def load_metrics(path: str) -> Dict[str, float]:
-    """All throughput figures of one BENCH file, keyed by JSON path."""
+def load_metrics(path: str, metric: str = METRIC) -> Dict[str, float]:
+    """All ``metric`` figures of one BENCH file, keyed by JSON path."""
     with open(path) as handle:
-        return dict(iter_metrics(json.load(handle)))
+        return dict(iter_metrics(json.load(handle), metric))
 
 
 def compare(
@@ -94,6 +105,30 @@ def compare(
             print(
                 f"{name}: {where} = {fresh_value:8.2f} vs baseline "
                 f"{base_value:8.2f} ({change:+.1%}) {marker}"
+            )
+        base_rates = load_metrics(baseline_path, HIT_RATE_METRIC)
+        fresh_rates = load_metrics(fresh_path, HIT_RATE_METRIC)
+        for where, base_rate in sorted(base_rates.items()):
+            if base_rate <= 0.0:
+                continue
+            fresh_rate = fresh_rates.get(where)
+            if fresh_rate is None:
+                print(f"{name}: {where} missing from fresh record - skipped")
+                continue
+            compared += 1
+            marker = "ok"
+            if fresh_rate == 0.0:
+                # Not noise: the planner stopped engaging entirely.
+                regressions += 1
+                marker = "REGRESSED"
+                print(
+                    f"::warning file={name}::{where} dropped to zero "
+                    f"(baseline {base_rate:.2f}) - prefix warm-start "
+                    "no longer engages"
+                )
+            print(
+                f"{name}: {where} = {fresh_rate:8.2f} vs baseline "
+                f"{base_rate:8.2f} {marker}"
             )
     return compared, regressions
 
