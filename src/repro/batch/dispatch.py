@@ -40,7 +40,9 @@ import numpy as np
 from repro.batch.compile import BatchTopologyError
 from repro.batch.response import evaluate_jobs_batch
 from repro.errors import SimulationError
-from repro.runtime.executor import _evaluate_outcome, _Item, _mp_context, _Outcome
+from repro.runtime.executor import (
+    _check_cancelled, _evaluate_outcome, _Item, _mp_context, _Outcome,
+)
 from repro.runtime.jobs import SensorJob
 from repro.runtime.telemetry import Stopwatch, Telemetry
 
@@ -186,6 +188,8 @@ def dispatch_batches(
     workers: int = 1,
     chunksize: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    on_outcome=None,
+    cancel_event=None,
 ) -> List[_Outcome]:
     """Run all work items through the batch engine.
 
@@ -202,14 +206,30 @@ def dispatch_batches(
     telemetry:
         Campaign accumulator receiving ``batched_samples`` /
         ``batch_fallbacks`` counters and the batch escalation tallies.
+    on_outcome:
+        Optional callback receiving each outcome as its stack completes
+        (the executor assimilates/streams through this).
+    cancel_event:
+        Optional :class:`threading.Event` checked between stacks; when
+        set, dispatch stops with a
+        :class:`~repro.errors.CampaignCancelledError` (a running stack
+        finishes - lockstep samples cannot be interrupted mid-grid).
     """
     chunks = group_batches(items, resolve_batch_size(chunksize))
     outcomes: List[_Outcome] = []
+
+    def emit(chunk_outcomes: List[_Outcome]) -> None:
+        outcomes.extend(chunk_outcomes)
+        if on_outcome is not None:
+            for outcome in chunk_outcomes:
+                on_outcome(outcome)
+
     if workers <= 1 or len(chunks) <= 1:
         for chunk in chunks:
+            _check_cancelled(cancel_event)
             chunk_outcomes, stats = evaluate_batch_chunk(chunk)
             _fold_stats(telemetry, stats)
-            outcomes.extend(chunk_outcomes)
+            emit(chunk_outcomes)
         return outcomes
 
     with concurrent.futures.ProcessPoolExecutor(
@@ -222,6 +242,7 @@ def dispatch_batches(
             except BrokenProcessPool:
                 futures.append((None, chunk))
         for future, chunk in futures:
+            _check_cancelled(cancel_event)
             chunk_outcomes: Optional[List[_Outcome]] = None
             stats: Optional[Dict[str, object]] = None
             if future is not None:
@@ -236,5 +257,5 @@ def dispatch_batches(
                     telemetry.record_redispatch(len(chunk))
                 chunk_outcomes, stats = evaluate_batch_chunk(chunk)
             _fold_stats(telemetry, stats)
-            outcomes.extend(chunk_outcomes)
+            emit(chunk_outcomes)
     return outcomes

@@ -15,18 +15,28 @@ Commands
 ``scheme``       Fig.-6 style campaign: sensors over an H-tree with an
                  injected fault, scan-path and checker readout.
 ``export``       Write the sensor netlist as a SPICE deck.
+``serve``        Run the campaign service (HTTP API + scheduler).
+``submit``       Submit a campaign spec to a running service.
+``status``       One campaign's lifecycle record.
+``result``       A finished campaign's result payload.
+``cancel``       Cancel a queued or running campaign.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.analog.engine import TransientOptions
 from repro.units import VTH_INTERPRET, fF, ns, to_ns
 
-_FAST = TransientOptions(dt_max=200e-12, reltol=5e-3)
+# The service's spec compiler uses the same options, so a service
+# campaign reproduces the CLI run bit-identically (same cache keys).
+from repro.service.specs import FAST_OPTIONS as _FAST
+
+#: Default service endpoint of the client subcommands.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
 
 
 def _cmd_waves(args: argparse.Namespace) -> int:
@@ -153,8 +163,10 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.runtime import get_cache, get_checkpoint_cache
-    from repro.runtime.cache import ENV_CACHE_DIR, ENV_CACHE_DISABLE
+    from repro.runtime import get_cache, get_checkpoint_cache, parse_size
+    from repro.runtime.cache import (
+        ENV_CACHE_DIR, ENV_CACHE_DISABLE, ENV_CACHE_MAX_BYTES,
+    )
 
     if args.checkpoints:
         cache = get_checkpoint_cache()
@@ -168,6 +180,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"from the {tier} cache at "
               f"{cache.disk_dir or 'memory (disk tier disabled)'}")
         return 0
+    if args.prune or args.max_bytes is not None:
+        budget = cache.max_disk_bytes
+        if args.max_bytes is not None:
+            try:
+                budget = parse_size(args.max_bytes)
+            except ValueError as error:
+                print(f"error: --max-bytes: {error}", file=sys.stderr)
+                return 2
+        if budget is None:
+            print("error: no budget to prune to (pass --max-bytes or set "
+                  f"{ENV_CACHE_MAX_BYTES})", file=sys.stderr)
+            return 2
+        before = cache.disk_total_bytes()
+        removed = cache.prune(max_bytes=budget)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"({before / 1024:.1f} -> "
+              f"{cache.disk_total_bytes() / 1024:.1f} KiB, budget "
+              f"{budget / 1024:.1f} KiB)")
+        return 0
     # info
     print(f"tier       : {tier}")
     print(f"version    : v{cache.version} (engine fingerprint)")
@@ -176,12 +207,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"directory  : {cache.disk_dir}")
         print(f"entries    : {cache.disk_entries()} on disk "
               f"({size / 1024:.1f} KiB), {len(cache)} in memory")
+        budget = cache.max_disk_bytes
+        budget_text = (
+            f"{budget / 1024:.1f} KiB" if budget is not None else "unbounded"
+        )
+        print(f"footprint  : {cache.disk_total_bytes() / 1024:.1f} KiB "
+              f"across all namespaces (budget {budget_text})")
     else:
         print("directory  : disk tier disabled "
               f"(set {ENV_CACHE_DIR} or unset {ENV_CACHE_DISABLE})")
         print(f"entries    : {len(cache)} in memory")
     print(f"env        : {ENV_CACHE_DIR} overrides the directory, "
-          f"{ENV_CACHE_DISABLE}=1 disables the disk tier")
+          f"{ENV_CACHE_DISABLE}=1 disables the disk tier, "
+          f"{ENV_CACHE_MAX_BYTES} bounds it (LRU eviction)")
     return 0
 
 
@@ -246,6 +284,129 @@ def _cmd_export(args: argparse.Namespace) -> int:
     else:
         print(deck, end="")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import create_server, serve_forever
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        quota=args.quota,
+        access_log=args.access_log,
+    )
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(str(server.port))
+    print(f"serving campaigns on http://{args.host}:{server.port} "
+          f"(state: {server.scheduler.store.root})")
+    serve_forever(server)
+    return 0
+
+
+def _load_spec(args: argparse.Namespace) -> dict:
+    """The spec of a ``repro submit``: ``--spec JSON``, ``--spec @file``,
+    or assembled from the kind's flags."""
+    if args.spec:
+        text = args.spec
+        if text.startswith("@"):
+            with open(text[1:]) as handle:
+                text = handle.read()
+        return json.loads(text)
+    spec: dict = {"kind": args.kind}
+    if args.kind == "sensitivity":
+        spec.update(loads_ff=args.loads, slews_ns=args.slews,
+                    tau_max_ns=args.tau_max, points=args.points)
+    elif args.kind == "montecarlo":
+        if args.seed is None:
+            print("error: montecarlo specs need --seed (reproducibility)",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        spec.update(samples=args.samples, seed=args.seed,
+                    load_ff=args.load, skews_ns=args.skews)
+    if args.backend != "serial":
+        spec["backend"] = args.backend
+    if args.workers is not None:
+        spec["workers"] = args.workers
+    if args.tenant:
+        spec["tenant"] = args.tenant
+    if args.timeout is not None:
+        spec["timeout_s"] = args.timeout
+    return spec
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.submit(
+            _load_spec(args), client=args.client, priority=args.priority
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    campaign_id = record["campaign_id"]
+    print(f"submitted {campaign_id} "
+          f"(priority {record['priority']}, state {record['state']})")
+    if args.stream:
+        for event in client.stream_events(campaign_id, timeout=args.wait):
+            print(f"  {json.dumps(event)}")
+    if args.stream or args.wait_done:
+        final = client.wait(campaign_id, timeout=args.wait)
+        print(f"final state: {final['state']} "
+              f"({final['completed']}/{final['total']} jobs)")
+        if final["state"] == "failed":
+            print(f"error: {final['error']}", file=sys.stderr)
+            return 1
+        return 0 if final["state"] == "done" else 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.status(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.result(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        outcome = client.cancel(args.id)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"cancelled: {outcome['cancelled']} (state {outcome['state']})")
+    return 0 if outcome["cancelled"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -355,6 +516,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--checkpoints", action="store_true",
                        help="operate on the prefix-checkpoint tier instead "
                             "of the result cache")
+    cache.add_argument("--prune", action="store_true",
+                       help="LRU-evict disk entries down to the budget "
+                            "(REPRO_CACHE_MAX_BYTES or --max-bytes)")
+    cache.add_argument("--max-bytes", type=str, default=None,
+                       help="prune budget, bytes (k/m/g suffixes accepted; "
+                            "implies --prune)")
     cache.set_defaults(func=_cmd_cache)
 
     testa = sub.add_parser("testability", help="Sec.-3 fault coverage")
@@ -376,6 +543,90 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--full-swing", action="store_true")
     export.add_argument("-o", "--output", type=str, default=None)
     export.set_defaults(func=_cmd_export)
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign service (HTTP API + scheduler)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = ephemeral; see --port-file)")
+    serve.add_argument("--state-dir", type=str, default=None,
+                       help="journal/result directory (default: "
+                            "REPRO_SERVICE_DIR or ~/.cache/repro/service)")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="max campaigns in flight per client")
+    serve.add_argument("--port-file", type=str, default=None,
+                       help="write the bound port to this file (for "
+                            "scripts using --port 0)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="log every request to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    def add_client_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", type=str, default=DEFAULT_SERVICE_URL,
+                       help="service endpoint")
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign spec to a running service"
+    )
+    add_client_flags(submit)
+    submit.add_argument("--spec", type=str, default=None,
+                        help="raw spec JSON (or @file); overrides the "
+                             "kind flags below")
+    submit.add_argument("--kind", choices=["sensitivity", "montecarlo"],
+                        default="sensitivity")
+    submit.add_argument("--loads", type=float, nargs="+",
+                        default=[80.0, 160.0, 240.0], help="loads in fF")
+    submit.add_argument("--slews", type=float, nargs="+", default=[0.2],
+                        help="slews in ns")
+    submit.add_argument("--tau-max", type=float, default=0.5,
+                        help="sweep end, ns")
+    submit.add_argument("--points", type=int, default=8)
+    submit.add_argument("--samples", type=int, default=30,
+                        help="montecarlo population size")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="montecarlo population seed (required)")
+    submit.add_argument("--load", type=float, default=160.0,
+                        help="montecarlo nominal load, fF")
+    submit.add_argument("--skews", type=float, nargs="+",
+                        default=[0.0, 0.05, 0.1, 0.15, 0.25, 0.4],
+                        help="montecarlo skew grid, ns")
+    submit.add_argument("--backend",
+                        choices=["serial", "thread", "process", "batch"],
+                        default="serial")
+    submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--tenant", type=str, default="",
+                        help="cache namespace for this campaign")
+    submit.add_argument("--timeout", type=float, default=None,
+                        help="per-campaign wall budget, seconds")
+    submit.add_argument("--client", type=str, default="",
+                        help="client name (quota accounting)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first")
+    submit.add_argument("--stream", action="store_true",
+                        help="stream progress events until the campaign "
+                             "finishes")
+    submit.add_argument("--wait-done", action="store_true",
+                        help="block until the campaign is terminal")
+    submit.add_argument("--wait", type=float, default=600.0,
+                        help="--stream/--wait-done timeout, seconds")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="one campaign's status record")
+    add_client_flags(status)
+    status.add_argument("id", type=str)
+    status.set_defaults(func=_cmd_status)
+
+    result = sub.add_parser("result", help="a finished campaign's result")
+    add_client_flags(result)
+    result.add_argument("id", type=str)
+    result.add_argument("-o", "--output", type=str, default=None)
+    result.set_defaults(func=_cmd_result)
+
+    cancel = sub.add_parser("cancel", help="cancel a campaign")
+    add_client_flags(cancel)
+    cancel.add_argument("id", type=str)
+    cancel.set_defaults(func=_cmd_cancel)
 
     report = sub.add_parser(
         "report", help="aggregate benchmark outputs into REPORT.md"

@@ -241,6 +241,26 @@ class WorkerCrashError(SimulationError):
             self.diagnostics.extra.setdefault("job", repr(job))
 
 
+class CampaignCancelledError(RuntimeError):
+    """A campaign was cancelled via its ``cancel_event`` before finishing.
+
+    Raised in the *parent* process by :func:`repro.runtime.run_campaign`
+    when the caller-supplied :class:`threading.Event` is set mid-dispatch;
+    it never crosses a process boundary and is deliberately not a
+    :class:`SimulationError` - cancellation must abort the campaign even
+    under ``on_error="collect"``.  Every job completed before the event
+    fired has already been journalled/cached, so a re-run with
+    ``resume=True`` continues where the cancellation struck.
+    """
+
+    def __init__(self, message: str = "", completed: int = 0,
+                 reason: str = "cancelled") -> None:
+        super().__init__(message)
+        self.message = message
+        self.completed = completed
+        self.reason = reason
+
+
 #: Exception classes reconstructable from a worker's serialised error
 #: payload (class name + message + diagnostics dict).
 ERROR_CLASSES: Dict[str, type] = {

@@ -33,17 +33,17 @@ from typing import Any, Dict, Optional, Union
 JOURNAL_FORMAT = 1
 
 
-def load_journal(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
-    """Completed results recorded in the journal at ``path``.
+def iter_entries(path: Union[str, Path]):
+    """Yield every parseable entry dict of the journal at ``path``.
 
-    Returns a ``key -> JobResult payload`` mapping; an absent file is an
-    empty journal.  Corrupt or torn lines (a crash can interrupt a write)
-    are skipped silently - the affected jobs are simply re-evaluated.
+    The generic reader under :func:`load_journal`, shared with the
+    service job store (:mod:`repro.service.store`), which journals its
+    campaign lifecycle in the same append-only format with its own entry
+    kinds.  Torn or corrupt lines are skipped, like everywhere else.
     """
     journal = Path(path)
-    completed: Dict[str, Dict[str, Any]] = {}
     if not journal.exists():
-        return completed
+        return
     with journal.open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -53,11 +53,24 @@ def load_journal(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
                 entry = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if not isinstance(entry, dict) or entry.get("kind") != "result":
-                continue
-            key, payload = entry.get("key"), entry.get("result")
-            if isinstance(key, str) and isinstance(payload, dict):
-                completed[key] = payload
+            if isinstance(entry, dict):
+                yield entry
+
+
+def load_journal(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Completed results recorded in the journal at ``path``.
+
+    Returns a ``key -> JobResult payload`` mapping; an absent file is an
+    empty journal.  Corrupt or torn lines (a crash can interrupt a write)
+    are skipped silently - the affected jobs are simply re-evaluated.
+    """
+    completed: Dict[str, Dict[str, Any]] = {}
+    for entry in iter_entries(path):
+        if entry.get("kind") != "result":
+            continue
+        key, payload = entry.get("key"), entry.get("result")
+        if isinstance(key, str) and isinstance(payload, dict):
+            completed[key] = payload
     return completed
 
 
@@ -94,8 +107,15 @@ class CheckpointJournal:
 
     def record(self, key: str, payload: Dict[str, Any]) -> None:
         """Journal one completed job result."""
+        self.append({"kind": "result", "key": key, "result": payload})
+
+    def append(self, entry: Dict[str, Any]) -> None:
+        """Journal one arbitrary entry dict (service lifecycle events,
+        future record kinds).  ``entry`` must carry a ``kind``."""
+        if "kind" not in entry:
+            raise ValueError("journal entries must carry a 'kind'")
         self._open()
-        self._write({"kind": "result", "key": key, "result": payload})
+        self._write(entry)
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""

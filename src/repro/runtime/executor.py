@@ -29,6 +29,11 @@ pipeline relies on.  Around the raw evaluation it layers:
 * **error collection** - ``on_error="collect"`` turns per-job failures
   into :class:`~repro.errors.JobError` records in the result list instead
   of aborting the campaign;
+* **streaming progress and cancellation** - ``progress=`` is called once
+  per finished job as results land (the campaign service feeds its
+  event streams from it) and ``cancel_event=`` aborts the dispatch
+  between jobs with a :class:`~repro.errors.CampaignCancelledError`,
+  leaving every completed job journalled for a later ``resume=True``;
 * **checkpointing** - ``checkpoint=path`` journals every completed job
   to an append-only JSONL (:mod:`repro.runtime.checkpoint`); a re-run
   with ``resume=True`` skips finished jobs entirely;
@@ -45,6 +50,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import threading
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
@@ -54,6 +60,7 @@ from typing import (
 import os
 
 from repro.errors import (
+    CampaignCancelledError,
     CampaignTimeoutError,
     ConvergenceError,
     JobError,
@@ -229,11 +236,21 @@ def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
         process.join(timeout=5.0)
 
 
+def _check_cancelled(
+    cancel_event: Optional[threading.Event],
+) -> None:
+    """Raise :class:`CampaignCancelledError` when the event is set."""
+    if cancel_event is not None and cancel_event.is_set():
+        raise CampaignCancelledError("campaign cancelled via cancel_event")
+
+
 def _dispatch_thread(
     items: List[_Item],
     workers: int,
     chunksize: int,
     timeout: Optional[float],
+    on_outcome: Optional[Callable[[_Outcome], None]] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> List[_Outcome]:
     """Thread backend: windowed chunk dispatch, per-chunk timeouts.
 
@@ -249,6 +266,12 @@ def _dispatch_thread(
     CPU, not correctness.
     """
     outcomes: List[_Outcome] = []
+
+    def emit(outcome: _Outcome) -> None:
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
     remaining = _chunked(items, chunksize)
     while remaining:
         queue = list(remaining)
@@ -258,18 +281,21 @@ def _dispatch_thread(
         pool = concurrent.futures.ThreadPoolExecutor(workers)
         try:
             while (queue or pending) and not stuck:
+                _check_cancelled(cancel_event)
                 while queue and len(pending) < workers:
                     chunk = queue.pop(0)
                     pending[pool.submit(_worker_chunk, chunk)] = (
                         chunk, Stopwatch(),
                     )
                 done, _ = concurrent.futures.wait(
-                    pending, timeout=_poll_budget(pending, timeout),
+                    pending,
+                    timeout=_poll_budget(pending, timeout, cancel_event),
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 for future in done:
                     pending.pop(future)
-                    outcomes.extend(future.result())
+                    for outcome in future.result():
+                        emit(outcome)
                 if timeout is not None:
                     overdue = [
                         future for future, (_, watch) in pending.items()
@@ -279,7 +305,7 @@ def _dispatch_thread(
                         chunk, watch = pending.pop(future)
                         future.cancel()
                         for item in chunk:
-                            outcomes.append(
+                            emit(
                                 _timeout_outcome(item, watch.elapsed(), timeout)
                             )
                         stuck = True
@@ -299,16 +325,22 @@ def _dispatch_thread(
 def _poll_budget(
     pending: Dict[Any, Tuple[List[_Item], "Stopwatch"]],
     timeout: Optional[float],
+    cancel_event: Optional[threading.Event] = None,
 ) -> Optional[float]:
     """How long :func:`concurrent.futures.wait` may block: until the
     earliest pending deadline (never less than 20 ms), or forever when
-    no timeout is configured."""
+    no timeout is configured.  A cancellable campaign never blocks more
+    than 200 ms so the cancel event is honoured promptly."""
     if timeout is None:
-        return None
-    return max(
-        0.02,
-        min(timeout - watch.elapsed() for _, watch in pending.values()),
-    )
+        budget = None
+    else:
+        budget = max(
+            0.02,
+            min(timeout - watch.elapsed() for _, watch in pending.values()),
+        )
+    if cancel_event is not None:
+        budget = 0.2 if budget is None else min(budget, 0.2)
+    return budget
 
 
 def _dispatch_process(
@@ -318,6 +350,8 @@ def _dispatch_process(
     timeout: Optional[float],
     max_redispatch: int,
     telemetry: Telemetry,
+    on_outcome: Optional[Callable[[_Outcome], None]] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> List[_Outcome]:
     """Process backend with per-job timeouts and crash isolation.
 
@@ -346,6 +380,11 @@ def _dispatch_process(
     suspects: List[_Item] = []
     context = _mp_context()
 
+    def emit(outcome: _Outcome) -> None:
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(outcome)
+
     # Phase 1: parallel dispatch over rebuildable pool generations.
     remaining = _chunked(items, chunksize)
     while remaining:
@@ -358,6 +397,7 @@ def _dispatch_process(
         )
         try:
             while (queue or pending) and not broke and not stuck:
+                _check_cancelled(cancel_event)
                 while queue and len(pending) < workers:
                     chunk = queue.pop(0)
                     try:
@@ -373,13 +413,15 @@ def _dispatch_process(
                 if not pending:
                     break
                 done, _ = concurrent.futures.wait(
-                    pending, timeout=_poll_budget(pending, timeout),
+                    pending,
+                    timeout=_poll_budget(pending, timeout, cancel_event),
                     return_when=concurrent.futures.FIRST_COMPLETED,
                 )
                 for future in done:
                     chunk, _ = pending.pop(future)
                     try:
-                        outcomes.extend(future.result())
+                        for outcome in future.result():
+                            emit(outcome)
                     except BrokenProcessPool:
                         suspects.extend(chunk)
                         broke = True
@@ -391,7 +433,7 @@ def _dispatch_process(
                     for future in overdue:
                         chunk, watch = pending.pop(future)
                         for item in chunk:
-                            outcomes.append(
+                            emit(
                                 _timeout_outcome(item, watch.elapsed(), timeout)
                             )
                         stuck = True
@@ -418,6 +460,7 @@ def _dispatch_process(
     if queue:
         telemetry.record_redispatch(len(queue))
     while queue:
+        _check_cancelled(cancel_event)
         item = queue.pop(0)
         index = item[0]
         dispatches[index] = dispatches.get(index, 0) + 1
@@ -429,14 +472,14 @@ def _dispatch_process(
         try:
             chunk_outcomes = future.result(timeout=timeout)
         except concurrent.futures.TimeoutError:
-            outcomes.append(_timeout_outcome(item, watch.elapsed(), timeout))
+            emit(_timeout_outcome(item, watch.elapsed(), timeout))
             _kill_pool(pool)
             continue
         except BrokenProcessPool:
             _kill_pool(pool)
             telemetry.record_worker_crash()
             if dispatches[index] > max_redispatch:
-                outcomes.append(_crash_outcome(item, dispatches[index]))
+                emit(_crash_outcome(item, dispatches[index]))
             else:
                 telemetry.record_redispatch()
                 queue.append(item)
@@ -445,7 +488,8 @@ def _dispatch_process(
             _kill_pool(pool)
             raise
         pool.shutdown(wait=True)
-        outcomes.extend(chunk_outcomes)
+        for outcome in chunk_outcomes:
+            emit(outcome)
     return outcomes
 
 
@@ -509,6 +553,8 @@ def run_campaign(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     max_redispatch: int = DEFAULT_MAX_REDISPATCH,
+    progress: Optional[Callable[[int, Union[JobResult, JobError]], None]] = None,
+    cancel_event: Optional[threading.Event] = None,
 ) -> CampaignResult:
     """Run ``jobs`` and return their results in job order.
 
@@ -573,6 +619,22 @@ def run_campaign(
     max_redispatch:
         Extra isolated dispatches granted to a job whose worker pool
         died before it is declared poison (process backend only).
+    progress:
+        Optional callback invoked once per finished job as
+        ``progress(index, result)`` with the job's position and its
+        :class:`JobResult` (or :class:`~repro.errors.JobError` under
+        ``on_error="collect"``) - cache hits, journal-resumed jobs and
+        deduplicated twins included.  Called from the campaign's own
+        thread *as results land* (the service streams these as live
+        events); it must be cheap and must not raise.
+    cancel_event:
+        Optional :class:`threading.Event`; once set, the campaign stops
+        dispatching, tears its worker pool down and raises
+        :class:`~repro.errors.CampaignCancelledError`.  Every job
+        completed before the event fired has already been journalled
+        and cached, so a re-run with ``resume=True`` continues from the
+        cancellation point.  Checked between jobs - a running serial
+        integration is never interrupted mid-step.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r} (use one of {BACKENDS})")
@@ -635,6 +697,8 @@ def run_campaign(
                     f"job[{index}]", wall=0.0, attempts=0,
                     steps=results[index].steps, resumed=True,
                 )
+                if progress is not None:
+                    progress(index, results[index])
                 continue
             hit = cache.get(key) if cache is not None else None
             if cache is not None:
@@ -647,6 +711,8 @@ def run_campaign(
                 )
                 if journal is not None:
                     journal.record(key, results[index].to_payload())
+                if progress is not None:
+                    progress(index, results[index])
             elif key in key_owner:
                 duplicates[index] = key_owner[key]
             else:
@@ -660,7 +726,18 @@ def run_campaign(
     # ------------------------------------------------------------------ #
     items: List[_Item] = [(index, job, retries, evaluate)
                           for index, job in pending]
-    outcomes: List[_Outcome] = []
+
+    def _absorb(outcome: _Outcome) -> None:
+        """Fold one outcome in as it lands: results, telemetry, cache,
+        journal, then the progress callback.  Dispatchers call this from
+        the campaign's own thread, so streamed journalling/progress needs
+        no locking."""
+        _assimilate(
+            outcome, jobs, keys, results, telemetry, cache, journal,
+            on_error,
+        )
+        if progress is not None:
+            progress(outcome[0], results[outcome[0]])
 
     if items and evaluate is None:
         # Prefix planner: integrate each warm group's shared pre-skew
@@ -678,39 +755,43 @@ def run_campaign(
                 # module's worker protocol, not the other way round.
                 from repro.batch.dispatch import dispatch_batches
 
-                outcomes = dispatch_batches(
+                dispatch_batches(
                     items,
                     workers=resolve_workers(max_workers),
                     chunksize=chunksize,
                     telemetry=telemetry,
+                    on_outcome=_absorb,
+                    cancel_event=cancel_event,
                 )
             elif backend == "serial" or (len(items) == 1 and timeout is None):
                 # Stream outcomes so an abort (raise mode) stops at the
                 # failing job and still leaves every job completed
                 # before it in the journal.
                 for item in items:
-                    _assimilate(
-                        _evaluate_outcome(item), jobs, keys, results,
-                        telemetry, cache, journal, on_error,
-                    )
+                    _check_cancelled(cancel_event)
+                    _absorb(_evaluate_outcome(item))
             else:
                 workers = min(resolve_workers(max_workers), len(items))
                 size = 1 if timeout is not None else resolve_chunksize(
                     len(items), workers, chunksize
                 )
+                # Outcomes are absorbed as they complete, so a raised
+                # failure (or a cancellation) still leaves every job
+                # that finished before it journalled and cached.
                 if backend == "thread":
-                    outcomes = _dispatch_thread(items, workers, size, timeout)
-                else:
-                    outcomes = _dispatch_process(
-                        items, workers, size, timeout, max_redispatch,
-                        telemetry,
+                    _dispatch_thread(
+                        items, workers, size, timeout,
+                        on_outcome=_absorb, cancel_event=cancel_event,
                     )
-
-        for outcome in outcomes:
-            _assimilate(
-                outcome, jobs, keys, results, telemetry, cache, journal,
-                on_error,
-            )
+                else:
+                    _dispatch_process(
+                        items, workers, size, timeout, max_redispatch,
+                        telemetry, on_outcome=_absorb,
+                        cancel_event=cancel_event,
+                    )
+    except CampaignCancelledError as error:
+        error.completed = sum(1 for r in results if r is not None)
+        raise
     finally:
         if journal is not None:
             journal.close()
@@ -729,6 +810,8 @@ def run_campaign(
                 f"job[{index}]", wall=0.0, attempts=0, steps=0,
                 cached=True, error=owned.error,
             )
+            if progress is not None:
+                progress(index, results[index])
             continue
         results[index] = JobResult(
             skew=owned.skew, vmin_y1=owned.vmin_y1, vmin_y2=owned.vmin_y2,
@@ -739,6 +822,8 @@ def run_campaign(
             f"job[{index}]", wall=0.0, attempts=0,
             steps=owned.steps, cached=True,
         )
+        if progress is not None:
+            progress(index, results[index])
 
     assert all(r is not None for r in results)
     return CampaignResult(results=results, telemetry=telemetry)

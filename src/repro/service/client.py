@@ -1,0 +1,188 @@
+"""Stdlib HTTP client for the campaign service.
+
+What ``repro submit`` / ``status`` / ``result`` / ``cancel`` and the
+examples speak: a thin ``urllib.request`` wrapper around the API of
+:mod:`repro.service.api` - JSON in, JSON out, plus a line-level parser
+for the Server-Sent-Events progress stream.  No third-party HTTP
+library, matching the server side.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServiceError(RuntimeError):
+    """A service request failed; carries the HTTP status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Client for one service endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ----------------------------------------------------------------- #
+    # Plumbing.
+    # ----------------------------------------------------------------- #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout if timeout is None else timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceError(error.code, detail) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{error.reason}") from None
+
+    # ----------------------------------------------------------------- #
+    # Endpoints.
+    # ----------------------------------------------------------------- #
+
+    def health(self) -> Dict[str, Any]:
+        """Server liveness + the registered campaign kinds."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Scheduler gauges, aggregate telemetry and cache counters."""
+        return self._request("GET", "/metrics")
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        client: str = "",
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a campaign spec; returns its record (with
+        ``campaign_id``)."""
+        return self._request("POST", "/campaigns", body={
+            "spec": spec, "client": client, "priority": priority,
+        })
+
+    def list(self) -> List[Dict[str, Any]]:
+        """Every campaign record the server knows, in submission order."""
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def status(self, campaign_id: str) -> Dict[str, Any]:
+        """One campaign's record (state, progress, error, ...)."""
+        return self._request("GET", f"/campaigns/{campaign_id}")
+
+    def result(self, campaign_id: str) -> Dict[str, Any]:
+        """The result payload; raises ``ServiceError(409)`` until done."""
+        return self._request("GET", f"/campaigns/{campaign_id}/result")
+
+    def cancel(self, campaign_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running campaign."""
+        return self._request("DELETE", f"/campaigns/{campaign_id}")
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Result-cache counters and disk footprint."""
+        return self._request("GET", "/cache")
+
+    def prune_cache(self, max_bytes: Optional[int] = None) -> Dict[str, Any]:
+        """Evict least-recently-used disk entries down to ``max_bytes``."""
+        body: Dict[str, Any] = {}
+        if max_bytes is not None:
+            body["max_bytes"] = int(max_bytes)
+        return self._request("POST", "/cache/prune", body=body)
+
+    # ----------------------------------------------------------------- #
+    # Waiting and streaming.
+    # ----------------------------------------------------------------- #
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Poll until the campaign is terminal; returns the final record.
+
+        Raises :class:`ServiceError` (status 0) on timeout - the
+        campaign keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(campaign_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"campaign {campaign_id} still {record['state']!r} "
+                       f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def stream_events(
+        self,
+        campaign_id: str,
+        start: int = 0,
+        timeout: float = 300.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the campaign's progress events as they arrive (SSE).
+
+        Terminates after the terminal event (``done`` / ``failed`` /
+        ``cancelled`` / ``requeued``) or when the server closes the
+        stream.  ``start`` resumes an event cursor (the ``?from=``
+        query parameter).
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/campaigns/{campaign_id}/events?from={start}",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as stream:
+                data_lines: List[str] = []
+                for raw in stream:
+                    line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                    if line.startswith(":"):
+                        continue  # keep-alive comment
+                    if line.startswith("data:"):
+                        data_lines.append(line[5:].lstrip())
+                        continue
+                    if line == "" and data_lines:
+                        # Blank line = end of one SSE frame.
+                        try:
+                            yield json.loads("\n".join(data_lines))
+                        except json.JSONDecodeError:
+                            pass
+                        data_lines = []
+        except urllib.error.HTTPError as error:
+            raise ServiceError(
+                error.code, error.read().decode("utf-8", "replace")
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(0, f"cannot reach {self.base_url}: "
+                                  f"{error.reason}") from None

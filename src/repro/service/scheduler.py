@@ -1,0 +1,356 @@
+"""Background campaign scheduler: priority queue over ``run_campaign``.
+
+One worker thread drains a priority queue into the executor.  Ordering
+is ``(-priority, seq)``: higher priority first, FIFO within a level
+(``seq`` is the store's submission counter, so ordering survives
+restarts).  Campaigns execute strictly one at a time - parallelism
+belongs *inside* a campaign (its backend/workers spec keys), where the
+cache, prefix planner and batch engine can exploit structure; running
+campaigns concurrently would only thrash the process pool.
+
+Wiring per campaign:
+
+* ``checkpoint=<store>/campaigns/<id>/checkpoint.jsonl`` +
+  ``resume=record.resume`` - every finished job is durable, and a
+  campaign interrupted by a crash or shutdown continues where it died;
+* ``progress=`` - each finished job appends one event to the campaign's
+  in-memory event buffer (the SSE endpoint's source) and bumps the
+  store's progress counter;
+* ``cancel_event=`` - one :class:`threading.Event` per running
+  campaign.  :meth:`cancel` sets it (reason ``"cancel"``), the
+  per-campaign ``timeout_s`` timer sets it (reason ``"timeout"``), and
+  :meth:`stop` sets it (reason ``"shutdown"``).  Shutdown *requeues*
+  the campaign instead of cancelling it - a restarted server picks it
+  up and resumes from the checkpoint;
+* ``cache=tenant_cache(spec["tenant"])`` - named tenants get their own
+  disk namespace; the default tenant shares the process-global cache,
+  keeping service results bit-identical to direct CLI runs.
+
+Per-client quotas are enforced at submission time
+(:class:`QuotaExceededError` -> HTTP 429), counting the client's
+non-terminal campaigns.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CampaignCancelledError, JobError
+from repro.runtime import Telemetry, run_campaign, tenant_cache
+from repro.runtime.jobs import JobResult
+from repro.service.specs import build_plan
+from repro.service.store import CampaignRecord, JobStore
+
+#: Default per-client cap on campaigns in flight (queued + running).
+DEFAULT_QUOTA = 8
+
+#: Events kept per campaign; older ones are dropped from the front
+#: (the journal, not the event buffer, is the durable record).
+EVENT_BUFFER_LIMIT = 10000
+
+
+class QuotaExceededError(RuntimeError):
+    """A client exceeded its concurrent-campaign quota."""
+
+
+class CampaignScheduler:
+    """Single-worker priority scheduler over a :class:`JobStore`."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        quota: int = DEFAULT_QUOTA,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.quota = int(quota)
+        self.poll_interval = float(poll_interval)
+        self.telemetry = Telemetry()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._queue: List[Tuple[int, int, str]] = []
+        self._queued_ids: set = set()
+        self._events: Dict[str, List[Dict[str, Any]]] = {}
+        self._event_cv = threading.Condition(self._lock)
+        self._cancel: Dict[str, threading.Event] = {}
+        self._cancel_reason: Dict[str, str] = {}
+        self._running_id: Optional[str] = None
+        self._stopping = False
+        self._executed = 0
+        self._thread: Optional[threading.Thread] = None
+        # Campaigns that survived a restart re-enter the queue first.
+        for record in self.store.pending():
+            self._push(record)
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle.
+    # ----------------------------------------------------------------- #
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._run, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: interrupt the running campaign (it is
+        requeued for the next incarnation to resume) and join the
+        worker."""
+        with self._lock:
+            self._stopping = True
+            if self._running_id is not None:
+                self._cancel_reason[self._running_id] = "shutdown"
+                self._cancel[self._running_id].set()
+            self._wakeup.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    # ----------------------------------------------------------------- #
+    # Submission / cancellation.
+    # ----------------------------------------------------------------- #
+
+    def submit(
+        self, spec: Dict[str, Any], client: str = "", priority: int = 0
+    ) -> CampaignRecord:
+        """Validate, persist and enqueue one campaign.
+
+        Raises :class:`~repro.service.specs.SpecError` on a bad spec and
+        :class:`QuotaExceededError` when ``client`` already has
+        ``quota`` campaigns in flight.
+        """
+        if self.store.active_count(client) >= self.quota:
+            raise QuotaExceededError(
+                f"client {client!r} already has {self.quota} campaigns "
+                "in flight"
+            )
+        record = self.store.submit(spec, client=client, priority=priority)
+        with self._lock:
+            self._push(record)
+            self._wakeup.notify_all()
+        return record
+
+    def cancel(self, campaign_id: str, reason: str = "cancel") -> bool:
+        """Cancel a queued or running campaign.
+
+        Returns True if the campaign was cancellable (False when it is
+        already terminal).  A queued campaign is marked cancelled
+        immediately; a running one gets its ``cancel_event`` set and the
+        worker records the terminal state once the executor unwinds.
+        """
+        record = self.store.get(campaign_id)
+        with self._lock:
+            if record.terminal:
+                return False
+            if campaign_id == self._running_id:
+                self._cancel_reason[campaign_id] = reason
+                self._cancel[campaign_id].set()
+                return True
+            if campaign_id in self._queued_ids:
+                self._queued_ids.discard(campaign_id)
+        self.store.mark_cancelled(campaign_id, reason=reason)
+        self._emit(campaign_id, {"event": "cancelled", "reason": reason})
+        return True
+
+    # ----------------------------------------------------------------- #
+    # Events.
+    # ----------------------------------------------------------------- #
+
+    def events(self, campaign_id: str, start: int = 0) -> List[Dict[str, Any]]:
+        """The buffered events of one campaign, from index ``start``."""
+        with self._lock:
+            return list(self._events.get(campaign_id, [])[start:])
+
+    def wait_events(
+        self, campaign_id: str, start: int, timeout: float = 10.0
+    ) -> List[Dict[str, Any]]:
+        """Block until the campaign has events past ``start`` (or it is
+        terminal, or ``timeout`` elapses); the SSE endpoint's long poll."""
+        with self._lock:
+            remaining = timeout
+            while True:
+                buffered = self._events.get(campaign_id, [])
+                if len(buffered) > start:
+                    return list(buffered[start:])
+                if self.store.get(campaign_id).terminal or remaining <= 0:
+                    return []
+                waited = min(remaining, 0.5)
+                self._event_cv.wait(waited)
+                remaining -= waited
+
+    def _emit(self, campaign_id: str, event: Dict[str, Any]) -> None:
+        with self._lock:
+            buffer = self._events.setdefault(campaign_id, [])
+            buffer.append(event)
+            if len(buffer) > EVENT_BUFFER_LIMIT:
+                del buffer[: len(buffer) - EVENT_BUFFER_LIMIT]
+            self._event_cv.notify_all()
+
+    # ----------------------------------------------------------------- #
+    # Introspection.
+    # ----------------------------------------------------------------- #
+
+    def metrics(self) -> Dict[str, Any]:
+        """The scheduler half of the ``/metrics`` payload."""
+        with self._lock:
+            queued = len(self._queued_ids)
+            running = self._running_id
+            executed = self._executed
+        return {
+            "campaigns": self.store.counts(),
+            "queue_depth": queued,
+            "running": running,
+            "campaigns_executed": executed,
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+    # ----------------------------------------------------------------- #
+    # Worker internals.
+    # ----------------------------------------------------------------- #
+
+    def _push(self, record: CampaignRecord) -> None:
+        heapq.heappush(
+            self._queue, (-record.priority, record.seq, record.campaign_id)
+        )
+        self._queued_ids.add(record.campaign_id)
+
+    def _pop(self) -> Optional[str]:
+        while self._queue:
+            _, _, campaign_id = heapq.heappop(self._queue)
+            # Lazily skip entries cancelled while queued.
+            if campaign_id in self._queued_ids:
+                self._queued_ids.discard(campaign_id)
+                return campaign_id
+        return None
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while not self._stopping and not self._queued_ids:
+                    self._wakeup.wait(self.poll_interval)
+                if self._stopping:
+                    return
+                campaign_id = self._pop()
+                if campaign_id is None:
+                    continue
+                self._running_id = campaign_id
+                cancel_event = threading.Event()
+                self._cancel[campaign_id] = cancel_event
+                self._cancel_reason.pop(campaign_id, None)
+            try:
+                self._execute(campaign_id, cancel_event)
+            finally:
+                with self._lock:
+                    self._running_id = None
+                    self._cancel.pop(campaign_id, None)
+
+    def _execute(self, campaign_id: str, cancel_event: threading.Event) -> None:
+        record = self.store.get(campaign_id)
+        timer: Optional[threading.Timer] = None
+        try:
+            plan = build_plan(record.spec)
+            self.store.mark_running(campaign_id, total=len(plan.jobs))
+            self._emit(campaign_id, {
+                "event": "started",
+                "total": len(plan.jobs),
+                "resume": record.resume,
+            })
+
+            timeout_s = record.spec.get("timeout_s")
+            if timeout_s is not None:
+                def _expire() -> None:
+                    with self._lock:
+                        self._cancel_reason[campaign_id] = "timeout"
+                    cancel_event.set()
+                timer = threading.Timer(float(timeout_s), _expire)
+                timer.daemon = True
+                timer.start()
+
+            done = {"count": 0}
+
+            def progress(index: int, result: Any) -> None:
+                done["count"] += 1
+                self.store.mark_progress(campaign_id, done["count"])
+                event: Dict[str, Any] = {
+                    "event": "job",
+                    "index": index,
+                    "done": done["count"],
+                    "total": len(plan.jobs),
+                }
+                if isinstance(result, JobResult):
+                    event.update(
+                        skew=result.skew,
+                        vmin=result.vmin_late,
+                        cached=result.cached,
+                        resumed=result.resumed,
+                    )
+                elif isinstance(result, JobError):
+                    event.update(error=result.error, message=result.message)
+                self._emit(campaign_id, event)
+
+            cache: Any = "default"
+            if plan.evaluate is not None:
+                cache = None
+            elif record.spec.get("no_cache"):
+                cache = None
+            elif record.spec.get("tenant"):
+                cache = tenant_cache(record.spec["tenant"])
+
+            campaign = run_campaign(
+                plan.jobs,
+                cache=cache,
+                telemetry=self.telemetry,
+                evaluate=plan.evaluate,
+                checkpoint=str(self.store.checkpoint_path(campaign_id)),
+                resume=record.resume,
+                progress=progress,
+                cancel_event=cancel_event,
+                **plan.executor,
+            )
+            payload = plan.fold(campaign)
+            self.store.mark_done(campaign_id, payload)
+            self._emit(campaign_id, {
+                "event": "done",
+                "total": len(plan.jobs),
+                "errors": len(campaign.errors),
+            })
+        except CampaignCancelledError as error:
+            with self._lock:
+                reason = self._cancel_reason.get(campaign_id, "cancel")
+            if reason == "shutdown":
+                self.store.requeue(campaign_id, completed=error.completed)
+                self._emit(campaign_id, {
+                    "event": "requeued",
+                    "completed": error.completed,
+                })
+            else:
+                self.store.mark_cancelled(
+                    campaign_id, reason=reason, completed=error.completed
+                )
+                self._emit(campaign_id, {
+                    "event": "cancelled",
+                    "reason": reason,
+                    "completed": error.completed,
+                })
+        except Exception as error:  # noqa: BLE001 - worker must survive
+            self.store.mark_failed(
+                campaign_id, f"{type(error).__name__}: {error}"
+            )
+            self._emit(campaign_id, {
+                "event": "failed",
+                "error": type(error).__name__,
+                "message": str(error),
+                "trace": traceback.format_exc(limit=5),
+            })
+        finally:
+            if timer is not None:
+                timer.cancel()
+            with self._lock:
+                self._executed += 1

@@ -1,0 +1,312 @@
+"""Campaign specs: the JSON job descriptions the service accepts.
+
+A *spec* is a plain JSON dict describing one campaign in the same
+parameter conventions the CLI subcommands use (loads in fF, times in
+ns), so ``repro submit`` forwards its flags verbatim and a curl user can
+read the README quickstart and write one by hand.  Two kinds ship:
+
+``sensitivity``
+    The Fig.-4 family: a (loads x slews x skews) grid, folded into
+    ``Vmin(tau)`` curves with interpolated ``tau_min`` - exactly what
+    the ``repro campaign`` subcommand computes.
+``montecarlo``
+    The Fig.-5 scatter: a seeded random population evaluated over a
+    skew grid - exactly what ``repro montecarlo`` computes.
+
+:func:`normalize_spec` validates a raw dict (unknown kinds and keys are
+errors - a typo must not silently fall back to a default) and fills in
+the defaults; :func:`build_plan` compiles a normalized spec into a
+:class:`CampaignPlan`: the exact :class:`~repro.runtime.SensorJob` list
+a direct CLI run would build (same content addresses, same warm-start
+resolution - that is what makes service results bit-identical to local
+ones), the executor keyword arguments, and a ``fold`` function reducing
+the ordered campaign results to the JSON result payload.
+
+The registry is open: :func:`register_kind` lets tests and future job
+families (jitter sweeps, aging campaigns, ...) plug in new kinds without
+touching the store, scheduler or API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analog.engine import TransientOptions
+from repro.units import VTH_INTERPRET, fF, ns
+
+#: The CLI's fast-but-accurate-enough transient options (the ``_FAST``
+#: the ``repro`` subcommands have always used); specs default to these
+#: so a service campaign reproduces the CLI run bit-identically.
+FAST_OPTIONS = TransientOptions(dt_max=200e-12, reltol=5e-3)
+
+
+class SpecError(ValueError):
+    """A campaign spec failed validation (unknown kind/key, bad value)."""
+
+
+@dataclass
+class CampaignPlan:
+    """A compiled spec: jobs, executor kwargs, and the result folder."""
+
+    #: Ordered job list, exactly what a direct CLI run would submit.
+    jobs: List[Any]
+    #: Reduce the ordered campaign results to the JSON result payload.
+    fold: Callable[[Any], Dict[str, Any]]
+    #: Keyword arguments for :func:`repro.runtime.run_campaign`
+    #: (``backend``, ``max_workers``, ``chunksize``, ``retries``,
+    #: ``on_error``).
+    executor: Dict[str, Any] = field(default_factory=dict)
+    #: Evaluation override (test kinds only; forces ``cache=None``).
+    evaluate: Optional[Callable[[Any], Any]] = None
+
+
+#: Executor-facing keys shared by every spec kind, with defaults.
+_COMMON_DEFAULTS: Dict[str, Any] = {
+    "backend": "serial",
+    "workers": None,
+    "chunksize": None,
+    "retries": 1,
+    "on_error": "raise",
+    "warm_start": None,   # None = resolve from REPRO_WARM_START
+    "no_cache": False,
+    "fast": True,         # FAST_OPTIONS vs engine defaults
+    "tenant": "",         # cache namespace salt ("" = shared default)
+    "timeout_s": None,    # per-campaign wall budget (scheduler-enforced)
+}
+
+_KIND_DEFAULTS: Dict[str, Dict[str, Any]] = {}
+_KIND_BUILDERS: Dict[str, Callable[[Dict[str, Any]], CampaignPlan]] = {}
+
+
+def register_kind(
+    name: str,
+    defaults: Dict[str, Any],
+    build: Callable[[Dict[str, Any]], CampaignPlan],
+) -> None:
+    """Register a campaign kind: its spec defaults and plan builder."""
+    _KIND_DEFAULTS[name] = dict(defaults)
+    _KIND_BUILDERS[name] = build
+
+
+def spec_kinds() -> List[str]:
+    """The registered campaign kinds."""
+    return sorted(_KIND_BUILDERS)
+
+
+def normalize_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate ``spec`` and return a copy with every default explicit.
+
+    Unknown kinds and unknown keys raise :class:`SpecError`; the service
+    must reject a typo rather than quietly simulate something else.
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(f"spec must be a JSON object, got {type(spec).__name__}")
+    kind = spec.get("kind", "sensitivity")
+    if kind not in _KIND_BUILDERS:
+        raise SpecError(
+            f"unknown campaign kind {kind!r} (registered: {spec_kinds()})"
+        )
+    allowed = {"kind"} | set(_COMMON_DEFAULTS) | set(_KIND_DEFAULTS[kind])
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise SpecError(f"unknown spec key(s) for kind {kind!r}: {unknown}")
+    normalized: Dict[str, Any] = {"kind": kind}
+    for key, default in {**_COMMON_DEFAULTS, **_KIND_DEFAULTS[kind]}.items():
+        normalized[key] = spec.get(key, default)
+    _validate_common(normalized)
+    return normalized
+
+
+def _validate_common(spec: Dict[str, Any]) -> None:
+    from repro.runtime import BACKENDS, ON_ERROR_MODES
+
+    if spec["backend"] not in BACKENDS:
+        raise SpecError(
+            f"unknown backend {spec['backend']!r} (use one of {BACKENDS})"
+        )
+    if spec["on_error"] not in ON_ERROR_MODES:
+        raise SpecError(
+            f"unknown on_error {spec['on_error']!r} "
+            f"(use one of {ON_ERROR_MODES})"
+        )
+    if spec["timeout_s"] is not None and float(spec["timeout_s"]) <= 0:
+        raise SpecError("timeout_s must be positive")
+    if not isinstance(spec["tenant"], str):
+        raise SpecError("tenant must be a string")
+
+
+def build_plan(spec: Dict[str, Any]) -> CampaignPlan:
+    """Compile a (normalized or raw) spec into its :class:`CampaignPlan`."""
+    spec = normalize_spec(spec)
+    return _KIND_BUILDERS[spec["kind"]](spec)
+
+
+def _options(spec: Dict[str, Any]) -> Optional[TransientOptions]:
+    return FAST_OPTIONS if spec.get("fast", True) else None
+
+
+def _executor_kwargs(spec: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "backend": spec["backend"],
+        "max_workers": spec["workers"],
+        "chunksize": spec["chunksize"],
+        "retries": int(spec["retries"]),
+        "on_error": spec["on_error"],
+    }
+
+
+def _float_list(spec: Dict[str, Any], key: str) -> List[float]:
+    values = spec[key]
+    if (not isinstance(values, (list, tuple)) or not values
+            or not all(isinstance(v, (int, float)) for v in values)):
+        raise SpecError(f"{key} must be a non-empty list of numbers")
+    return [float(v) for v in values]
+
+
+def _job_payload(index: int, key: str, result: Any) -> Dict[str, Any]:
+    """Per-job entry of a result payload (JobResult or JobError)."""
+    from repro.errors import JobError
+
+    if isinstance(result, JobError):
+        return {"index": index, "key": key, "error": result.error,
+                "message": result.message}
+    data = result.to_payload()
+    data.update(index=index, key=key, cached=result.cached,
+                resumed=result.resumed)
+    return data
+
+
+# --------------------------------------------------------------------- #
+# Kind: sensitivity (the Fig.-4 family, = `repro campaign`).
+# --------------------------------------------------------------------- #
+
+def _skew_grid(tau_max_ns: float, points: int) -> List[float]:
+    if points < 2:
+        raise SpecError("points must be >= 2")
+    return [ns(tau_max_ns) * k / (points - 1) for k in range(points)]
+
+
+def _build_sensitivity(spec: Dict[str, Any]) -> CampaignPlan:
+    from repro.runtime import sensitivity_job
+
+    loads = [fF(v) for v in _float_list(spec, "loads_ff")]
+    slews = [ns(v) for v in _float_list(spec, "slews_ns")]
+    skews = _skew_grid(float(spec["tau_max_ns"]), int(spec["points"]))
+    options = _options(spec)
+    pairs = [(load, slew) for load in loads for slew in slews]
+    jobs = [
+        sensitivity_job(load, slew, tau, options=options,
+                        warm_start=spec["warm_start"])
+        for load, slew in pairs
+        for tau in skews
+    ]
+
+    def fold(campaign: Any) -> Dict[str, Any]:
+        import numpy as np
+
+        from repro.core.sensitivity import SensitivityCurve
+
+        curves = []
+        for block, (load, slew) in enumerate(pairs):
+            chunk = campaign.results[block * len(skews):(block + 1) * len(skews)]
+            vmins = np.array([
+                getattr(result, "vmin_late", float("nan")) for result in chunk
+            ])
+            curve = SensitivityCurve(
+                load=load, slew=slew, skews=np.array(skews), vmins=vmins,
+                threshold=VTH_INTERPRET,
+            )
+            curves.append({
+                "load_f": load,
+                "slew_s": slew,
+                "skews_s": list(skews),
+                "vmins_v": [float(v) for v in vmins],
+                "tau_min_s": curve.tau_min,
+            })
+        return {
+            "kind": "sensitivity",
+            "curves": curves,
+            "jobs": [
+                _job_payload(i, jobs[i].key(), r)
+                for i, r in enumerate(campaign.results)
+            ],
+        }
+
+    return CampaignPlan(jobs=jobs, fold=fold, executor=_executor_kwargs(spec))
+
+
+register_kind(
+    "sensitivity",
+    defaults={
+        "loads_ff": [80.0, 160.0, 240.0],
+        "slews_ns": [0.2],
+        "tau_max_ns": 0.5,
+        "points": 8,
+    },
+    build=_build_sensitivity,
+)
+
+
+# --------------------------------------------------------------------- #
+# Kind: montecarlo (the Fig.-5 scatter, = `repro montecarlo`).
+# --------------------------------------------------------------------- #
+
+def _build_montecarlo(spec: Dict[str, Any]) -> CampaignPlan:
+    from repro.montecarlo.parallel import sample_job
+    from repro.montecarlo.sampling import sample_population
+
+    n_samples = int(spec["samples"])
+    if n_samples < 1:
+        raise SpecError("samples must be >= 1")
+    if spec["seed"] is None:
+        # Fresh draws would make the campaign non-reproducible *and*
+        # non-resumable (a restart would re-draw a different population).
+        raise SpecError("montecarlo specs must carry an explicit seed")
+    skews = [ns(v) for v in _float_list(spec, "skews_ns")]
+    samples = sample_population(
+        n_samples, fF(float(spec["load_ff"])), seed=int(spec["seed"])
+    )
+    options = _options(spec)
+    jobs = [
+        sample_job(sample, tau, options=options, warm_start=spec["warm_start"])
+        for sample in samples
+        for tau in skews
+    ]
+
+    def fold(campaign: Any) -> Dict[str, Any]:
+        points = [
+            {
+                "skew_s": jobs[i].skew,
+                "vmin_v": getattr(result, "vmin_late", float("nan")),
+                "sample_index": i // len(skews),
+            }
+            for i, result in enumerate(campaign.results)
+        ]
+        flagged = {}
+        for tau in skews:
+            vmins = [p["vmin_v"] for p in points if p["skew_s"] == tau]
+            flagged[repr(tau)] = sum(1 for v in vmins if v > VTH_INTERPRET)
+        return {
+            "kind": "montecarlo",
+            "points": points,
+            "flagged": flagged,
+            "jobs": [
+                _job_payload(i, jobs[i].key(), r)
+                for i, r in enumerate(campaign.results)
+            ],
+        }
+
+    return CampaignPlan(jobs=jobs, fold=fold, executor=_executor_kwargs(spec))
+
+
+register_kind(
+    "montecarlo",
+    defaults={
+        "samples": 30,
+        "seed": None,
+        "load_ff": 160.0,
+        "skews_ns": [0.0, 0.05, 0.1, 0.15, 0.25, 0.4],
+    },
+    build=_build_montecarlo,
+)

@@ -1,0 +1,329 @@
+"""Persistent campaign store: lifecycle journal plus per-campaign state.
+
+The store is the service's durability layer.  Every mutation is one
+appended line in ``<state_dir>/journal.jsonl`` - the same torn-tail-safe
+JSONL format :mod:`repro.runtime.checkpoint` uses for job results, via
+the same :class:`~repro.runtime.checkpoint.CheckpointJournal` writer -
+so a ``kill -9`` at any instant loses at most the line being written.
+Two entry kinds:
+
+``{"kind": "campaign", "id": ..., "spec": ..., "client": ..., ...}``
+    A submission: the normalized spec and its queue metadata.
+``{"kind": "state", "id": ..., "state": ..., ...}``
+    A lifecycle transition (``queued -> running -> done / failed /
+    cancelled``), optionally carrying an error message, a cancel
+    reason, or progress counters.
+
+On construction the store replays the journal.  Campaigns that were
+``running`` or ``queued`` when the process died come back ``queued``
+with ``resume=True``: the scheduler re-executes them through
+``run_campaign(checkpoint=..., resume=True)``, replaying every job the
+previous incarnation had journaled under
+``<state_dir>/campaigns/<id>/checkpoint.jsonl`` and computing only the
+remainder.  Result payloads are plain JSON files
+(``campaigns/<id>/result.json``), written *before* the terminal journal
+entry so a ``done`` state always has its result on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.checkpoint import CheckpointJournal, iter_entries
+from repro.service.specs import normalize_spec
+
+#: Environment variable overriding the service state directory.
+ENV_SERVICE_DIR = "REPRO_SERVICE_DIR"
+
+#: Campaign lifecycle states, in nominal order.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a campaign never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+def default_state_dir() -> Path:
+    """``REPRO_SERVICE_DIR`` if set, else ``~/.cache/repro/service``."""
+    env = os.environ.get(ENV_SERVICE_DIR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "service"
+
+
+@dataclass
+class CampaignRecord:
+    """One campaign's queue metadata and lifecycle state."""
+
+    campaign_id: str
+    spec: Dict[str, Any]
+    client: str = ""
+    priority: int = 0
+    state: str = "queued"
+    #: Submission order; the FIFO tiebreak within one priority level.
+    seq: int = 0
+    submitted_at: float = 0.0
+    updated_at: float = 0.0
+    #: Error message (``failed``) or cancel reason (``cancelled``).
+    error: str = ""
+    #: Jobs finished so far / total jobs (filled in as the run proceeds).
+    completed: int = 0
+    total: int = 0
+    #: True when a previous incarnation already journaled some results;
+    #: the scheduler passes this through to ``run_campaign(resume=)``.
+    resume: bool = False
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON form for the API's status responses."""
+        return asdict(self)
+
+
+class JobStore:
+    """Journal-backed campaign store (thread-safe).
+
+    All public methods may be called from the HTTP handler threads and
+    the scheduler worker concurrently; a single lock serialises journal
+    appends with the in-memory record map, so readers always observe a
+    state that has already been made durable.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_state_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "campaigns").mkdir(exist_ok=True)
+        self._lock = threading.RLock()
+        self._records: Dict[str, CampaignRecord] = {}
+        self._seq = 0
+        self._replay()
+        self._journal = CheckpointJournal(self.journal_path)
+
+    # ----------------------------------------------------------------- #
+    # Paths.
+    # ----------------------------------------------------------------- #
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        """Per-campaign state directory (checkpoint journal, result)."""
+        return self.root / "campaigns" / campaign_id
+
+    def checkpoint_path(self, campaign_id: str) -> Path:
+        """The ``run_campaign`` checkpoint journal of one campaign."""
+        return self.campaign_dir(campaign_id) / "checkpoint.jsonl"
+
+    def result_path(self, campaign_id: str) -> Path:
+        """Where a done campaign's folded result payload lives."""
+        return self.campaign_dir(campaign_id) / "result.json"
+
+    # ----------------------------------------------------------------- #
+    # Recovery.
+    # ----------------------------------------------------------------- #
+
+    def _replay(self) -> None:
+        """Rebuild the record map from the journal (crash recovery)."""
+        if not self.journal_path.exists():
+            return
+        for entry in iter_entries(self.journal_path):
+            kind = entry.get("kind")
+            if kind == "campaign":
+                record = CampaignRecord(
+                    campaign_id=entry["id"],
+                    spec=entry["spec"],
+                    client=entry.get("client", ""),
+                    priority=int(entry.get("priority", 0)),
+                    seq=int(entry.get("seq", 0)),
+                    submitted_at=float(entry.get("at", 0.0)),
+                    updated_at=float(entry.get("at", 0.0)),
+                    total=int(entry.get("total", 0)),
+                )
+                self._records[record.campaign_id] = record
+                self._seq = max(self._seq, record.seq + 1)
+            elif kind == "state":
+                record = self._records.get(entry.get("id", ""))
+                if record is None:
+                    continue
+                record.state = entry.get("state", record.state)
+                record.updated_at = float(entry.get("at", record.updated_at))
+                record.error = entry.get("error", record.error)
+                if "completed" in entry:
+                    record.completed = int(entry["completed"])
+                if "total" in entry:
+                    record.total = int(entry["total"])
+        # Campaigns interrupted mid-flight come back queued; anything
+        # that was running has journaled results to resume from.
+        for record in self._records.values():
+            if record.state == "running":
+                record.state = "queued"
+                record.resume = True
+            elif record.state == "queued" and record.completed:
+                record.resume = True
+
+    # ----------------------------------------------------------------- #
+    # Mutations (each one durable before it is visible).
+    # ----------------------------------------------------------------- #
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        client: str = "",
+        priority: int = 0,
+        total: int = 0,
+    ) -> CampaignRecord:
+        """Validate ``spec``, persist the submission, return its record."""
+        normalized = normalize_spec(spec)
+        with self._lock:
+            record = CampaignRecord(
+                campaign_id=uuid.uuid4().hex[:12],
+                spec=normalized,
+                client=client,
+                priority=int(priority),
+                seq=self._seq,
+                submitted_at=time.time(),
+                updated_at=time.time(),
+                total=int(total),
+            )
+            self._seq += 1
+            self._journal.append({
+                "kind": "campaign",
+                "id": record.campaign_id,
+                "spec": normalized,
+                "client": client,
+                "priority": record.priority,
+                "seq": record.seq,
+                "total": record.total,
+                "at": record.submitted_at,
+            })
+            self.campaign_dir(record.campaign_id).mkdir(
+                parents=True, exist_ok=True
+            )
+            self._records[record.campaign_id] = record
+            return record
+
+    def _transition(self, campaign_id: str, state: str, **extra: Any) -> None:
+        if state not in STATES:
+            raise ValueError(f"unknown state {state!r}")
+        with self._lock:
+            record = self._records[campaign_id]
+            now = time.time()
+            entry: Dict[str, Any] = {
+                "kind": "state", "id": campaign_id, "state": state, "at": now,
+            }
+            entry.update(extra)
+            self._journal.append(entry)
+            record.state = state
+            record.updated_at = now
+            record.error = str(extra.get("error", record.error))
+            if "completed" in extra:
+                record.completed = int(extra["completed"])
+            if "total" in extra:
+                record.total = int(extra["total"])
+
+    def mark_running(self, campaign_id: str, total: Optional[int] = None) -> None:
+        """Record that execution started (``total`` = planned job count)."""
+        extra = {} if total is None else {"total": total}
+        self._transition(campaign_id, "running", **extra)
+
+    def mark_progress(self, campaign_id: str, completed: int) -> None:
+        """Update the in-memory progress counter (not journaled per job:
+        the per-job durability already lives in the campaign's
+        ``checkpoint.jsonl``, so journaling it twice would only double
+        the write traffic)."""
+        with self._lock:
+            self._records[campaign_id].completed = int(completed)
+
+    def mark_done(self, campaign_id: str, result: Dict[str, Any]) -> None:
+        """Persist ``result`` then record the terminal transition."""
+        path = self.result_path(campaign_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(result, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+        with self._lock:
+            record = self._records[campaign_id]
+            self._transition(
+                campaign_id, "done",
+                completed=record.total or record.completed,
+            )
+
+    def mark_failed(self, campaign_id: str, error: str) -> None:
+        """Terminal failure; ``error`` is the formatted exception."""
+        self._transition(campaign_id, "failed", error=str(error))
+
+    def mark_cancelled(
+        self, campaign_id: str, reason: str = "cancel", completed: int = 0
+    ) -> None:
+        """Terminal cancellation; ``reason`` is ``cancel`` or ``timeout``."""
+        self._transition(
+            campaign_id, "cancelled", error=reason, completed=completed
+        )
+
+    def requeue(self, campaign_id: str, completed: int = 0) -> None:
+        """Put an interrupted campaign back in the queue (graceful
+        shutdown); its journaled results make the rerun a resume."""
+        with self._lock:
+            self._transition(campaign_id, "queued", completed=completed)
+            self._records[campaign_id].resume = True
+
+    # ----------------------------------------------------------------- #
+    # Queries.
+    # ----------------------------------------------------------------- #
+
+    def get(self, campaign_id: str) -> CampaignRecord:
+        """The record for ``campaign_id`` (KeyError if unknown)."""
+        with self._lock:
+            return self._records[campaign_id]
+
+    def __contains__(self, campaign_id: str) -> bool:
+        with self._lock:
+            return campaign_id in self._records
+
+    def list(self) -> List[CampaignRecord]:
+        """All records, submission order."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.seq)
+
+    def pending(self) -> List[CampaignRecord]:
+        """Queued records, submission order (scheduler bootstrap)."""
+        return [r for r in self.list() if r.state == "queued"]
+
+    def active_count(self, client: str) -> int:
+        """Queued+running campaigns of one client (the quota gauge)."""
+        with self._lock:
+            return sum(
+                1 for r in self._records.values()
+                if r.client == client and not r.terminal
+            )
+
+    def load_result(self, campaign_id: str) -> Dict[str, Any]:
+        """The persisted result payload of a ``done`` campaign."""
+        return json.loads(self.result_path(campaign_id).read_text())
+
+    def counts(self) -> Dict[str, int]:
+        """Campaigns per state (the ``/metrics`` gauge)."""
+        with self._lock:
+            tally = {state: 0 for state in STATES}
+            for record in self._records.values():
+                tally[record.state] += 1
+            return tally
+
+    def close(self) -> None:
+        """Close the journal writer (idempotent)."""
+        self._journal.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -86,3 +86,67 @@ def skewed_response(sensor, fast_options):
 def rng():
     """Deterministic RNG for reproducible randomised tests."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def synthetic_kind():
+    """Register a cheap ``synthetic`` campaign kind for service tests.
+
+    Evaluation is a stub (no transients), so scheduler/API behaviour -
+    ordering, cancellation, resume, quotas - can be exercised in
+    milliseconds.  Spec keys: ``jobs`` (count), ``sleep_s`` (per-job
+    delay, for cancellation-mid-campaign tests), ``tag`` (appended to
+    the returned run log when the campaign folds, so tests can assert
+    execution order), ``fail_at`` (job index whose evaluation raises).
+    Yields the run log; unregisters the kind on teardown.
+    """
+    import time as _time
+
+    from repro.runtime import JobResult, SensorJob
+    from repro.service import specs
+
+    runs = []
+
+    def build(spec):
+        jobs = [
+            SensorJob(skew=(k + 1) * 1e-12)
+            for k in range(int(spec["jobs"]))
+        ]
+        sleep_s = float(spec["sleep_s"])
+        fail_at = spec["fail_at"]
+
+        def evaluate(job):
+            if sleep_s:
+                _time.sleep(sleep_s)
+            if fail_at is not None and job.skew == (fail_at + 1) * 1e-12:
+                raise ValueError("synthetic failure")
+            return JobResult(
+                skew=job.skew, vmin_y1=1.0, vmin_y2=2.0, code=(0, 0),
+                steps=1,
+            )
+
+        def fold(campaign):
+            runs.append(spec["tag"])
+            return {
+                "kind": "synthetic",
+                "tag": spec["tag"],
+                "n": len(campaign.results),
+                "resumed": sum(
+                    1 for r in campaign.results
+                    if getattr(r, "resumed", False)
+                ),
+            }
+
+        return specs.CampaignPlan(
+            jobs=jobs, fold=fold,
+            executor=specs._executor_kwargs(spec), evaluate=evaluate,
+        )
+
+    specs.register_kind(
+        "synthetic",
+        {"jobs": 4, "sleep_s": 0.0, "tag": "", "fail_at": None},
+        build,
+    )
+    yield runs
+    specs._KIND_BUILDERS.pop("synthetic", None)
+    specs._KIND_DEFAULTS.pop("synthetic", None)

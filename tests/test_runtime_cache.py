@@ -195,3 +195,124 @@ def test_stats_accounting(tmp_path):
     assert stats["hits_memory"] == 1
     assert stats["puts"] == 1
     assert stats["hits"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Disk-tier size accounting and LRU eviction
+# --------------------------------------------------------------------- #
+
+def test_parse_size_suffixes():
+    from repro.runtime import parse_size
+
+    assert parse_size("1024") == 1024
+    assert parse_size("4k") == 4096
+    assert parse_size("64m") == 64 * 1024 ** 2
+    assert parse_size("1g") == 1024 ** 3
+    assert parse_size("2kb") == 2048
+    assert parse_size("1.5k") == 1536
+    with pytest.raises(ValueError):
+        parse_size("")
+    with pytest.raises(ValueError):
+        parse_size("lots")
+
+
+def test_default_max_disk_bytes_env(monkeypatch):
+    from repro.runtime import default_max_disk_bytes
+
+    monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+    assert default_max_disk_bytes() is None
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "8k")
+    assert default_max_disk_bytes() == 8192
+    monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "nonsense")
+    with pytest.raises(ValueError):
+        default_max_disk_bytes()
+
+
+def test_disk_total_bytes_tracks_puts(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path, max_disk_bytes=None)
+    assert cache.disk_total_bytes() == 0
+    cache.put("a" * 64, {"x": 1})
+    one = cache.disk_total_bytes()
+    assert one > 0
+    cache.put("b" * 64, {"x": 2})
+    assert cache.disk_total_bytes() > one
+    # Overwriting an entry must not double-count its bytes.
+    cache.put("a" * 64, {"x": 1})
+    fresh = ResultCache(disk_dir=tmp_path, version=cache.version)
+    assert cache.disk_total_bytes() == fresh.disk_total_bytes()
+
+
+def test_lru_eviction_on_budget(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path, max_disk_bytes=None)
+    for index in range(8):
+        cache.put(f"{index:064d}", {"payload": "x" * 64})
+    per_entry = cache.disk_total_bytes() // 8
+    # Age the entries oldest-first, then touch entry 0 to make it hot.
+    for index in range(8):
+        path = cache.disk_dir / (f"{index:064d}" + ".json")
+        os.utime(path, (1000 + index, 1000 + index))
+    budgeted = ResultCache(
+        disk_dir=tmp_path, version=cache.version,
+        max_disk_bytes=per_entry * 4,
+    )
+    assert budgeted.get(f"{0:064d}") is not None  # refreshes mtime
+    removed = budgeted.prune()
+    assert removed >= 4
+    assert budgeted.disk_total_bytes() <= per_entry * 4
+    # The freshly touched entry survived; the oldest untouched ones went.
+    assert (budgeted.disk_dir / (f"{0:064d}" + ".json")).exists()
+    assert not (budgeted.disk_dir / (f"{1:064d}" + ".json")).exists()
+    stats = budgeted.stats.as_dict()
+    assert stats["evictions_disk"] == removed
+    assert stats["evicted_bytes"] > 0
+
+
+def test_put_enforces_budget_and_protects_fresh_entry(tmp_path):
+    cache = ResultCache(disk_dir=tmp_path, max_disk_bytes=1)
+    cache.put("a" * 64, {"x": 1})
+    # The budget (1 byte) is absurdly small, but the just-written entry
+    # is protected from evicting itself.
+    assert (cache.disk_dir / ("a" * 64 + ".json")).exists()
+    cache.put("b" * 64, {"x": 2})
+    # Writing b evicted a (LRU) while protecting b.
+    assert (cache.disk_dir / ("b" * 64 + ".json")).exists()
+    assert not (cache.disk_dir / ("a" * 64 + ".json")).exists()
+
+
+def test_prune_spans_stale_version_namespaces(tmp_path):
+    stale = ResultCache(disk_dir=tmp_path, version="old")
+    stale.put("a" * 64, {"x": 1})
+    os.utime(stale.disk_dir / ("a" * 64 + ".json"), (1000, 1000))
+    live = ResultCache(disk_dir=tmp_path, version="new")
+    live.put("b" * 64, {"x": 2})
+    removed = live.prune(max_bytes=live.disk_total_bytes() // 2)
+    assert removed == 1
+    # The stale namespace's (older) entry went first.
+    assert not (stale.disk_dir / ("a" * 64 + ".json")).exists()
+    assert (live.disk_dir / ("b" * 64 + ".json")).exists()
+
+
+# --------------------------------------------------------------------- #
+# Tenant namespaces
+# --------------------------------------------------------------------- #
+
+def test_tenant_salt_separates_disk_namespaces(tmp_path):
+    from repro.runtime import tenant_cache
+
+    alice = ResultCache(disk_dir=tmp_path, salt="alice")
+    bob = ResultCache(disk_dir=tmp_path, salt="bob")
+    assert alice.disk_dir != bob.disk_dir
+    alice.put("k" * 64, {"who": "alice"})
+    assert bob.get("k" * 64) is None
+    # Same key, same payload addressing: the salt changes only where the
+    # entry lives, never the key.
+    assert alice.get("k" * 64) == {"who": "alice"}
+
+
+def test_default_tenant_is_the_process_cache(fresh_cache):
+    from repro.runtime import get_cache, tenant_cache
+
+    assert tenant_cache("") is get_cache()
+    named = tenant_cache("acme")
+    assert named is not get_cache()
+    assert named.salt == "acme"

@@ -263,3 +263,118 @@ def test_montecarlo_parallel_matches_serial_via_runtime(fast_options):
         assert a.sample_index == b.sample_index
         assert a.skew == b.skew
         assert a.vmin == b.vmin  # bit-exact across process boundaries
+
+
+# --------------------------------------------------------------------- #
+# Streaming progress and cancellation.
+# --------------------------------------------------------------------- #
+
+def _briefly_slow_synthetic(job):
+    time.sleep(0.02)
+    return _synthetic(job)
+
+
+def test_progress_callback_fires_per_job():
+    seen = []
+    jobs = jobs_for(0.1, 0.2, 0.3)
+    run_campaign(
+        jobs, cache=None, evaluate=_synthetic,
+        progress=lambda index, result: seen.append((index, result)),
+    )
+    assert sorted(index for index, _ in seen) == [0, 1, 2]
+    for index, result in seen:
+        assert isinstance(result, JobResult)
+        assert result.skew == jobs[index].skew
+
+
+def test_progress_includes_cache_hits(fresh_cache):
+    cache = ResultCache(disk_dir=None)
+    jobs = jobs_for(0.1, 0.2)
+    run_campaign(jobs, cache=cache, evaluate=_synthetic)
+    seen = []
+    run_campaign(
+        jobs, cache=cache, evaluate=_synthetic,
+        progress=lambda index, result: seen.append(result),
+    )
+    assert len(seen) == 2
+    assert all(result.cached for result in seen)
+
+
+def test_progress_default_is_bit_identical(fresh_cache):
+    jobs = jobs_for(0.1, 0.2)
+    plain = run_campaign(jobs, cache=None, evaluate=_synthetic)
+    with_progress = run_campaign(
+        jobs, cache=None, evaluate=_synthetic,
+        progress=lambda index, result: None,
+    )
+    assert [r.skew for r in plain] == [r.skew for r in with_progress]
+    assert [r.vmin_y1 for r in plain] == [r.vmin_y1 for r in with_progress]
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+def test_cancel_event_aborts_campaign(backend):
+    import threading
+
+    from repro.errors import CampaignCancelledError
+
+    cancel = threading.Event()
+    done = []
+
+    def progress(index, result):
+        done.append(index)
+        if len(done) >= 2:
+            cancel.set()
+
+    with pytest.raises(CampaignCancelledError) as excinfo:
+        run_campaign(
+            jobs_for(*[0.01 * k for k in range(12)]),
+            backend=backend, max_workers=2, chunksize=1,
+            cache=None, evaluate=_briefly_slow_synthetic,
+            progress=progress, cancel_event=cancel,
+        )
+    assert excinfo.value.completed >= 2
+    assert excinfo.value.completed < 12
+
+
+def test_cancelled_campaign_resumes_from_checkpoint(tmp_path):
+    import threading
+
+    from repro.errors import CampaignCancelledError
+
+    journal = tmp_path / "journal.jsonl"
+    cancel = threading.Event()
+    jobs = jobs_for(*[0.02 * k for k in range(6)])
+
+    def progress(index, result):
+        if index >= 2:
+            cancel.set()
+
+    with pytest.raises(CampaignCancelledError):
+        run_campaign(
+            jobs, cache=None, evaluate=_synthetic,
+            checkpoint=str(journal), progress=progress, cancel_event=cancel,
+        )
+    # Every completed job was journaled before the abort; the resumed
+    # run replays them and computes only the remainder.
+    telemetry = Telemetry()
+    campaign = run_campaign(
+        jobs, cache=None, evaluate=_synthetic,
+        checkpoint=str(journal), resume=True, telemetry=telemetry,
+    )
+    assert len(campaign) == 6
+    assert telemetry.jobs_resumed >= 3
+    assert [r.skew for r in campaign] == [job.skew for job in jobs]
+
+
+def test_cancel_preempts_even_under_collect():
+    import threading
+
+    from repro.errors import CampaignCancelledError
+
+    cancel = threading.Event()
+    cancel.set()  # cancelled before the first job
+    with pytest.raises(CampaignCancelledError):
+        run_campaign(
+            jobs_for(0.1, 0.2), cache=None, evaluate=_synthetic,
+            on_error="collect", cancel_event=cancel,
+        )

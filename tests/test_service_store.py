@@ -1,0 +1,192 @@
+"""Service job store: journal durability, replay, lifecycle, quotas."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.specs import SpecError
+from repro.service.store import (
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    default_state_dir,
+)
+
+SPEC = {"kind": "sensitivity", "loads_ff": [160.0], "slews_ns": [0.2],
+        "points": 3, "tau_max_ns": 0.2}
+
+
+def test_default_state_dir_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+    assert default_state_dir() == tmp_path / "svc"
+    monkeypatch.delenv("REPRO_SERVICE_DIR")
+    assert default_state_dir().name == "service"
+
+
+def test_states_taxonomy():
+    assert TERMINAL_STATES < set(STATES)
+    assert "queued" not in TERMINAL_STATES
+    assert "running" not in TERMINAL_STATES
+
+
+def test_submit_normalizes_and_persists(tmp_path):
+    store = JobStore(tmp_path)
+    record = store.submit(SPEC, client="alice", priority=3)
+    assert record.state == "queued"
+    assert record.client == "alice"
+    assert record.priority == 3
+    # The journaled spec carries every default explicitly.
+    assert record.spec["backend"] == "serial"
+    assert record.spec["points"] == 3
+    assert record.campaign_id in store
+    assert store.campaign_dir(record.campaign_id).is_dir()
+
+
+def test_submit_rejects_bad_spec(tmp_path):
+    store = JobStore(tmp_path)
+    with pytest.raises(SpecError):
+        store.submit({"kind": "no-such-kind"})
+    with pytest.raises(SpecError):
+        store.submit({"loads_ffff": [1.0]})
+    assert store.list() == []  # nothing journaled
+
+
+def test_lifecycle_transitions(tmp_path):
+    store = JobStore(tmp_path)
+    record = store.submit(SPEC)
+    cid = record.campaign_id
+    store.mark_running(cid, total=3)
+    assert store.get(cid).state == "running"
+    assert store.get(cid).total == 3
+    store.mark_progress(cid, 2)
+    assert store.get(cid).completed == 2
+    store.mark_done(cid, {"kind": "sensitivity", "curves": []})
+    final = store.get(cid)
+    assert final.terminal and final.state == "done"
+    assert final.completed == 3
+    assert store.load_result(cid) == {"kind": "sensitivity", "curves": []}
+
+
+def test_result_written_before_terminal_entry(tmp_path):
+    store = JobStore(tmp_path)
+    cid = store.submit(SPEC).campaign_id
+    store.mark_running(cid)
+    store.mark_done(cid, {"answer": 42})
+    # A replayed store sees the terminal state AND can load the result:
+    # mark_done persists the payload before journaling "done".
+    replayed = JobStore(tmp_path)
+    assert replayed.get(cid).state == "done"
+    assert replayed.load_result(cid) == {"answer": 42}
+
+
+def test_restart_requeues_interrupted_campaign(tmp_path):
+    store = JobStore(tmp_path)
+    cid = store.submit(SPEC).campaign_id
+    store.mark_running(cid, total=3)
+    store.mark_progress(cid, 2)
+    store.close()
+    # Simulated kill -9: no terminal entry was journaled.  The next
+    # incarnation finds the campaign queued again, flagged for resume.
+    revived = JobStore(tmp_path)
+    record = revived.get(cid)
+    assert record.state == "queued"
+    assert record.resume is True
+    assert record.total == 3
+    assert [r.campaign_id for r in revived.pending()] == [cid]
+
+
+def test_replay_preserves_submission_order_and_seq(tmp_path):
+    store = JobStore(tmp_path)
+    first = store.submit(SPEC).campaign_id
+    second = store.submit(SPEC).campaign_id
+    store.close()
+    revived = JobStore(tmp_path)
+    assert [r.campaign_id for r in revived.list()] == [first, second]
+    # New submissions continue the seq counter (FIFO survives restarts).
+    third = revived.submit(SPEC)
+    assert third.seq > revived.get(second).seq
+
+
+def test_torn_journal_line_tolerated(tmp_path):
+    store = JobStore(tmp_path)
+    cid = store.submit(SPEC).campaign_id
+    store.mark_running(cid)
+    store.close()
+    with open(store.journal_path, "a") as handle:
+        handle.write('{"kind": "state", "id": "' + cid)  # torn mid-write
+    revived = JobStore(tmp_path)
+    assert revived.get(cid).state == "queued"  # running -> requeued
+
+
+def test_cancelled_and_failed_terminal(tmp_path):
+    store = JobStore(tmp_path)
+    a = store.submit(SPEC, client="c").campaign_id
+    b = store.submit(SPEC, client="c").campaign_id
+    store.mark_cancelled(a, reason="timeout", completed=1)
+    store.mark_failed(b, "ValueError: boom")
+    assert store.get(a).state == "cancelled"
+    assert store.get(a).error == "timeout"
+    assert store.get(a).completed == 1
+    assert store.get(b).state == "failed"
+    assert "boom" in store.get(b).error
+    # Terminal campaigns are kept terminal across replay.
+    revived = JobStore(tmp_path)
+    assert revived.get(a).state == "cancelled"
+    assert revived.get(b).state == "failed"
+
+
+def test_active_count_is_the_quota_gauge(tmp_path):
+    store = JobStore(tmp_path)
+    a = store.submit(SPEC, client="alice").campaign_id
+    store.submit(SPEC, client="alice")
+    store.submit(SPEC, client="bob")
+    assert store.active_count("alice") == 2
+    assert store.active_count("bob") == 1
+    assert store.active_count("nobody") == 0
+    store.mark_running(a)
+    assert store.active_count("alice") == 2  # running still counts
+    store.mark_done(a, {})
+    assert store.active_count("alice") == 1  # terminal does not
+
+
+def test_requeue_marks_resume(tmp_path):
+    store = JobStore(tmp_path)
+    cid = store.submit(SPEC).campaign_id
+    store.mark_running(cid, total=5)
+    store.requeue(cid, completed=2)
+    record = store.get(cid)
+    assert record.state == "queued"
+    assert record.resume is True
+    assert record.completed == 2
+
+
+def test_counts_per_state(tmp_path):
+    store = JobStore(tmp_path)
+    store.submit(SPEC)
+    done = store.submit(SPEC).campaign_id
+    store.mark_running(done)
+    store.mark_done(done, {})
+    counts = store.counts()
+    assert counts["queued"] == 1
+    assert counts["done"] == 1
+    assert counts["running"] == 0
+
+
+def test_journal_is_checkpoint_format(tmp_path):
+    """The store journal is readable by the checkpoint-layer reader."""
+    from repro.runtime import iter_entries
+
+    store = JobStore(tmp_path)
+    cid = store.submit(SPEC).campaign_id
+    store.mark_running(cid)
+    store.close()
+    entries = list(iter_entries(store.journal_path))
+    kinds = [entry["kind"] for entry in entries]
+    assert kinds[0] == "header"
+    assert "campaign" in kinds and "state" in kinds
+    # Every line is self-describing JSON (the append-only contract).
+    with open(store.journal_path) as handle:
+        for line in handle:
+            assert json.loads(line)["kind"]

@@ -82,14 +82,27 @@ def compare(
         if not os.path.exists(fresh_path):
             print(f"{name}: no fresh record (bench not rerun) - skipped")
             continue
-        base = load_metrics(baseline_path)
-        fresh = load_metrics(fresh_path)
+        try:
+            base = load_metrics(baseline_path)
+            fresh = load_metrics(fresh_path)
+        except (OSError, json.JSONDecodeError, KeyError) as error:
+            print(
+                f"::warning file={name}::unreadable bench record "
+                f"({type(error).__name__}: {error}) - skipped"
+            )
+            continue
         for where, base_value in sorted(base.items()):
             if base_value <= 0.0:
                 continue
             fresh_value = fresh.get(where)
             if fresh_value is None:
-                print(f"{name}: {where} missing from fresh record - skipped")
+                # A metric the fresh record stopped emitting is itself a
+                # signal (telemetry regression), not a KeyError and not a
+                # silent skip: annotate the run.
+                print(
+                    f"::warning file={name}::{where} ({METRIC}) absent "
+                    "from the fresh record - bench telemetry changed?"
+                )
                 continue
             compared += 1
             change = (fresh_value - base_value) / base_value
@@ -113,7 +126,11 @@ def compare(
                 continue
             fresh_rate = fresh_rates.get(where)
             if fresh_rate is None:
-                print(f"{name}: {where} missing from fresh record - skipped")
+                print(
+                    f"::warning file={name}::{where} ({HIT_RATE_METRIC}) "
+                    "absent from the fresh record - warm-start telemetry "
+                    "no longer reported?"
+                )
                 continue
             compared += 1
             marker = "ok"
