@@ -295,6 +295,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         quota=args.quota,
         access_log=args.access_log,
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.max_queue_depth,
+        watchdog_s=args.watchdog,
     )
     if args.port_file:
         with open(args.port_file, "w") as handle:
@@ -369,11 +372,30 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
     client = ServiceClient(args.url)
     try:
-        record = client.status(args.id)
+        if args.id:
+            payload = client.status(args.id)
+        else:
+            # No id: the server's own health (scheduler liveness, last
+            # heartbeat age, watchdog counters, quarantined lines).
+            payload = client.health()
     except ServiceError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    print(json.dumps(record, indent=2, sort_keys=True))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_service_compact(args: argparse.Namespace) -> int:
+    from repro.service.store import JobStore
+
+    with JobStore(args.root) as store:
+        stats = store.compact()
+    print(f"compacted {store.journal_path}: "
+          f"{stats['campaigns']} campaign(s), "
+          f"{stats['bytes_before']} -> {stats['bytes_after']} bytes")
+    if store.quarantined:
+        print(f"quarantined {store.quarantined} corrupt line(s) "
+              f"to {store.quarantine_file}")
     return 0
 
 
@@ -558,6 +580,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", type=str, default=None,
                        help="write the bound port to this file (for "
                             "scripts using --port 0)")
+    serve.add_argument("--max-concurrent", type=int, default=None,
+                       help="campaigns executed concurrently (default 1; "
+                            "wider schedulers split the worker budget)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="bound on queued campaigns (503 + Retry-After "
+                            "beyond it; default unbounded)")
+    serve.add_argument("--watchdog", type=float, default=None,
+                       help="fail a campaign with no heartbeat for this "
+                            "many seconds (default off)")
     serve.add_argument("--access-log", action="store_true",
                        help="log every request to stderr")
     serve.set_defaults(func=_cmd_serve)
@@ -612,10 +643,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--stream/--wait-done timeout, seconds")
     submit.set_defaults(func=_cmd_submit)
 
-    status = sub.add_parser("status", help="one campaign's status record")
+    status = sub.add_parser(
+        "status",
+        help="one campaign's status record (no id: server health with "
+             "scheduler liveness, heartbeat age and watchdog counters)",
+    )
     add_client_flags(status)
-    status.add_argument("id", type=str)
+    status.add_argument("id", type=str, nargs="?", default=None)
     status.set_defaults(func=_cmd_status)
+
+    service = sub.add_parser(
+        "service", help="offline maintenance of a service state directory"
+    )
+    service_sub = service.add_subparsers(dest="service_command",
+                                         required=True)
+    compact = service_sub.add_parser(
+        "compact",
+        help="atomically rewrite the lifecycle journal as its minimal "
+             "snapshot (quarantining any corrupt lines found)",
+    )
+    compact.add_argument("root", type=str,
+                         help="service state directory (the --state-dir "
+                              "of the server that owns it; stop the "
+                              "server first)")
+    compact.set_defaults(func=_cmd_service_compact)
 
     result = sub.add_parser("result", help="a finished campaign's result")
     add_client_flags(result)

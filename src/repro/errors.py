@@ -241,6 +241,19 @@ class WorkerCrashError(SimulationError):
             self.diagnostics.extra.setdefault("job", repr(job))
 
 
+class InjectedFaultError(RuntimeError):
+    """A deliberately injected infrastructure fault.
+
+    Raised by the fault-injection sites of :mod:`repro.runtime.faults`
+    that simulate *environment* failures (journal write errors, result
+    publish errors) rather than simulation failures.  Deliberately not a
+    :class:`SimulationError`: the components that can encounter the real
+    failure (``OSError`` from a full or dying disk) must handle this
+    class through exactly the same retry/degradation paths, so chaos
+    tests prove the production behaviour, not a special case.
+    """
+
+
 class CampaignCancelledError(RuntimeError):
     """A campaign was cancelled via its ``cancel_event`` before finishing.
 

@@ -10,12 +10,23 @@ failed - errors are never journalled, so they are retried).
 
 Format
 ------
-Line 1 is a header ``{"kind": "header", "format": 1}``; every further
+Line 1 is a header ``{"kind": "header", "format": 2}``; every further
 line is ``{"kind": "result", "key": <content address>, "result":
 <JobResult payload>}``.  Content-addressed keys make the journal robust
-to job reordering and to campaigns that share a subset of jobs.  Loading
-tolerates a torn final line (the crash may have happened mid-write) and
-skips unparseable lines instead of refusing the whole journal.
+to job reordering and to campaigns that share a subset of jobs.
+
+Since format 2 every entry is *integrity-framed*: the writer embeds a
+``_crc`` (CRC-32 of the entry's canonical JSON form, without the frame
+fields) and ``_len`` (that form's byte length) into the line.  A torn
+final line was always tolerated (the crash may have happened mid-write);
+the frame additionally detects *mid-line* corruption - a flipped byte
+inside an otherwise parseable line, the failure mode append-after-crash
+and bit rot produce - which an unframed reader would silently apply.
+Corrupt lines are never applied; readers report them through an
+``on_corrupt`` callback and they can be *quarantined* (appended, with
+line number and reason, to ``<journal>.quarantine``) so the evidence
+survives for a post-mortem instead of vanishing.  Format-1 journals
+(no frame fields) still load; their entries are simply unverifiable.
 
 The journal is *not* the result cache: it is a per-campaign artifact at a
 user-chosen path, it survives ``REPRO_CACHE_DISABLE=1`` runs, and it
@@ -25,52 +36,178 @@ journals cache hits too, so a resume works even against a cold cache.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
+import zlib
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
+
+logger = logging.getLogger(__name__)
 
 #: Journal format generation, bumped on incompatible layout changes.
-JOURNAL_FORMAT = 1
+#: Format 2 added the ``_crc``/``_len`` integrity frame; format-1 lines
+#: are still readable (unverified).
+JOURNAL_FORMAT = 2
+
+#: Frame fields embedded into every written entry.
+CRC_FIELD = "_crc"
+LEN_FIELD = "_len"
+
+#: How much of a corrupt raw line a quarantine record keeps.
+QUARANTINE_RAW_LIMIT = 4096
 
 
-def iter_entries(path: Union[str, Path]):
-    """Yield every parseable entry dict of the journal at ``path``.
+@dataclass
+class CorruptEntry:
+    """One journal line that failed parsing or integrity checking."""
+
+    lineno: int
+    reason: str
+    raw: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON form for one quarantine record (raw line truncated)."""
+        return {
+            "lineno": self.lineno,
+            "reason": self.reason,
+            "raw": self.raw[:QUARANTINE_RAW_LIMIT],
+        }
+
+
+def _canonical(entry: Dict[str, Any]) -> str:
+    """The byte-stable serialisation the CRC frame is computed over."""
+    return json.dumps(entry, sort_keys=True)
+
+
+def frame_entry(entry: Dict[str, Any]) -> str:
+    """Serialise ``entry`` with its integrity frame embedded."""
+    body = _canonical(entry)
+    framed = dict(entry)
+    framed[CRC_FIELD] = f"{zlib.crc32(body.encode('utf-8')) & 0xffffffff:08x}"
+    framed[LEN_FIELD] = len(body)
+    return json.dumps(framed, sort_keys=True)
+
+
+def unframe_entry(entry: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Strip and verify the integrity frame of a parsed entry.
+
+    Returns the bare entry, or ``None`` when the frame is present but
+    does not match (mid-line corruption).  Entries without a frame
+    (format 1) pass through unverified.
+    """
+    if CRC_FIELD not in entry and LEN_FIELD not in entry:
+        return entry
+    bare = dict(entry)
+    crc = bare.pop(CRC_FIELD, None)
+    length = bare.pop(LEN_FIELD, None)
+    body = _canonical(bare)
+    if length is not None and length != len(body):
+        return None
+    expected = f"{zlib.crc32(body.encode('utf-8')) & 0xffffffff:08x}"
+    if not isinstance(crc, str) or crc != expected:
+        return None
+    return bare
+
+
+def quarantine_path(path: Union[str, Path]) -> Path:
+    """Where a journal's corrupt lines are preserved."""
+    journal = Path(path)
+    return journal.with_name(journal.name + ".quarantine")
+
+
+def write_quarantine(
+    path: Union[str, Path], corrupt: List[CorruptEntry]
+) -> Optional[Path]:
+    """Append ``corrupt`` records to the journal's quarantine file.
+
+    Returns the quarantine path (``None`` when there was nothing to
+    write).  Quarantining is itself best-effort: a disk that cannot
+    write the quarantine must not turn recovery into a crash.
+    """
+    if not corrupt:
+        return None
+    target = quarantine_path(path)
+    try:
+        with target.open("a", encoding="utf-8") as handle:
+            now = time.time()
+            for entry in corrupt:
+                record = {"at": now, **entry.as_dict()}
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    except OSError as error:  # pragma: no cover - disk already failing
+        logger.warning("could not write quarantine %s: %s", target, error)
+        return None
+    return target
+
+
+def iter_entries(
+    path: Union[str, Path],
+    on_corrupt: Optional[Callable[[CorruptEntry], None]] = None,
+):
+    """Yield every valid entry dict of the journal at ``path``.
 
     The generic reader under :func:`load_journal`, shared with the
     service job store (:mod:`repro.service.store`), which journals its
     campaign lifecycle in the same append-only format with its own entry
-    kinds.  Torn or corrupt lines are skipped, like everywhere else.
+    kinds.  Lines that fail JSON parsing (torn writes) or whose
+    integrity frame does not verify (mid-line corruption) are never
+    yielded; each one is reported to ``on_corrupt`` (when given) so the
+    caller can quarantine it - with no callback they are skipped, the
+    historical behaviour.
     """
     journal = Path(path)
     if not journal.exists():
         return
     with journal.open("r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 entry = json.loads(line)
-            except json.JSONDecodeError:
+            except json.JSONDecodeError as error:
+                if on_corrupt is not None:
+                    on_corrupt(CorruptEntry(lineno, f"unparseable: {error}", line))
                 continue
-            if isinstance(entry, dict):
-                yield entry
+            if not isinstance(entry, dict):
+                if on_corrupt is not None:
+                    on_corrupt(CorruptEntry(lineno, "not a JSON object", line))
+                continue
+            bare = unframe_entry(entry)
+            if bare is None:
+                if on_corrupt is not None:
+                    on_corrupt(CorruptEntry(lineno, "CRC mismatch", line))
+                continue
+            yield bare
 
 
-def load_journal(path: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+def load_journal(
+    path: Union[str, Path], quarantine: bool = False
+) -> Dict[str, Dict[str, Any]]:
     """Completed results recorded in the journal at ``path``.
 
     Returns a ``key -> JobResult payload`` mapping; an absent file is an
-    empty journal.  Corrupt or torn lines (a crash can interrupt a write)
-    are skipped silently - the affected jobs are simply re-evaluated.
+    empty journal.  Corrupt lines (torn writes, CRC mismatches) are
+    logged and skipped - the affected jobs are simply re-evaluated - and
+    with ``quarantine=True`` they are additionally preserved in
+    ``<path>.quarantine`` for a post-mortem.
     """
+    corrupt: List[CorruptEntry] = []
     completed: Dict[str, Dict[str, Any]] = {}
-    for entry in iter_entries(path):
+    for entry in iter_entries(path, on_corrupt=corrupt.append):
         if entry.get("kind") != "result":
             continue
         key, payload = entry.get("key"), entry.get("result")
         if isinstance(key, str) and isinstance(payload, dict):
             completed[key] = payload
+    if corrupt:
+        logger.warning(
+            "journal %s: skipped %d corrupt line(s); affected jobs will "
+            "be re-evaluated", path, len(corrupt),
+        )
+        if quarantine:
+            write_quarantine(path, corrupt)
     return completed
 
 
@@ -102,7 +239,7 @@ class CheckpointJournal:
         return self._handle
 
     def _write(self, entry: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.write(frame_entry(entry) + "\n")
         self._handle.flush()
 
     def record(self, key: str, payload: Dict[str, Any]) -> None:
@@ -116,6 +253,18 @@ class CheckpointJournal:
             raise ValueError("journal entries must carry a 'kind'")
         self._open()
         self._write(entry)
+
+    def append_corrupt(self, entry: Dict[str, Any]) -> None:
+        """Write a deliberately corrupted copy of ``entry``.
+
+        The ``store.torn`` fault-injection site uses this to plant the
+        mid-line corruption replay must detect: the framed line is cut
+        mid-JSON, so it either fails parsing or fails its CRC.
+        """
+        self._open()
+        framed = frame_entry(entry)
+        self._handle.write(framed[: max(2, int(len(framed) * 0.6))] + "\n")
+        self._handle.flush()
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""

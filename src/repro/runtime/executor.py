@@ -51,6 +51,7 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import threading
+import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
@@ -70,6 +71,7 @@ from repro.errors import (
 )
 from repro.runtime.cache import ResultCache, get_cache
 from repro.runtime.checkpoint import CheckpointJournal, load_journal
+from repro.runtime.faults import get_injector
 from repro.runtime.jobs import JobResult, SensorJob, evaluate_job
 from repro.runtime.telemetry import Stopwatch, Telemetry
 
@@ -158,8 +160,27 @@ _Outcome = Tuple
 
 
 def _evaluate_outcome(item: _Item) -> _Outcome:
-    """Evaluate one job with bounded ConvergenceError retries."""
+    """Evaluate one job with bounded ConvergenceError retries.
+
+    The chaos sites ``executor.crash`` / ``executor.hang`` hook in here -
+    the single evaluation point shared by the serial, thread and process
+    backends - so an injected worker crash takes exactly the outcome
+    shape a real pool breakage produces.  (The batch backend dispatches
+    through :mod:`repro.batch.dispatch` and is not instrumented; chaos
+    runs exercise the scalar backends.)
+    """
     index, job, retries, evaluate = item
+    injector = get_injector()
+    if injector.active:
+        if injector.should_fire("executor.hang"):
+            time.sleep(injector.hang_s)
+        if injector.should_fire("executor.crash"):
+            error = WorkerCrashError(
+                f"job[{index}] worker crash (injected fault)",
+                job=job, dispatches=1,
+            )
+            return (index, "error", "WorkerCrashError", error.message,
+                    error.diagnostics.as_dict(), 0.0, 1)
     func = evaluate or evaluate_job
     watch = Stopwatch()
     attempts = 0

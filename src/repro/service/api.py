@@ -24,8 +24,20 @@ POST     ``/cache/prune``                  LRU-evict to the given/current
 =======  ================================  ===================================
 
 Error mapping: bad JSON / failed spec validation -> 400, unknown
-campaign -> 404, result not ready -> 409, quota exceeded -> 429.  Every
-response body is JSON (``{"error": ...}`` on failure).
+campaign -> 404, result not ready -> 409, quota exceeded -> 429 +
+``Retry-After``, queue at its depth bound or storage failing -> 503 +
+``Retry-After``.  Every response body is JSON (``{"error": ...}`` on
+failure).  Submissions may carry an ``idempotency_key`` the scheduler
+deduplicates on, which is what makes client-side POST retries safe.
+
+``/healthz`` reports scheduler liveness (slot threads alive, oldest
+running campaign's heartbeat age, watchdog counters) so an orchestrator
+can restart a wedged service; the status flips to ``"degraded"`` when
+no slot thread is alive.
+
+Chaos sites consulted per request: ``api.slow`` (sleep before
+answering) and ``api.drop`` (shut the connection down unanswered -
+clients must retry).
 
 The SSE stream emits one ``data: <json>`` frame per scheduler event
 (at least one per completed job) and closes after the terminal event.
@@ -37,17 +49,28 @@ durable progress lives in the store's journals, not the event buffer.
 from __future__ import annotations
 
 import json
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.errors import InjectedFaultError
 from repro.runtime import get_cache
-from repro.service.scheduler import CampaignScheduler, QuotaExceededError
+from repro.runtime.faults import get_injector
+from repro.service.scheduler import (
+    CampaignScheduler,
+    QueueFullError,
+    QuotaExceededError,
+)
 from repro.service.specs import SpecError, spec_kinds
 
 #: Cap on accepted request bodies (a spec is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
+
+#: Retry-After (seconds) sent with 429/503 answers.
+RETRY_AFTER_S = 1
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -69,16 +92,49 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # Plumbing.
     # ----------------------------------------------------------------- #
 
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        headers = None
+        if retry_after is not None:
+            headers = {"Retry-After": str(max(1, int(round(retry_after))))}
+        self._send_json(status, {"error": message}, headers=headers)
+
+    def _chaos_gate(self) -> bool:
+        """Consult the ``api.slow`` / ``api.drop`` chaos sites before
+        handling a request.  Returns False when the connection was
+        dropped (nothing may be written afterwards)."""
+        injector = get_injector()
+        if not injector.active:
+            return True
+        if injector.should_fire("api.slow"):
+            time.sleep(injector.slow_s)
+        if injector.should_fire("api.drop"):
+            self.close_connection = True
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return False
+        return True
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
         """Parse the JSON request body; answers 400 and returns None on
@@ -130,9 +186,17 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """healthz/metrics/cache, campaign list/status/result/events."""
+        if not self._chaos_gate():
+            return
         path, query = self._route()
         if path == "/healthz":
-            self._send_json(200, {"status": "ok", "kinds": spec_kinds()})
+            liveness = self.scheduler.liveness()
+            self._send_json(200, {
+                "status": "ok" if liveness["alive"] else "degraded",
+                "kinds": spec_kinds(),
+                "scheduler": liveness,
+                "journal_quarantined": self.scheduler.store.quarantined,
+            })
         elif path == "/metrics":
             self._send_json(200, self._metrics())
         elif path == "/cache":
@@ -160,6 +224,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         """``/campaigns`` (submit) and ``/cache/prune``."""
+        if not self._chaos_gate():
+            return
         path, _ = self._route()
         if path == "/campaigns":
             self._submit()
@@ -170,6 +236,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802
         """``/campaigns/{id}``: cancel a queued or running campaign."""
+        if not self._chaos_gate():
+            return
         path, _ = self._route()
         campaign_id = self._campaign_id(path)
         if campaign_id is None:
@@ -198,11 +266,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 spec,
                 client=str(payload.get("client", "")),
                 priority=int(payload.get("priority", 0)),
+                idempotency_key=str(payload.get("idempotency_key", "")),
             )
         except SpecError as error:
             self._error(400, str(error))
         except QuotaExceededError as error:
-            self._error(429, str(error))
+            self._error(429, str(error), retry_after=RETRY_AFTER_S)
+        except QueueFullError as error:
+            self._error(503, str(error), retry_after=error.retry_after)
+        except (OSError, InjectedFaultError) as error:
+            # The store could not make the submission durable (disk
+            # trouble, real or injected): shed load instead of lying.
+            self._error(
+                503, f"storage failure: {error}", retry_after=RETRY_AFTER_S
+            )
         except (TypeError, ValueError) as error:
             self._error(400, str(error))
         else:
@@ -333,16 +410,33 @@ def create_server(
     state_dir: Optional[str] = None,
     quota: Optional[int] = None,
     access_log: bool = False,
+    max_concurrent: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
+    watchdog_s: Optional[float] = None,
 ) -> ServiceServer:
     """Build the store + scheduler + server stack (``port=0`` binds an
     ephemeral port; read it back from ``server.port``).  The scheduler
-    is started; call :meth:`ServiceServer.shutdown_all` to tear down."""
-    from repro.service.scheduler import DEFAULT_QUOTA
+    is started; call :meth:`ServiceServer.shutdown_all` to tear down.
+
+    ``max_concurrent`` widens the scheduler (default 1 campaign at a
+    time), ``max_queue_depth`` bounds the queue (503 beyond it) and
+    ``watchdog_s`` arms the stuck-campaign watchdog."""
+    from repro.service.scheduler import (
+        DEFAULT_MAX_CONCURRENT,
+        DEFAULT_QUOTA,
+    )
     from repro.service.store import JobStore
 
     store = JobStore(state_dir)
     scheduler = CampaignScheduler(
-        store, quota=DEFAULT_QUOTA if quota is None else quota
+        store,
+        quota=DEFAULT_QUOTA if quota is None else quota,
+        max_concurrent=(
+            DEFAULT_MAX_CONCURRENT if max_concurrent is None
+            else max_concurrent
+        ),
+        max_queue_depth=max_queue_depth,
+        watchdog_s=watchdog_s,
     )
     server = ServiceServer((host, port), scheduler, access_log=access_log)
     scheduler.start()

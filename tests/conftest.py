@@ -41,6 +41,24 @@ def _hermetic_result_cache(tmp_path_factory):
     reset_cache()
 
 
+@pytest.fixture(autouse=True)
+def _fresh_fault_injector():
+    """Rebuild the fault injector from the environment for every test.
+
+    Chaos CI runs the suite with ``REPRO_FAULTS`` set; resetting the
+    per-site decision streams here makes each test's fire pattern a
+    function of ``(seed, site)`` alone, never of how many decisions
+    earlier tests happened to draw - the determinism the chaos-smoke
+    job asserts (same seed twice -> same outcomes).  Costs nothing when
+    chaos is off (the null injector is rebuilt from an empty env).
+    """
+    from repro.runtime.faults import reset_injector, set_injector
+
+    reset_injector()
+    yield
+    set_injector(None)
+
+
 @pytest.fixture
 def fresh_cache(monkeypatch, tmp_path):
     """A fresh, empty process-wide cache rooted at this test's tmp dir."""

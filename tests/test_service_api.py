@@ -18,7 +18,10 @@ def service(tmp_path, synthetic_kind, fresh_cache):
     server = create_server(state_dir=str(tmp_path / "state"), quota=3)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    client = ServiceClient(f"http://127.0.0.1:{server.port}")
+    # retries=0: error-mapping tests want the first answer, not the
+    # retried one (quota 429s would otherwise resolve themselves once
+    # the greedy client's campaigns finish).
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", retries=0)
     yield client
     server.shutdown_all()
     thread.join(5.0)

@@ -15,6 +15,12 @@ rate that was positive in the baseline and is exactly zero in the fresh
 record means the prefix warm-start planner stopped engaging (a silent
 functional regression, not timing noise), so it is always flagged.
 
+``concurrency_speedup`` figures (the service scheduler bench) get the
+same kind of functional rule: a speedup that was above 1.0 in the
+baseline and has fallen to 1.0 or below means the concurrent scheduler
+stopped overlapping campaigns (serialisation bug), so it is always
+flagged regardless of the timing threshold.
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -42,6 +48,10 @@ METRIC = "samples_per_s"
 #: Warm-start effectiveness metric: compared with a drop-to-zero rule
 #: rather than a relative-slowdown threshold.
 HIT_RATE_METRIC = "prefix_hit_rate"
+
+#: Concurrent-scheduler effectiveness metric: flagged when it falls
+#: from >1 in the baseline to <=1 fresh (campaigns stopped overlapping).
+SPEEDUP_METRIC = "concurrency_speedup"
 
 
 def iter_metrics(
@@ -146,6 +156,34 @@ def compare(
             print(
                 f"{name}: {where} = {fresh_rate:8.2f} vs baseline "
                 f"{base_rate:8.2f} {marker}"
+            )
+        base_speedups = load_metrics(baseline_path, SPEEDUP_METRIC)
+        fresh_speedups = load_metrics(fresh_path, SPEEDUP_METRIC)
+        for where, base_speedup in sorted(base_speedups.items()):
+            if base_speedup <= 1.0:
+                continue
+            fresh_speedup = fresh_speedups.get(where)
+            if fresh_speedup is None:
+                print(
+                    f"::warning file={name}::{where} ({SPEEDUP_METRIC}) "
+                    "absent from the fresh record - concurrency bench "
+                    "telemetry changed?"
+                )
+                continue
+            compared += 1
+            marker = "ok"
+            if fresh_speedup <= 1.0:
+                # Not noise: two slots no longer beat one at all.
+                regressions += 1
+                marker = "REGRESSED"
+                print(
+                    f"::warning file={name}::{where} fell to "
+                    f"{fresh_speedup:.2f}x (baseline {base_speedup:.2f}x) "
+                    "- concurrent campaigns no longer overlap"
+                )
+            print(
+                f"{name}: {where} = {fresh_speedup:7.2f}x vs baseline "
+                f"{base_speedup:7.2f}x {marker}"
             )
     return compared, regressions
 
