@@ -40,6 +40,41 @@ GMIN = 1e-9
 #: is never singular (farads).
 CMIN = 0.5e-15
 
+#: Free-node count past which running a dense-family ``jacobian_policy``
+#: is flagged: the engine's O(n^2) Jacobian buffers and O(n^3)
+#: refactorizations stop being an implementation detail around here.
+DENSE_WARN_NODES = 512
+
+#: Times :func:`note_dense_jacobian` fired this process (telemetry /
+#: test observable; the stderr message itself is emitted only once).
+dense_jacobian_warnings = 0
+_dense_jacobian_announced = False
+
+
+def note_dense_jacobian(n_free: int, policy: str) -> None:
+    """Record a dense-Jacobian run above :data:`DENSE_WARN_NODES`.
+
+    Counts every occurrence in :data:`dense_jacobian_warnings` and
+    writes one stderr line per process - loud enough to catch a
+    whole-tree campaign silently burning O(n^3) per Newton refresh,
+    quiet enough not to spam a sweep.  The engine also tallies the event
+    under ``"dense-jacobian-large-n"`` in its escalation counters, which
+    flow into the campaign telemetry.
+    """
+    global dense_jacobian_warnings, _dense_jacobian_announced
+    dense_jacobian_warnings += 1
+    if not _dense_jacobian_announced:
+        _dense_jacobian_announced = True
+        import sys
+
+        print(
+            f"repro: dense jacobian_policy={policy!r} on {n_free} free "
+            f"nodes (> {DENSE_WARN_NODES}); each Newton refresh factors "
+            "a dense matrix - consider jacobian_policy='sparse' "
+            "(pip install 'repro[sparse]') or 'auto'",
+            file=sys.stderr,
+        )
+
 
 @dataclass
 class CompiledCircuit:

@@ -44,6 +44,7 @@ def _newton_static(
     max_iter: int = 200,
     vntol: float = 1e-9,
     itol: float = 1e-12,
+    solver: Optional[object] = None,
 ) -> Tuple[Optional[np.ndarray], Dict[str, object]]:
     """One Newton solve of ``i(v) + shunt * (v - target) = 0`` on free nodes.
 
@@ -53,6 +54,12 @@ def _newton_static(
     voltage vector (or ``None`` on non-convergence) plus an ``info`` dict
     with the iteration count and worst-residual observation of the last
     iterate - the raw material of failure diagnostics.
+
+    ``solver`` (e.g. :class:`repro.sparse.newton.SparseStaticSolver`)
+    replaces the two dense operations - device evaluation and the shunted
+    linear solve - while this function keeps the ladder semantics; a
+    singular system must surface as a non-finite delta there, which the
+    finite guard below rejects exactly like the dense ``LinAlgError``.
     """
     n_free = circuit.n_free
     v = v.copy()
@@ -60,17 +67,24 @@ def _newton_static(
                                "worst_residual": None}
     for iteration in range(max_iter):
         info["iterations"] = iteration + 1
-        f, j = circuit.device_currents(v, with_jacobian=True)
+        if solver is not None:
+            f = solver.currents(v)
+            j = None
+        else:
+            f, j = circuit.device_currents(v, with_jacobian=True)
         residual = f[:n_free] + shunt * (v[:n_free] - target[:n_free])
         if n_free:
             worst = int(np.argmax(np.abs(residual)))
             info["worst_index"] = worst
             info["worst_residual"] = float(abs(residual[worst]))
-        jacobian = j[:n_free, :n_free] + shunt * np.eye(n_free)
-        try:
-            delta = np.linalg.solve(jacobian, -residual)
-        except np.linalg.LinAlgError:
-            return None, info
+        if solver is not None:
+            delta = solver.solve(shunt, residual)
+        else:
+            jacobian = j[:n_free, :n_free] + shunt * np.eye(n_free)
+            try:
+                delta = np.linalg.solve(jacobian, -residual)
+            except np.linalg.LinAlgError:
+                return None, info
         if not np.all(np.isfinite(delta)):
             return None, info
         step = np.max(np.abs(delta))
@@ -101,6 +115,7 @@ def dc_operating_point(
     t: float = 0.0,
     initial: Optional[Dict[str, float]] = None,
     stats: Optional[Dict[str, object]] = None,
+    solver: Optional[object] = None,
 ) -> np.ndarray:
     """Solve the DC operating point with sources frozen at time ``t``.
 
@@ -117,6 +132,12 @@ def dc_operating_point(
         Optional dict the solver annotates with ``{"dcop_rung": name}`` -
         which ladder rung (``"direct"``, ``"gmin"``,
         ``"source-stepping"``) produced the solution.  Telemetry reads it.
+    solver:
+        Optional evaluate/factor hook handed to every
+        :func:`_newton_static` call (the sparse engine passes its
+        :class:`repro.sparse.newton.SparseStaticSolver` so the DC solve
+        never assembles a dense Jacobian).  The ladder itself is
+        solver-agnostic.
 
     Returns
     -------
@@ -150,7 +171,7 @@ def dc_operating_point(
     # the intended state of multistable circuits (the homotopy shunt
     # would otherwise drag them toward its target and can land on the
     # metastable branch).
-    direct, info = _newton_static(circuit, v, 1e-12, target)
+    direct, info = _newton_static(circuit, v, 1e-12, target, solver=solver)
     last_info = info
     if direct is not None:
         if stats is not None:
@@ -161,10 +182,12 @@ def dc_operating_point(
     solution = None
     for exponent in range(3, 13):
         shunt = 10.0 ** (-exponent)
-        attempt, info = _newton_static(circuit, v, shunt, target)
+        attempt, info = _newton_static(circuit, v, shunt, target,
+                                       solver=solver)
         if attempt is None:
             # Retry this stage from the target before giving up on it.
-            attempt, info = _newton_static(circuit, target.copy(), shunt, target)
+            attempt, info = _newton_static(circuit, target.copy(), shunt, target,
+                                           solver=solver)
         if attempt is not None:
             v = attempt
             solution = attempt
@@ -186,7 +209,8 @@ def dc_operating_point(
         staged = guess.copy()
         staged[circuit.n_free:] = fraction * full_sources[circuit.n_free:]
         staged_target = staged.copy()
-        attempt, info = _newton_static(circuit, staged, 1e-9, staged_target)
+        attempt, info = _newton_static(circuit, staged, 1e-9, staged_target,
+                                       solver=solver)
         if attempt is None:
             stepped = None
             last_info = info

@@ -41,7 +41,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analog.compile import CompiledCircuit
+from repro.analog.compile import (
+    DENSE_WARN_NODES,
+    CompiledCircuit,
+    note_dense_jacobian,
+)
 from repro.analog.dcop import dc_operating_point
 from repro.analog.kernels import REUSE_SLOWDOWN, KernelStats, c_einsum, raw_inv
 from repro.analog.waveform import Waveform
@@ -60,6 +64,23 @@ ESCALATION_RUNGS = ("step-halving", "damped-newton", "gmin-restart")
 #: this many ladder interventions is not integrating, it is crawling at
 #: ``dt_min``; fail with diagnostics instead of hanging the campaign.
 MAX_RESCUES = 50
+
+#: Free-node count at which ``jacobian_policy="auto"`` switches from the
+#: dense modified-Newton path to the CSR/SparseLU path.  Crossover sits
+#: well below this in wall time, but the dense path is still tolerable
+#: there; past ~256 nodes the O(n^3) refactorizations dominate runs.
+SPARSE_AUTO_NODES = 256
+
+
+def _resolve_jacobian_policy(
+    circuit: CompiledCircuit, options: "TransientOptions"
+) -> str:
+    """Effective policy of a run: ``"auto"`` resolved by node count."""
+    if options.jacobian_policy == "auto":
+        return (
+            "sparse" if circuit.n_free >= SPARSE_AUTO_NODES else "reuse"
+        )
+    return options.jacobian_policy
 
 
 @dataclass(frozen=True)
@@ -102,6 +123,11 @@ class TransientOptions:
         tolerances.  ``"dense"`` factors on every iteration - the
         reference behaviour the golden-waveform tests compare against.
         Rescue rungs and the operating-point ladder always run dense.
+        ``"sparse"`` routes the whole run - operating point, plain
+        solves *and* rescue rungs - through the CSR/``SparseLU`` path of
+        :mod:`repro.sparse` with the same modified-Newton reuse policy;
+        ``"auto"`` picks ``"sparse"`` when the circuit has at least
+        :data:`SPARSE_AUTO_NODES` free nodes and ``"reuse"`` otherwise.
     """
 
     dt_max: float = 100e-12
@@ -132,10 +158,10 @@ class TransientOptions:
             raise ValueError(
                 f"unknown escalation rungs {unknown} (use {ESCALATION_RUNGS})"
             )
-        if self.jacobian_policy not in ("reuse", "dense"):
+        if self.jacobian_policy not in ("reuse", "dense", "sparse", "auto"):
             raise ValueError(
                 f"unknown jacobian_policy {self.jacobian_policy!r} "
-                "(use 'reuse' or 'dense')"
+                "(use 'reuse', 'dense', 'sparse' or 'auto')"
             )
 
 
@@ -275,11 +301,16 @@ class _NewtonWork:
     and the :class:`~repro.analog.kernels.KernelStats` counters.
     """
 
+    #: Dispatch flag ``_newton_step`` checks; the sparse twin sets True.
+    sparse = False
+
     def __init__(self, circuit: CompiledCircuit, options: TransientOptions) -> None:
         n, nf = circuit.n_total, circuit.n_free
         self.kernel = circuit.kernel()
         self.stats = KernelStats()
-        self.modified = options.jacobian_policy == "reuse"
+        # Only an explicit "dense" disables the factorization cache
+        # ("auto" resolved to the dense family means "reuse").
+        self.modified = options.jacobian_policy != "dense"
         self.v = np.empty(n)
         self.qh = np.empty(nf)        # (C_rows / h) @ v scratch
         self.rhs0 = np.empty(nf)      # iteration-invariant residual part
@@ -365,7 +396,21 @@ def _newton_step(
     """
     n_free = circuit.n_free
     if work is None:
-        work = _NewtonWork(circuit, options)
+        if _resolve_jacobian_policy(circuit, options) == "sparse":
+            from repro.sparse.newton import SparseNewtonWork
+
+            work = SparseNewtonWork(circuit, options)
+        else:
+            work = _NewtonWork(circuit, options)
+    if work.sparse:
+        # The sparse work object implements the whole solve (same
+        # policy, CSR/SparseLU linear algebra); rescue rungs arrive
+        # here too and therefore run sparse as well.
+        return work.newton_step(
+            circuit, v_guess, v_sources, q_prev, f_prev, h, alpha,
+            options, damping=damping, max_iter=max_iter,
+            shunt=shunt, shunt_target=shunt_target,
+        )
     kernel, stats = work.kernel, work.stats
     v = work.v
     np.copyto(v, v_guess)
@@ -643,11 +688,27 @@ def transient(
     breakpoints = sorted(set(breakpoints))
 
     escalations: Dict[str, int] = {}
+    policy = _resolve_jacobian_policy(circuit, options)
+    if policy == "sparse":
+        from repro.sparse.newton import SparseNewtonWork
+
+        work = SparseNewtonWork(circuit, options)
+    else:
+        work = _NewtonWork(circuit, options)
+        if n_free > DENSE_WARN_NODES:
+            # A dense-family policy at this size allocates O(n^2)
+            # Jacobian buffers and refactors at O(n^3); warn loudly
+            # (once) and leave a trail in the escalation tallies.
+            note_dense_jacobian(n_free, policy)
+            escalations["dense-jacobian-large-n"] = 1
     if resume_from is not None:
         v = resume_from.state.copy()
     else:
         dcop_stats: Dict[str, object] = {}
-        v = dc_operating_point(circuit, t=t_start, initial=initial, stats=dcop_stats)
+        v = dc_operating_point(
+            circuit, t=t_start, initial=initial, stats=dcop_stats,
+            solver=work.static_solver() if work.sparse else None,
+        )
         if "dcop_rung" in dcop_stats:
             escalations[f"dcop:{dcop_stats['dcop_rung']}"] = 1
 
@@ -675,7 +736,6 @@ def transient(
             diagnostics=diagnostics,
         )
 
-    work = _NewtonWork(circuit, options)
     kernel, stats = work.kernel, work.stats
 
     times: List[float] = [t_start]
@@ -710,6 +770,7 @@ def transient(
     circuit.source_voltages_into(t_start, v_sources)  # constants written once
     v_pred = np.empty(n_total)
     q_prev = np.empty(n_total)
+    q_now = np.empty(n_total) if (current_nodes and work.sparse) else None
     weight = np.empty(n_free)
     err_buf = np.empty(n_free)
 
@@ -741,9 +802,13 @@ def transient(
         f_hist = None
         if not force_be:
             f_hist, _ = kernel.eval(v, with_jacobian=False, stats=stats)
-        # c_einsum matches the batch engine's ``bij,bj->bi`` bits exactly
-        # (matmul's BLAS accumulation would not) - see kernels.ScalarKernel.
-        c_einsum("ij,j->i", circuit.C, v, out=q_prev)
+        if work.sparse:
+            work.charge_into(v, q_prev)
+        else:
+            # c_einsum matches the batch engine's ``bij,bj->bi`` bits
+            # exactly (matmul's BLAS accumulation would not) - see
+            # kernels.ScalarKernel.
+            c_einsum("ij,j->i", circuit.C, v, out=q_prev)
 
         rescued = False
         v_new, step_info = _newton_step(
@@ -835,7 +900,10 @@ def transient(
             )
         if current_nodes:
             f_now, _ = kernel.eval(v, with_jacobian=False, stats=stats)
-            dq = (circuit.C @ v - q_prev) / h
+            if work.sparse:
+                dq = (work.charge_into(v, q_now) - q_prev) / h
+            else:
+                dq = (circuit.C @ v - q_prev) / h
             currents.append(f_now + dq)
         force_be = False
         if hit_bp or rescued:

@@ -121,20 +121,20 @@ class KernelStats:
         self.accept_s += other.accept_s
 
 
-def build_mosfet_scatter(
+def mosfet_stamp_targets(
     m_d: np.ndarray, m_g: np.ndarray, m_s: np.ndarray, n: int
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Compile-time scatter plan of ``M`` MOSFETs into an ``n``-node system.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fixed residual/Jacobian scatter targets of ``M`` MOSFETs.
 
-    Returns
-    -------
-    (f_idx, j_idx, incidence):
-        ``f_idx`` is the ``(2M,)`` residual target vector
-        (``[m_d..., m_s...]``); ``j_idx`` the ``(6M,)`` flattened
-        row-major Jacobian targets in stamp order ``(d,d) (d,g) (d,s)
-        (s,d) (s,g) (s,s)``; ``incidence`` the signed ``(n, M)``
-        node/device incidence matrix (``+1`` at ``m_d``, ``-1`` at
-        ``m_s`` - a self-connected device cancels to ``0``).
+    ``f_idx`` is the ``(2M,)`` residual target vector
+    (``[m_d..., m_s...]``); ``j_idx`` the ``(6M,)`` flattened row-major
+    Jacobian targets in stamp order ``(d,d) (d,g) (d,s) (s,d) (s,g)
+    (s,s)``.  These targets are compile-time constants - the
+    drain/source swap changes stamp *weights*, never targets - which is
+    what lets the sparse CSR plan (:mod:`repro.sparse.csr`) freeze its
+    pattern per topology.  Shared by :func:`build_mosfet_scatter`
+    (which adds the dense ``(n, M)`` incidence on top) and the sparse
+    plan (which must not pay for that incidence at 10^4 nodes).
     """
     m_d = np.asarray(m_d, dtype=np.intp)
     m_g = np.asarray(m_g, dtype=np.intp)
@@ -144,6 +144,25 @@ def build_mosfet_scatter(
         m_d * n + m_d, m_d * n + m_g, m_d * n + m_s,
         m_s * n + m_d, m_s * n + m_g, m_s * n + m_s,
     ])
+    return f_idx, j_idx
+
+
+def build_mosfet_scatter(
+    m_d: np.ndarray, m_g: np.ndarray, m_s: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compile-time scatter plan of ``M`` MOSFETs into an ``n``-node system.
+
+    Returns
+    -------
+    (f_idx, j_idx, incidence):
+        The fixed targets of :func:`mosfet_stamp_targets` plus
+        ``incidence``, the signed ``(n, M)`` node/device incidence
+        matrix (``+1`` at ``m_d``, ``-1`` at ``m_s`` - a self-connected
+        device cancels to ``0``).
+    """
+    m_d = np.asarray(m_d, dtype=np.intp)
+    m_s = np.asarray(m_s, dtype=np.intp)
+    f_idx, j_idx = mosfet_stamp_targets(m_d, m_g, m_s, n)
     incidence = np.zeros((n, m_d.size))
     np.add.at(incidence, (m_d, np.arange(m_d.size)), 1.0)
     np.add.at(incidence, (m_s, np.arange(m_s.size)), -1.0)

@@ -14,6 +14,9 @@ Commands
 ``testability``  Sec.-3 fault-coverage analysis of the sensor.
 ``scheme``       Fig.-6 style campaign: sensors over an H-tree with an
                  injected fault, scan-path and checker readout.
+``whole-tree``   Full-chip clock network (H-tree or TRIX-style grid)
+                 with N sensing circuits, one transient on the sparse
+                 MNA engine.
 ``export``       Write the sensor netlist as a SPICE deck.
 ``serve``        Run the campaign service (HTTP API + scheduler).
 ``submit``       Submit a campaign spec to a running service.
@@ -263,6 +266,75 @@ def _cmd_scheme(args: argparse.Namespace) -> int:
     print("diagnosis :")
     for line in diagnosis_report(diagnose(scheme)).splitlines():
         print(f"  {line}")
+    return 0
+
+
+def _cmd_whole_tree(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.clocktree import ResistiveOpen
+    from repro.clocktree.whole_tree import simulate_whole_tree
+
+    fault = None
+    if args.open_node:
+        fault = ResistiveOpen(
+            node=args.open_node, extra_resistance=args.open_ohms
+        )
+    try:
+        run = simulate_whole_tree(
+            levels=args.levels,
+            topology=args.topology,
+            n_sensors=args.sensors,
+            fault=fault,
+            variation=args.variation,
+            seed=args.seed,
+            grid_shape=tuple(args.grid),
+            dead_injections=tuple(
+                tuple(p) for p in (args.dead_injection or [])
+            ),
+            segments_per_wire=args.segments,
+            options=replace(_FAST, jacobian_policy="auto"),
+        )
+    except KeyError as exc:
+        # e.g. --open-node naming a sink the tree does not have.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        if args.topology == "htree" and fault is not None:
+            from repro.clocktree.htree import build_h_tree
+            from repro.clocktree.tree import Buffer
+
+            sinks = sorted(
+                s.name for s in build_h_tree(args.levels, buffer=Buffer()).sinks()
+            )
+            print(f"sinks at --levels {args.levels}: {' '.join(sinks)}",
+                  file=sys.stderr)
+        return 2
+    kernel = run.result.kernel_stats or {}
+    if args.json:
+        print(json.dumps({
+            "topology": args.topology,
+            "n_nodes": run.n_nodes,
+            "skews_s": {k: (None if v != v or abs(v) == float("inf") else v)
+                        for k, v in run.skews.items()},
+            "codes": {k: list(v) for k, v in run.codes.items()},
+            "flagged": run.flagged,
+            "kernel": {k: v for k, v in kernel.items()},
+        }, indent=2))
+        return 0
+    print(f"{args.topology}: {run.n_nodes} MNA nodes, "
+          f"{len(run.placements)} sensors")
+    if kernel.get("sparse_nnz"):
+        print(f"sparse: nnz {kernel['sparse_nnz']}, "
+              f"LU fill {kernel.get('sparse_fill_nnz', 0)}"
+              + (" (numpy fallback)" if kernel.get("sparse_fallback") else ""))
+    if fault is not None:
+        print(f"injected: {fault.describe()}")
+    for placement in run.placements:
+        skew = run.skews[placement.label]
+        shown = "   never" if skew != skew or abs(skew) == float("inf") \
+            else f"{to_ns(skew):+8.3f}"
+        print(f"  {placement.label:<16} skew {shown} ns  "
+              f"code {run.codes[placement.label]}")
+    print(f"checker   : {'ALARM' if run.flagged else 'ok'}")
     return 0
 
 
@@ -559,6 +631,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject a resistive open at this tree node")
     scheme.add_argument("--open-ohms", type=float, default=8000.0)
     scheme.set_defaults(func=_cmd_scheme)
+
+    wtree = sub.add_parser(
+        "whole-tree",
+        help="full-chip clock network with N sensors (sparse engine)",
+    )
+    wtree.add_argument("--topology", choices=("htree", "grid"),
+                       default="htree")
+    wtree.add_argument("--levels", type=int, default=2,
+                       help="H-tree levels (4**levels sinks)")
+    wtree.add_argument("--grid", type=int, nargs=2, default=(6, 6),
+                       metavar=("ROWS", "COLS"),
+                       help="grid topology shape")
+    wtree.add_argument("--sensors", type=int, default=2)
+    wtree.add_argument("--variation", type=float, default=0.0,
+                       help="relative RC/buffer process variation")
+    wtree.add_argument("--seed", type=int, default=0)
+    wtree.add_argument("--open-node", type=str, default=None,
+                       help="inject a resistive open at this tree node")
+    wtree.add_argument("--open-ohms", type=float, default=8000.0)
+    wtree.add_argument("--dead-injection", type=int, nargs=2,
+                       action="append", default=None,
+                       metavar=("ROW", "COL"),
+                       help="kill a grid injection driver (repeatable)")
+    wtree.add_argument("--segments", type=int, default=3,
+                       help="RC segments per wire")
+    wtree.add_argument("--json", action="store_true")
+    wtree.set_defaults(func=_cmd_whole_tree)
 
     export = sub.add_parser("export", help="SPICE deck of the sensor")
     export.add_argument("--load", type=float, default=160.0, help="load in fF")

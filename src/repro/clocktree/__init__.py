@@ -52,6 +52,15 @@ from repro.clocktree.electrical import (
     cosimulate_pair_with_sensor,
     electrical_sink_arrivals,
 )
+from repro.clocktree.whole_tree import (
+    GridNetlistBuilder,
+    SensorPlacement,
+    WholeTreeNetlistBuilder,
+    WholeTreeRun,
+    attach_sensors,
+    select_sensor_pairs,
+    simulate_whole_tree,
+)
 
 __all__ = [
     "ClockTree",
@@ -80,6 +89,13 @@ __all__ = [
     "TreeNetlistBuilder",
     "electrical_sink_arrivals",
     "cosimulate_pair_with_sensor",
+    "WholeTreeNetlistBuilder",
+    "GridNetlistBuilder",
+    "SensorPlacement",
+    "WholeTreeRun",
+    "attach_sensors",
+    "select_sensor_pairs",
+    "simulate_whole_tree",
     "IntermittentFault",
     "CampaignResult",
     "monitoring_campaign",

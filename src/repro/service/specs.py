@@ -12,6 +12,10 @@ read the README quickstart and write one by hand.  Two kinds ship:
 ``montecarlo``
     The Fig.-5 scatter: a seeded random population evaluated over a
     skew grid - exactly what ``repro montecarlo`` computes.
+``whole_tree``
+    Full-chip clock networks (buffered H-tree or TRIX-style grid) with
+    N sensing circuits attached, one seed/fault scenario per job -
+    exactly what ``repro whole-tree`` computes, on the sparse MNA path.
 
 :func:`normalize_spec` validates a raw dict (unknown kinds and keys are
 errors - a typo must not silently fall back to a default) and fills in
@@ -309,4 +313,105 @@ register_kind(
         "skews_ns": [0.0, 0.05, 0.1, 0.15, 0.25, 0.4],
     },
     build=_build_montecarlo,
+)
+
+
+# --------------------------------------------------------------------- #
+# Kind: whole_tree (full-chip clock network + N sensors, = `repro
+# whole-tree`; runs on the sparse MNA path).
+# --------------------------------------------------------------------- #
+
+def _build_whole_tree(spec: Dict[str, Any]) -> CampaignPlan:
+    from dataclasses import replace
+
+    from repro.clocktree.whole_tree import (
+        WholeTreeJob,
+        evaluate_whole_tree_job,
+    )
+
+    topology = spec["topology"]
+    if topology not in ("htree", "grid"):
+        raise SpecError(f"topology must be 'htree' or 'grid', got {topology!r}")
+    seeds = spec["seeds"]
+    if (not isinstance(seeds, (list, tuple)) or not seeds
+            or not all(isinstance(s, int) for s in seeds)):
+        raise SpecError("seeds must be a non-empty list of integers")
+    if int(spec["sensors"]) < 1:
+        raise SpecError("sensors must be >= 1")
+    grid = spec["grid"]
+    if (not isinstance(grid, (list, tuple)) or len(grid) != 2
+            or not all(isinstance(g, int) and g >= 2 for g in grid)):
+        raise SpecError("grid must be [rows, cols] with both >= 2")
+    fault = None
+    if spec["fault_node"] is not None:
+        fault = ("resistive_open", str(spec["fault_node"]),
+                 float(spec["fault_extra_kohm"]) * 1e3)
+    dead = tuple(
+        (int(r), int(c)) for r, c in (spec["dead_injections"] or [])
+    )
+    options = _options(spec)
+    if options is not None:
+        # Whole-chip instances are exactly the node counts the sparse
+        # path exists for; "auto" keeps small test trees on dense reuse.
+        options = replace(options, jacobian_policy="auto")
+    jobs = [
+        WholeTreeJob(
+            topology=topology,
+            levels=int(spec["levels"]),
+            rows=int(grid[0]),
+            cols=int(grid[1]),
+            n_sensors=int(spec["sensors"]),
+            variation=float(spec["variation"]),
+            seed=int(seed),
+            fault=fault,
+            dead_injections=dead,
+            segments_per_wire=int(spec["segments_per_wire"]),
+            options=options,
+        )
+        for seed in seeds
+    ]
+
+    def fold(campaign: Any) -> Dict[str, Any]:
+        runs = []
+        for i, result in enumerate(campaign.results):
+            entry: Dict[str, Any] = {"seed": jobs[i].seed}
+            if getattr(result, "ok", False):
+                entry.update(
+                    worst_skew_s=result.skew,
+                    code=list(result.code),
+                    flagged=result.error_detected,
+                )
+            runs.append(entry)
+        return {
+            "kind": "whole_tree",
+            "topology": topology,
+            "runs": runs,
+            "flagged": sum(1 for r in runs if r.get("flagged")),
+            "jobs": [
+                _job_payload(i, jobs[i].key(), r)
+                for i, r in enumerate(campaign.results)
+            ],
+        }
+
+    return CampaignPlan(
+        jobs=jobs, fold=fold, executor=_executor_kwargs(spec),
+        evaluate=evaluate_whole_tree_job,
+    )
+
+
+register_kind(
+    "whole_tree",
+    defaults={
+        "topology": "htree",
+        "levels": 2,
+        "grid": [6, 6],
+        "sensors": 2,
+        "variation": 0.0,
+        "seeds": [0],
+        "fault_node": None,
+        "fault_extra_kohm": 0.0,
+        "dead_injections": [],
+        "segments_per_wire": 3,
+    },
+    build=_build_whole_tree,
 )

@@ -1,0 +1,41 @@
+"""Sparse MNA subsystem: whole-chip transients at 10^3-10^4 nodes.
+
+The dense engine factors an ``(n_free, n_free)`` Jacobian per Newton
+refresh - O(n^3) - which caps it at sensor-sized circuits.  This package
+adds the sparse path of ROADMAP item 2:
+
+* :mod:`repro.sparse.csr` - a compressed-sparse-row plan built *once*
+  per topology from the compile-time scatter plans of
+  :mod:`repro.analog.kernels` (the fixed-target property means the
+  Jacobian's nonzero pattern never changes, so only the CSR ``data``
+  vector is rewritten per Newton iteration), plus a
+  :class:`~repro.sparse.csr.SparseKernel` that evaluates the level-1
+  devices without ever touching an ``(n, n)`` array;
+* :mod:`repro.sparse.linalg` - the :class:`~repro.sparse.linalg.SparseLU`
+  factor layer: ``scipy.sparse.linalg.splu`` when the ``repro[sparse]``
+  extra is installed, a pure-numpy dense-fallback otherwise (tier-1
+  stays dependency-free - the fallback is bit-compatible with the
+  engine's non-finite-step failure contract);
+* :mod:`repro.sparse.newton` - the sparse Newton work object the
+  transient engine dispatches to under ``jacobian_policy="sparse"``,
+  carrying over the ``(h, alpha)``-keyed factor-reuse / modified-Newton
+  policy of the dense path.
+
+Select it with ``TransientOptions(jacobian_policy="sparse")`` or let
+``"auto"`` pick it by node count.
+"""
+
+from repro.sparse.csr import CsrPlan, SparseKernel, csr_plan
+from repro.sparse.linalg import SparseLU, scipy_available
+from repro.sparse.newton import SparseKernelStats, SparseNewtonWork, SparseStaticSolver
+
+__all__ = [
+    "CsrPlan",
+    "SparseKernel",
+    "csr_plan",
+    "SparseLU",
+    "scipy_available",
+    "SparseKernelStats",
+    "SparseNewtonWork",
+    "SparseStaticSolver",
+]

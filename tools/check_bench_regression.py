@@ -21,6 +21,11 @@ baseline and has fallen to 1.0 or below means the concurrent scheduler
 stopped overlapping campaigns (serialisation bug), so it is always
 flagged regardless of the timing threshold.
 
+``sparse_speedup`` figures (the whole-tree bench) carry the strictest
+rule: any fresh value at or below 1.0 is flagged even without a
+baseline entry - the sparse MNA path losing to dense assembly at
+10^3-node clock trees means its pattern reuse or factor caching broke.
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -52,6 +57,12 @@ HIT_RATE_METRIC = "prefix_hit_rate"
 #: Concurrent-scheduler effectiveness metric: flagged when it falls
 #: from >1 in the baseline to <=1 fresh (campaigns stopped overlapping).
 SPEEDUP_METRIC = "concurrency_speedup"
+
+#: Sparse-engine effectiveness metric (the whole-tree bench): a value at
+#: or below 1.0 means the sparse MNA path no longer beats the dense one
+#: at large node counts - always flagged, baseline or not, because the
+#: sparse path exists solely for that speedup.
+SPARSE_SPEEDUP_METRIC = "sparse_speedup"
 
 
 def iter_metrics(
@@ -184,6 +195,27 @@ def compare(
             print(
                 f"{name}: {where} = {fresh_speedup:7.2f}x vs baseline "
                 f"{base_speedup:7.2f}x {marker}"
+            )
+        for where, fresh_sparse in sorted(
+            load_metrics(fresh_path, SPARSE_SPEEDUP_METRIC).items()
+        ):
+            # Unconditional rule - no baseline needed: the sparse engine
+            # failing to beat dense at whole-tree sizes is functional
+            # breakage (pattern reuse or factor caching lost), never
+            # shared-runner timing noise.
+            compared += 1
+            marker = "ok"
+            if fresh_sparse <= 1.0:
+                regressions += 1
+                marker = "REGRESSED"
+                print(
+                    f"::warning file={name}::{where} at "
+                    f"{fresh_sparse:.2f}x - sparse MNA no longer beats "
+                    "the dense path at whole-tree node counts"
+                )
+            print(
+                f"{name}: {where} = {fresh_sparse:7.2f}x sparse-vs-dense "
+                f"{marker}"
             )
     return compared, regressions
 
