@@ -5,7 +5,11 @@ continuous-integration minute: a small seeded population is evaluated
 through the serial scalar backend and the lockstep batch backend at the
 grid-converged :data:`_util.ACCURATE_OPTIONS`, per-point ``Vmin`` values
 are compared, and the measured throughputs are written to
-``out/BENCH_smoke_batch.json``.  Runs standalone
+``out/BENCH_smoke_batch.json``.  When the resolved shard worker count is
+above one (CI sets ``REPRO_BATCH_WORKERS=2``), a third leg fans the same
+stacks over the shard pool at the same pinned stack size: its per-point
+``Vmin`` must be **bit-identical** to the single-worker batch leg, and
+the ratio lands in the record as ``shard_speedup``.  Runs standalone
 (``python benchmarks/smoke_batch.py``) so the CI job does not depend on
 the pytest-benchmark plugin.
 """
@@ -14,6 +18,7 @@ import sys
 
 import numpy as np
 
+from repro.batch.dispatch import resolve_batch_workers
 from repro.montecarlo.parallel import scatter_analysis_parallel
 from repro.montecarlo.sampling import sample_population
 from repro.units import fF, ns
@@ -31,16 +36,23 @@ SKEWS_NS = (0.0, 0.1, 0.4)
 LOAD = fF(160)
 SEED = 7
 
+#: Pinned samples per stack.  The auto-tuned size depends on the shard
+#: worker count, so runs that must be bit-compared across worker counts
+#: (the whole point of the sharded leg) pin it to the warm group size.
+STACK_SIZE = len(SKEWS_NS)
+
 #: Equivalence bar, volts (same as the full fig5 bench).
 EQUIVALENCE_TOL = 1e-3
 
 
-def _run_backend(backend, samples):
+def _run_backend(backend, samples, batch_workers=None):
     telemetry = Telemetry()
     watch = Stopwatch()
     points = scatter_analysis_parallel(
         samples, skews=[ns(t) for t in SKEWS_NS], options=ACCURATE_OPTIONS,
-        backend=backend, n_workers=1, cache=None, telemetry=telemetry,
+        backend=backend, n_workers=1, batch_workers=batch_workers,
+        chunksize=STACK_SIZE if backend == "batch" else None,
+        cache=None, telemetry=telemetry,
     )
     wall = watch.elapsed()
     return points, {
@@ -48,6 +60,8 @@ def _run_backend(backend, samples):
         "jobs": len(points),
         "cache_hit_rate": 0.0,
         "batch_fallbacks": telemetry.batch_fallbacks,
+        "batch_stack_size": telemetry.batch_stack_size,
+        "batch_workers": telemetry.batch_workers,
         **throughput_metrics(telemetry, wall, len(points)),
     }
 
@@ -56,12 +70,13 @@ def main():
     """Run the smoke comparison; exit non-zero on an equivalence miss."""
     samples = sample_population(N_SAMPLES, LOAD, seed=SEED)
     scalar_points, scalar_metrics = _run_backend("serial", samples)
-    batch_points, batch_metrics = _run_backend("batch", samples)
+    batch_points, batch_metrics = _run_backend("batch", samples,
+                                               batch_workers=1)
     deviations = np.array([
         abs(s.vmin - b.vmin) for s, b in zip(scalar_points, batch_points)
     ])
     speedup = batch_metrics["samples_per_s"] / scalar_metrics["samples_per_s"]
-    write_bench_json("smoke_batch", {
+    record = {
         "options": {"dt_max": ACCURATE_OPTIONS.dt_max,
                     "reltol": ACCURATE_OPTIONS.reltol},
         "grid": {"samples": N_SAMPLES, "skews_ns": list(SKEWS_NS),
@@ -70,12 +85,36 @@ def main():
         "batch": batch_metrics,
         "speedup_batch_vs_serial": speedup,
         "vmin_deviation_max": float(deviations.max()),
-    })
+    }
+
+    shard_workers = resolve_batch_workers()
+    shard_mismatches = 0
+    if shard_workers > 1:
+        sharded_points, sharded_metrics = _run_backend(
+            "batch", samples, batch_workers=shard_workers
+        )
+        shard_mismatches = sum(
+            1 for b, s in zip(batch_points, sharded_points)
+            if b.vmin != s.vmin  # bit-identity, not a tolerance
+        )
+        shard_speedup = (sharded_metrics["samples_per_s"]
+                         / batch_metrics["samples_per_s"])
+        record["batch_sharded"] = sharded_metrics
+        record["shard_speedup"] = shard_speedup
+        record["shard_vmin_mismatches"] = shard_mismatches
+        print(f"smoke_batch: sharded x{shard_workers} speedup "
+              f"{shard_speedup:.2f}x, {shard_mismatches} bit mismatches")
+
+    write_bench_json("smoke_batch", record)
     print(f"smoke_batch: max |dVmin| {deviations.max() * 1e3:.3f} mV, "
           f"speedup {speedup:.2f}x, "
           f"fallbacks {batch_metrics['batch_fallbacks']}")
     if deviations.max() > EQUIVALENCE_TOL:
         print("FAIL: batch-vs-scalar deviation above 1 mV", file=sys.stderr)
+        return 1
+    if shard_mismatches:
+        print("FAIL: sharded batch is not bit-identical to single-worker",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -22,20 +22,25 @@ slews and skew.  This package turns that shape into vectorized math:
   PR 2's escalation ladder and failure diagnostics are preserved, never
   silently degraded);
 * :mod:`repro.batch.dispatch` - campaign integration: grouping of
-  compatible jobs into batches, ``REPRO_BATCH_SIZE`` chunking, optional
-  process-pool fan-out of whole batches, and the outcome protocol the
-  :func:`repro.runtime.run_campaign` executor consumes via
-  ``backend="batch"``.
+  compatible jobs into batches, ``REPRO_BATCH_SIZE`` chunking with a
+  memory/fan-out auto-tune, process sharding of whole stacks over
+  ``REPRO_BATCH_WORKERS`` workers through the executor's windowed
+  dispatcher (crash isolation and bounded redispatch included), and the
+  outcome protocol the :func:`repro.runtime.run_campaign` executor
+  consumes via ``backend="batch"``.
 """
 
 from repro.batch.compile import BatchCompiledCircuit, BatchTopologyError, compile_batch
 from repro.batch.dispatch import (
     DEFAULT_BATCH_SIZE,
     ENV_BATCH_SIZE,
+    ENV_BATCH_WORKERS,
     batch_signature,
     dispatch_batches,
     group_batches,
+    resolve_batch_plan,
     resolve_batch_size,
+    resolve_batch_workers,
 )
 from repro.batch.engine import BatchTransientResult, batch_transient
 from repro.batch.response import BatchEvaluation, evaluate_jobs_batch
@@ -47,11 +52,14 @@ __all__ = [
     "BatchTransientResult",
     "DEFAULT_BATCH_SIZE",
     "ENV_BATCH_SIZE",
+    "ENV_BATCH_WORKERS",
     "batch_signature",
     "batch_transient",
     "compile_batch",
     "dispatch_batches",
     "evaluate_jobs_batch",
     "group_batches",
+    "resolve_batch_plan",
     "resolve_batch_size",
+    "resolve_batch_workers",
 ]

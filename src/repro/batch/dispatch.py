@@ -10,12 +10,44 @@ behave identically across backends.
 Grouping and chunking
 ---------------------
 Jobs are grouped by :func:`batch_signature` (the fields one lockstep run
-must share: horizon, topology switches, engine options) and each group
-is split into chunks of at most :func:`resolve_batch_size` samples
-(``chunksize`` argument, else ``REPRO_BATCH_SIZE``, else
-:data:`DEFAULT_BATCH_SIZE`).  Oversized batches trade diminishing
-vectorization gains for a denser merged-breakpoint schedule, so the
-default keeps stacks moderate.
+must share: horizon, topology switches, engine options, warm-start
+prefix) and each group is split into chunks of at most
+:func:`resolve_batch_plan` samples.  Resolution order: explicit
+``chunksize`` argument > ``REPRO_BATCH_SIZE`` > the auto-tune heuristic
+(:func:`auto_batch_size`: bound the stack by the
+``REPRO_BATCH_MEM_BUDGET`` memory budget over the circuit's
+:func:`~repro.batch.engine.stack_bytes_per_sample`, by an even fan-out
+over the shard workers, and by :data:`MAX_AUTO_BATCH`).  Oversized
+batches trade diminishing vectorization gains for a denser
+merged-breakpoint schedule, so the tuner keeps stacks moderate.  The
+resolved size and worker count are recorded on the campaign
+:class:`~repro.runtime.telemetry.Telemetry` so summaries and BENCH JSON
+report the shape actually used.
+
+Process sharding
+----------------
+With :func:`resolve_batch_workers` > 1 (``REPRO_BATCH_WORKERS``), whole
+stacks fan out over a process pool through the executor's windowed
+submission core (:func:`repro.runtime.executor._dispatch_process_chunks`)
+- the same machinery the scalar process backend uses, inheriting its
+crash isolation and bounded redispatch.  The unit of crash isolation is
+the whole stack (``isolate="chunk"``): a lockstep stack is indivisible,
+because splitting it would change its composition and therefore its
+merged breakpoint schedule and its bits.  Outcomes are index-addressed,
+so merged results are deterministic in job order regardless of which
+worker finished first; with the *same stack composition* (same resolved
+batch size), a sharded run is bit-identical to the single-worker batch
+path, which stays available as ``REPRO_BATCH_WORKERS=1``.
+
+Before the shards launch, every warm group's skew-invariant prefix is
+built once in the parent and *published* to the checkpoint disk tier
+(:func:`repro.runtime.prefix.publish_prefixes`), turning the prefix
+cache into a cross-worker shared artifact store: every worker - forked
+or spawned, first generation or rebuilt after a crash - warm-starts
+from the published checkpoint instead of re-integrating it.  When the
+cache disk tier is disabled, a campaign-scoped temporary store is
+exported via ``REPRO_PREFIX_SHARED_DIR`` for the duration of the
+dispatch.
 
 Fallback contract
 -----------------
@@ -30,18 +62,22 @@ is counted in ``Telemetry.batch_fallbacks``.
 
 from __future__ import annotations
 
-import concurrent.futures
 import os
-from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+import shutil
+import tempfile
+from contextlib import contextmanager
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.batch.compile import BatchTopologyError
+from repro.batch.engine import stack_bytes_per_sample
 from repro.batch.response import evaluate_jobs_batch
 from repro.errors import SimulationError
+from repro.runtime.cache import parse_size
 from repro.runtime.executor import (
-    _check_cancelled, _evaluate_outcome, _Item, _mp_context, _Outcome,
+    DEFAULT_MAX_REDISPATCH, _check_cancelled, _dispatch_process_chunks,
+    _evaluate_outcome, _Item, _Outcome, resolve_workers,
 )
 from repro.runtime.jobs import SensorJob
 from repro.runtime.telemetry import Stopwatch, Telemetry
@@ -49,23 +85,156 @@ from repro.runtime.telemetry import Stopwatch, Telemetry
 #: Environment variable overriding the per-stack sample count.
 ENV_BATCH_SIZE = "REPRO_BATCH_SIZE"
 
-#: Default samples per lockstep stack.
+#: Environment variable overriding the batch shard worker count.
+ENV_BATCH_WORKERS = "REPRO_BATCH_WORKERS"
+
+#: Environment variable bounding the per-stack tensor memory of the
+#: auto-tuned batch size (``k``/``m``/``g`` suffixes, default 256 MB).
+ENV_BATCH_MEM_BUDGET = "REPRO_BATCH_MEM_BUDGET"
+
+#: Fallback samples per lockstep stack (explicit/env unset and the
+#: auto-tune heuristic inapplicable - e.g. no work items to measure).
 DEFAULT_BATCH_SIZE = 64
+
+#: Default auto-tune memory budget per stack, bytes (256 MB).
+DEFAULT_BATCH_MEM_BUDGET = 256 * 1024 ** 2
+
+#: Ceiling on the auto-tuned stack size.  Past ~10^2 samples the
+#: vectorization gain has flattened while the merged breakpoint schedule
+#: (every sample integrates every other sample's clock corners) keeps
+#: densifying, so bigger stacks get slower per sample.
+MAX_AUTO_BATCH = 128
 
 
 def resolve_batch_size(chunksize: Optional[int] = None) -> int:
-    """Samples per stack: explicit arg > ``REPRO_BATCH_SIZE`` > default."""
-    if chunksize is not None:
-        return max(1, int(chunksize))
-    env = os.environ.get(ENV_BATCH_SIZE, "").strip()
+    """Samples per stack: explicit arg > ``REPRO_BATCH_SIZE`` > default.
+
+    The static resolution, kept for callers without work items in hand;
+    :func:`resolve_batch_plan` adds the auto-tune tier the dispatcher
+    uses.
+    """
+    size, _ = resolve_batch_plan(chunksize)
+    return size
+
+
+def resolve_batch_workers(
+    batch_workers: Optional[int] = None, max_workers: Optional[int] = None
+) -> int:
+    """Shard worker count: arg > ``REPRO_BATCH_WORKERS`` > worker default.
+
+    Falls back to :func:`~repro.runtime.executor.resolve_workers` (the
+    ``max_workers`` argument / ``REPRO_MAX_WORKERS`` / half the CPUs),
+    so a campaign that fans scalar jobs over N processes shards its
+    batch stacks over the same N unless told otherwise.
+    """
+    if batch_workers is not None:
+        return max(1, int(batch_workers))
+    env = os.environ.get(ENV_BATCH_WORKERS, "").strip()
     if env:
         try:
             return max(1, int(env))
         except ValueError:
             raise ValueError(
+                f"{ENV_BATCH_WORKERS} must be an integer, got {env!r}"
+            ) from None
+    return resolve_workers(max_workers)
+
+
+def resolve_batch_mem_budget() -> int:
+    """Auto-tune memory budget: ``REPRO_BATCH_MEM_BUDGET`` or 256 MB."""
+    env = os.environ.get(ENV_BATCH_MEM_BUDGET, "").strip()
+    if not env:
+        return DEFAULT_BATCH_MEM_BUDGET
+    try:
+        return max(1, parse_size(env))
+    except ValueError:
+        raise ValueError(
+            f"{ENV_BATCH_MEM_BUDGET} must be a byte count "
+            f"(optionally with k/m/g suffix), got {env!r}"
+        ) from None
+
+
+def auto_batch_size(
+    n_jobs: int,
+    workers: int,
+    n_total: int,
+    n_free: int,
+    mem_budget: Optional[int] = None,
+) -> int:
+    """Auto-tuned samples per stack for one signature group.
+
+    Three bounds, tightest wins:
+
+    * **memory** - the ``(B, n, n)`` stack tensors must fit the budget:
+      ``budget // stack_bytes_per_sample(n_total, n_free)``.  Irrelevant
+      for the 10-transistor sensor (kilobytes per sample) but the
+      operative bound at whole-chip node counts, where the per-sample
+      Jacobian inverse alone is ``8 * n_free**2`` bytes;
+    * **fan-out** - ``ceil(n_jobs / workers)``: never build a stack so
+      large that shard workers sit idle while one integrates everything;
+    * **cap** - :data:`MAX_AUTO_BATCH`, where the lockstep gain has
+      flattened against the densifying merged breakpoint schedule.
+    """
+    per_sample = stack_bytes_per_sample(n_total, n_free)
+    budget = resolve_batch_mem_budget() if mem_budget is None else mem_budget
+    by_memory = max(1, int(budget) // per_sample)
+    by_fanout = max(1, -(-int(n_jobs) // max(1, int(workers))))
+    return max(1, min(by_memory, by_fanout, MAX_AUTO_BATCH))
+
+
+def _estimate_dims(job: SensorJob) -> Tuple[int, int]:
+    """(n_total, n_free) of one job's compiled sensor netlist.
+
+    One scalar compile - cheap next to any transient - gives the
+    auto-tuner the node counts its memory model needs.
+    """
+    from repro.analog.compile import CompiledCircuit
+    from repro.runtime.prefix import _sensor_netlist
+
+    _, netlist = _sensor_netlist(job.resolved())
+    compiled = CompiledCircuit.compile(netlist)
+    return compiled.n_total, compiled.n_free
+
+
+def resolve_batch_plan(
+    chunksize: Optional[int] = None,
+    items: Optional[Sequence[_Item]] = None,
+    workers: int = 1,
+) -> Tuple[int, bool]:
+    """Resolve ``(samples_per_stack, auto)`` for a dispatch.
+
+    Resolution order: explicit ``chunksize`` > ``REPRO_BATCH_SIZE`` >
+    :func:`auto_batch_size` over the largest :func:`batch_signature`
+    group of ``items`` > :data:`DEFAULT_BATCH_SIZE`.  ``auto`` is True
+    only when the heuristic chose the size - callers record it so a
+    tuned size is always distinguishable from a pinned one.
+
+    Note the auto-tuned size depends on the worker count (the fan-out
+    bound), so runs that must be bit-compared across *different* worker
+    counts should pin the size explicitly; the chosen size is recorded
+    in telemetry for exactly that purpose.
+    """
+    if chunksize is not None:
+        return max(1, int(chunksize)), False
+    env = os.environ.get(ENV_BATCH_SIZE, "").strip()
+    if env:
+        try:
+            return max(1, int(env)), False
+        except ValueError:
+            raise ValueError(
                 f"{ENV_BATCH_SIZE} must be an integer, got {env!r}"
             ) from None
-    return DEFAULT_BATCH_SIZE
+    if not items:
+        return DEFAULT_BATCH_SIZE, False
+    counts: Dict[Hashable, int] = {}
+    for item in items:
+        signature = batch_signature(item[1])
+        counts[signature] = counts.get(signature, 0) + 1
+    try:
+        n_total, n_free = _estimate_dims(items[0][1])
+    except (SimulationError, ValueError, KeyError):
+        return DEFAULT_BATCH_SIZE, False
+    return auto_batch_size(max(counts.values()), workers, n_total, n_free), True
 
 
 def batch_signature(job: SensorJob) -> Hashable:
@@ -104,6 +273,10 @@ def group_batches(
 
     Items are grouped by :func:`batch_signature` preserving first-seen
     order, then each group is chunked to at most ``batch_size`` samples.
+    The chunking is a pure function of ``(items, batch_size)`` - worker
+    count never enters - which is what makes sharded runs bit-identical
+    to single-worker runs at the same resolved size: sharding changes
+    where a stack integrates, never what is in it.
     """
     groups: Dict[Hashable, List[_Item]] = {}
     order: List[Hashable] = []
@@ -130,7 +303,10 @@ def evaluate_batch_chunk(
     worker protocol and ``stats`` carries ``batched_samples`` (results
     produced by the lockstep engine), ``batch_fallbacks`` (samples that
     took the scalar path), the batch-level ``escalations`` tally and the
-    stack's hot-loop ``kernel`` counters.
+    stack's hot-loop ``kernel`` counters.  Runs either in the parent
+    (single-worker path) or as the picklable pool worker of the sharded
+    path - it touches no parent state, and all statistics travel home in
+    ``stats``.
     """
     stats: Dict[str, object] = {
         "batched_samples": 0, "batch_fallbacks": 0, "escalations": {},
@@ -183,6 +359,42 @@ def _fold_stats(telemetry: Optional[Telemetry], stats: Dict[str, object]) -> Non
         telemetry.record_prefix(prefix)
 
 
+@contextmanager
+def _shared_prefix_store() -> Iterator[None]:
+    """Guarantee a cross-worker disk store for prefix checkpoints.
+
+    When the cache disk tier is enabled, the published checkpoints
+    already live in ``<cache>/checkpoints`` and every worker - forked or
+    spawned, first generation or rebuilt after a crash - reads them from
+    there; nothing to do.  When it is disabled
+    (``REPRO_CACHE_DISABLE``), a campaign-scoped temporary directory is
+    exported via ``REPRO_PREFIX_SHARED_DIR`` for the duration of the
+    dispatch: parent-built memory-tier checkpoints are promoted into it,
+    workers inherit the variable when their pool forks/spawns, and the
+    directory is removed when the dispatch ends.
+    """
+    from repro.runtime.cache import (
+        ENV_PREFIX_SHARED_DIR, get_checkpoint_cache, reset_checkpoint_cache,
+    )
+
+    cache = get_checkpoint_cache()
+    if cache.disk_enabled:
+        yield
+        return
+    tmp = tempfile.mkdtemp(prefix="repro-prefix-")
+    os.environ[ENV_PREFIX_SHARED_DIR] = tmp
+    reset_checkpoint_cache()
+    try:
+        store = get_checkpoint_cache()
+        for key, value in cache.memory_entries():
+            store.put(key, value)
+        yield
+    finally:
+        os.environ.pop(ENV_PREFIX_SHARED_DIR, None)
+        reset_checkpoint_cache()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def dispatch_batches(
     items: Sequence[_Item],
     workers: int = 1,
@@ -190,6 +402,7 @@ def dispatch_batches(
     telemetry: Optional[Telemetry] = None,
     on_outcome=None,
     cancel_event=None,
+    max_redispatch: int = DEFAULT_MAX_REDISPATCH,
 ) -> List[_Outcome]:
     """Run all work items through the batch engine.
 
@@ -199,63 +412,76 @@ def dispatch_batches(
         The executor's post-cache work items.
     workers:
         With ``workers > 1`` whole stacks fan out over a process pool
-        (one stack per task); a broken pool re-evaluates the affected
-        stack in-process, so crashes cost wall time, not results.
+        (one lockstep stack per worker) through the executor's windowed
+        submission core, inheriting its crash isolation: a stack whose
+        worker dies is re-dispatched whole - bounded by
+        ``max_redispatch`` - and outcomes merge in deterministic job
+        order either way.  ``workers <= 1`` is the in-process
+        single-worker path (``REPRO_BATCH_WORKERS=1``).
     chunksize:
-        Samples per stack (see :func:`resolve_batch_size`).
+        Samples per stack (see :func:`resolve_batch_plan` for the
+        explicit > env > auto-tuned resolution).
     telemetry:
         Campaign accumulator receiving ``batched_samples`` /
-        ``batch_fallbacks`` counters and the batch escalation tallies.
+        ``batch_fallbacks`` counters, the batch escalation tallies and
+        the resolved stack size / worker count
+        (:meth:`~repro.runtime.telemetry.Telemetry.record_batch_config`).
     on_outcome:
         Optional callback receiving each outcome as its stack completes
         (the executor assimilates/streams through this).
     cancel_event:
         Optional :class:`threading.Event` checked between stacks; when
         set, dispatch stops with a
-        :class:`~repro.errors.CampaignCancelledError` (a running stack
-        finishes - lockstep samples cannot be interrupted mid-grid).
+        :class:`~repro.errors.CampaignCancelledError` (in-process stacks
+        finish first - lockstep samples cannot be interrupted mid-grid;
+        sharded pools are torn down).
+    max_redispatch:
+        Extra dispatches granted to a crashed stack before its samples
+        are reported as :class:`~repro.errors.WorkerCrashError`
+        outcomes (sharded path only).
     """
-    chunks = group_batches(items, resolve_batch_size(chunksize))
-    outcomes: List[_Outcome] = []
+    batch_size, auto = resolve_batch_plan(chunksize, items, workers)
+    chunks = group_batches(items, batch_size)
+    effective = max(1, min(int(workers), len(chunks)))
+    if telemetry is not None:
+        telemetry.record_batch_config(
+            stack_size=batch_size, workers=effective, auto=auto
+        )
 
-    def emit(chunk_outcomes: List[_Outcome]) -> None:
-        outcomes.extend(chunk_outcomes)
-        if on_outcome is not None:
-            for outcome in chunk_outcomes:
-                on_outcome(outcome)
-
-    if workers <= 1 or len(chunks) <= 1:
+    if effective <= 1:
+        outcomes: List[_Outcome] = []
         for chunk in chunks:
             _check_cancelled(cancel_event)
             chunk_outcomes, stats = evaluate_batch_chunk(chunk)
             _fold_stats(telemetry, stats)
-            emit(chunk_outcomes)
+            outcomes.extend(chunk_outcomes)
+            if on_outcome is not None:
+                for outcome in chunk_outcomes:
+                    on_outcome(outcome)
         return outcomes
 
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)), mp_context=_mp_context()
-    ) as pool:
-        futures = []
-        for chunk in chunks:
-            try:
-                futures.append((pool.submit(evaluate_batch_chunk, chunk), chunk))
-            except BrokenProcessPool:
-                futures.append((None, chunk))
-        for future, chunk in futures:
-            _check_cancelled(cancel_event)
-            chunk_outcomes: Optional[List[_Outcome]] = None
-            stats: Optional[Dict[str, object]] = None
-            if future is not None:
-                try:
-                    chunk_outcomes, stats = future.result()
-                except BrokenProcessPool:
-                    chunk_outcomes = None
-            if chunk_outcomes is None:
-                # Pool died under this stack: rerun it in-process.
-                if telemetry is not None:
-                    telemetry.record_worker_crash()
-                    telemetry.record_redispatch(len(chunk))
-                chunk_outcomes, stats = evaluate_batch_chunk(chunk)
-            _fold_stats(telemetry, stats)
-            emit(chunk_outcomes)
-    return outcomes
+    # Sharded path: publish the warm prefixes once, then fan whole
+    # stacks out through the executor's windowed dispatcher.  Stats ride
+    # home in each worker's payload and are folded here in the parent.
+    def consume(payload, emit) -> None:
+        chunk_outcomes, stats = payload
+        _fold_stats(telemetry, stats)
+        for outcome in chunk_outcomes:
+            emit(outcome)
+
+    with _shared_prefix_store():
+        from repro.runtime.prefix import publish_prefixes
+
+        publish_prefixes([item[1] for item in items], telemetry)
+        return _dispatch_process_chunks(
+            chunks,
+            workers=effective,
+            timeout=None,
+            max_redispatch=max_redispatch,
+            telemetry=telemetry if telemetry is not None else Telemetry(),
+            worker=evaluate_batch_chunk,
+            consume=consume,
+            isolate="chunk",
+            on_outcome=on_outcome,
+            cancel_event=cancel_event,
+        )

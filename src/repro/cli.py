@@ -107,6 +107,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             cache=cache,
             telemetry=telemetry,
             max_workers=args.workers,
+            batch_workers=args.batch_workers,
             on_error=args.on_error,
             checkpoint=args.checkpoint,
             resume=args.resume,
@@ -144,7 +145,8 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     with telemetry.timer("montecarlo"):
         points = scatter_analysis_parallel(
             samples, skews, options=_FAST, backend=args.backend,
-            n_workers=args.workers, cache=cache, telemetry=telemetry,
+            n_workers=args.workers, batch_workers=args.batch_workers,
+            cache=cache, telemetry=telemetry,
             warm_start=False if args.no_warm_start else None,
         )
     seed_text = args.seed if args.seed is not None else "none (fresh draws)"
@@ -404,6 +406,8 @@ def _load_spec(args: argparse.Namespace) -> dict:
         spec["backend"] = args.backend
     if args.workers is not None:
         spec["workers"] = args.workers
+    if args.batch_workers is not None:
+        spec["batch_workers"] = args.batch_workers
     if args.tenant:
         spec["tenant"] = args.tenant
     if args.timeout is not None:
@@ -538,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="pool width (default: REPRO_MAX_WORKERS or "
                             "half the CPUs)")
+        p.add_argument("--batch-workers", type=int, default=None,
+                       help="batch-backend shard workers: whole lockstep "
+                            "stacks fan out over this many processes "
+                            "(default: REPRO_BATCH_WORKERS, else the "
+                            "--workers resolution; 1 = unsharded)")
         p.add_argument("--no-cache", action="store_true",
                        help="bypass the result cache")
         p.add_argument("--no-warm-start", action="store_true",
@@ -725,6 +734,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["serial", "thread", "process", "batch"],
                         default="serial")
     submit.add_argument("--workers", type=int, default=None)
+    submit.add_argument("--batch-workers", type=int, default=None,
+                        help="shard worker count for the batch backend "
+                             "(default: REPRO_BATCH_WORKERS)")
     submit.add_argument("--tenant", type=str, default="",
                         help="cache namespace for this campaign")
     submit.add_argument("--timeout", type=float, default=None,

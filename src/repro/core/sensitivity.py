@@ -109,6 +109,7 @@ def sweep_skew(
     cache: Any = "default",
     telemetry: Any = None,
     max_workers: Optional[int] = None,
+    batch_workers: Optional[int] = None,
     warm_start: Optional[bool] = None,
 ) -> SensitivityCurve:
     """Sweep ``tau`` and collect the ``Vmin`` curve for one (load, slew).
@@ -134,7 +135,7 @@ def sweep_skew(
     ]
     campaign = run_campaign(
         jobs, backend=backend, cache=cache, telemetry=telemetry,
-        max_workers=max_workers,
+        max_workers=max_workers, batch_workers=batch_workers,
     )
     vmins = np.array([result.vmin_late for result in campaign])
     return SensitivityCurve(
@@ -196,6 +197,7 @@ def sensitivity_family(
     cache: Any = "default",
     telemetry: Any = None,
     max_workers: Optional[int] = None,
+    batch_workers: Optional[int] = None,
     on_error: str = "raise",
     checkpoint: Optional[str] = None,
     resume: bool = False,
@@ -230,8 +232,8 @@ def sensitivity_family(
     ]
     campaign = run_campaign(
         jobs, backend=backend, cache=cache, telemetry=telemetry,
-        max_workers=max_workers, on_error=on_error,
-        checkpoint=checkpoint, resume=resume,
+        max_workers=max_workers, batch_workers=batch_workers,
+        on_error=on_error, checkpoint=checkpoint, resume=resume,
     )
     curves: List[SensitivityCurve] = []
     for block, (load, slew) in enumerate(pairs):

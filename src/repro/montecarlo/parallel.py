@@ -69,6 +69,7 @@ def scatter_analysis_parallel(
     sizing: Optional[SensorSizing] = None,
     options: Optional[TransientOptions] = None,
     n_workers: Optional[int] = None,
+    batch_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     backend: str = "process",
     cache: Any = "default",
@@ -87,7 +88,10 @@ def scatter_analysis_parallel(
 
     Parameters beyond the original signature expose the runtime layer:
     ``chunksize`` (process-pool chunk size, or samples per stack for the
-    batch backend), ``backend`` (``"process"``, ``"thread"``,
+    batch backend), ``batch_workers`` (shard worker count of the batch
+    backend - whole lockstep stacks fan out over this many processes, so
+    the SIMD and multicore axes multiply; defaults to
+    ``REPRO_BATCH_WORKERS``), ``backend`` (``"process"``, ``"thread"``,
     ``"serial"``, or ``"batch"`` - the lockstep vectorised engine, the
     fastest choice for exactly this workload of many same-topology
     variants), ``cache`` (``None``
@@ -115,6 +119,7 @@ def scatter_analysis_parallel(
         jobs,
         backend=backend,
         max_workers=workers,
+        batch_workers=batch_workers,
         chunksize=chunksize,
         cache=cache,
         telemetry=telemetry,

@@ -364,17 +364,34 @@ def _poll_budget(
     return budget
 
 
-def _dispatch_process(
-    items: List[_Item],
+def _consume_outcomes(payload: Any, emit: Callable[[_Outcome], None]) -> None:
+    """Default payload consumer: the worker returned a list of outcomes."""
+    for outcome in payload:
+        emit(outcome)
+
+
+def _dispatch_process_chunks(
+    chunks: List[List[_Item]],
     workers: int,
-    chunksize: int,
     timeout: Optional[float],
     max_redispatch: int,
     telemetry: Telemetry,
+    worker: Callable[[List[_Item]], Any] = _worker_chunk,
+    consume: Callable[[Any, Callable[[_Outcome], None]], None] = _consume_outcomes,
+    isolate: str = "item",
     on_outcome: Optional[Callable[[_Outcome], None]] = None,
     cancel_event: Optional[threading.Event] = None,
 ) -> List[_Outcome]:
-    """Process backend with per-job timeouts and crash isolation.
+    """Windowed process-pool dispatch over pre-formed chunks.
+
+    The crash-isolation core shared by the scalar process backend
+    (chunks of independent jobs, ``worker=_worker_chunk``) and the
+    sharded batch backend (whole lockstep stacks,
+    ``worker=evaluate_batch_chunk``).  ``worker`` must be a picklable
+    module-level callable taking one chunk; ``consume(payload, emit)``
+    runs in the parent and turns the worker's return value into emitted
+    outcomes (the batch dispatcher folds stack statistics into telemetry
+    here).
 
     Phase 1 runs chunks on a parallel pool with at most ``workers``
     chunks in flight, so a submitted chunk starts immediately and its
@@ -392,13 +409,18 @@ def _dispatch_process(
       re-dispatched on a rebuilt parallel pool.
 
     Phase 2 re-runs each suspect alone on a single-worker pool, so a
-    poison job can only break a pool containing itself - that is what
-    attributes the crash.  A job gets at most ``max_redispatch`` extra
-    dispatches before it is declared poison and reported as a
+    poison unit can only break a pool containing itself - that is what
+    attributes the crash.  ``isolate`` picks the unit: ``"item"`` splits
+    suspect chunks into single jobs (scalar semantics - the crash is
+    pinned to one job); ``"chunk"`` keeps the whole chunk together (batch
+    semantics - a lockstep stack is indivisible, splitting it would
+    change its composition and therefore its bits).  A unit gets at most
+    ``max_redispatch`` extra dispatches before it is declared poison and
+    every job in it is reported as a
     :class:`~repro.errors.WorkerCrashError` outcome.
     """
     outcomes: List[_Outcome] = []
-    suspects: List[_Item] = []
+    suspects: List[List[_Item]] = []
     context = _mp_context()
 
     def emit(outcome: _Outcome) -> None:
@@ -407,7 +429,7 @@ def _dispatch_process(
             on_outcome(outcome)
 
     # Phase 1: parallel dispatch over rebuildable pool generations.
-    remaining = _chunked(items, chunksize)
+    remaining = list(chunks)
     while remaining:
         queue = list(remaining)
         remaining = []
@@ -422,7 +444,7 @@ def _dispatch_process(
                 while queue and len(pending) < workers:
                     chunk = queue.pop(0)
                     try:
-                        future = pool.submit(_worker_chunk, chunk)
+                        future = pool.submit(worker, chunk)
                     except BrokenProcessPool:
                         # The pool died under us mid-submission; this
                         # chunk never reached a worker, so it is not a
@@ -441,10 +463,9 @@ def _dispatch_process(
                 for future in done:
                     chunk, _ = pending.pop(future)
                     try:
-                        for outcome in future.result():
-                            emit(outcome)
+                        consume(future.result(), emit)
                     except BrokenProcessPool:
-                        suspects.extend(chunk)
+                        suspects.append(chunk)
                         broke = True
                 if timeout is not None and not broke:
                     overdue = [
@@ -464,7 +485,7 @@ def _dispatch_process(
         if broke:
             telemetry.record_worker_crash()
             for chunk, _ in pending.values():
-                suspects.extend(chunk)  # in flight when the pool broke
+                suspects.append(chunk)  # in flight when the pool broke
             _kill_pool(pool)
         elif stuck:
             _kill_pool(pool)  # never join a worker running a hung job
@@ -474,44 +495,73 @@ def _dispatch_process(
             pool.shutdown(wait=True)
         remaining = queue
 
-    # Phase 2: crash isolation.  One suspect per single-worker pool; a
-    # pool that breaks now indicts exactly the job it was running.
+    # Phase 2: crash isolation.  One suspect unit per single-worker
+    # pool; a pool that breaks now indicts exactly the unit it was
+    # running.
+    if isolate == "item":
+        units = [[item] for chunk in suspects for item in chunk]
+    else:
+        units = [list(chunk) for chunk in suspects]
     dispatches: Dict[int, int] = {}
-    queue = list(suspects)
+    queue = list(units)
     if queue:
-        telemetry.record_redispatch(len(queue))
+        telemetry.record_redispatch(sum(len(unit) for unit in queue))
     while queue:
         _check_cancelled(cancel_event)
-        item = queue.pop(0)
-        index = item[0]
-        dispatches[index] = dispatches.get(index, 0) + 1
+        unit = queue.pop(0)
+        uid = unit[0][0]  # first job index names the unit
+        dispatches[uid] = dispatches.get(uid, 0) + 1
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=1, mp_context=context
         )
-        future = pool.submit(_worker_chunk, [item])
+        future = pool.submit(worker, unit)
         watch = Stopwatch()
         try:
-            chunk_outcomes = future.result(timeout=timeout)
+            payload = future.result(timeout=timeout)
         except concurrent.futures.TimeoutError:
-            emit(_timeout_outcome(item, watch.elapsed(), timeout))
+            for item in unit:
+                emit(_timeout_outcome(item, watch.elapsed(), timeout))
             _kill_pool(pool)
             continue
         except BrokenProcessPool:
             _kill_pool(pool)
             telemetry.record_worker_crash()
-            if dispatches[index] > max_redispatch:
-                emit(_crash_outcome(item, dispatches[index]))
+            if dispatches[uid] > max_redispatch:
+                for item in unit:
+                    emit(_crash_outcome(item, dispatches[uid]))
             else:
-                telemetry.record_redispatch()
-                queue.append(item)
+                telemetry.record_redispatch(len(unit))
+                queue.append(unit)
             continue
         except BaseException:
             _kill_pool(pool)
             raise
         pool.shutdown(wait=True)
-        for outcome in chunk_outcomes:
-            emit(outcome)
+        consume(payload, emit)
     return outcomes
+
+
+def _dispatch_process(
+    items: List[_Item],
+    workers: int,
+    chunksize: int,
+    timeout: Optional[float],
+    max_redispatch: int,
+    telemetry: Telemetry,
+    on_outcome: Optional[Callable[[_Outcome], None]] = None,
+    cancel_event: Optional[threading.Event] = None,
+) -> List[_Outcome]:
+    """Scalar process backend: per-job timeouts and crash isolation.
+
+    A thin wrapper over :func:`_dispatch_process_chunks` with the scalar
+    defaults: jobs are chunked by ``chunksize``, evaluated by
+    :func:`_worker_chunk`, and crash isolation re-runs suspects one
+    *job* at a time so a poison job is attributed individually.
+    """
+    return _dispatch_process_chunks(
+        _chunked(items, chunksize), workers, timeout, max_redispatch,
+        telemetry, on_outcome=on_outcome, cancel_event=cancel_event,
+    )
 
 
 def evaluate_cached(
@@ -564,6 +614,7 @@ def run_campaign(
     jobs: Sequence[SensorJob],
     backend: str = "serial",
     max_workers: Optional[int] = None,
+    batch_workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     retries: int = 1,
     timeout: Optional[float] = None,
@@ -596,10 +647,21 @@ def run_campaign(
         :class:`SensorJob` descriptions directly, so it rejects a custom
         ``evaluate``; it also has no per-job ``timeout`` (samples share
         one integration).  ``chunksize`` becomes the per-stack sample
-        count (default ``REPRO_BATCH_SIZE`` or 64) and ``max_workers``
-        fans whole stacks out over processes.
+        count, resolved as explicit ``chunksize`` > ``REPRO_BATCH_SIZE``
+        > an auto-tuned size derived from the signature-group fan-out,
+        the shard worker count and the ``REPRO_BATCH_MEM_BUDGET``
+        stack-memory budget (see
+        :func:`repro.batch.dispatch.resolve_batch_plan`); whole stacks
+        fan out over ``batch_workers`` shard processes through the
+        windowed dispatcher.
     max_workers:
         Pool width; defaults to ``REPRO_MAX_WORKERS`` or half the CPUs.
+    batch_workers:
+        Shard worker count of the batch backend (how many lockstep
+        stacks integrate concurrently, each on its own process).
+        Resolution: explicit arg > ``REPRO_BATCH_WORKERS`` > the
+        ``max_workers`` resolution above.  ``1`` keeps the in-process
+        single-worker batch path.  Ignored by the other backends.
     chunksize:
         Process-pool chunk size; defaults to ~4 chunks per worker.
         Forced to 1 when a ``timeout`` is set so timeouts and crashes
@@ -639,7 +701,9 @@ def run_campaign(
         completed in it (telemetry counts them as ``resumed``).
     max_redispatch:
         Extra isolated dispatches granted to a job whose worker pool
-        died before it is declared poison (process backend only).
+        died before it is declared poison (process backend, and the
+        sharded batch backend where the unit of redispatch is the whole
+        lockstep stack).
     progress:
         Optional callback invoked once per finished job as
         ``progress(index, result)`` with the job's position and its
@@ -774,15 +838,18 @@ def run_campaign(
             if backend == "batch":
                 # Imported lazily: the batch subsystem depends on this
                 # module's worker protocol, not the other way round.
-                from repro.batch.dispatch import dispatch_batches
+                from repro.batch.dispatch import (
+                    dispatch_batches, resolve_batch_workers,
+                )
 
                 dispatch_batches(
                     items,
-                    workers=resolve_workers(max_workers),
+                    workers=resolve_batch_workers(batch_workers, max_workers),
                     chunksize=chunksize,
                     telemetry=telemetry,
                     on_outcome=_absorb,
                     cancel_event=cancel_event,
+                    max_redispatch=max_redispatch,
                 )
             elif backend == "serial" or (len(items) == 1 and timeout is None):
                 # Stream outcomes so an abort (raise mode) stops at the

@@ -317,3 +317,43 @@ def prepare_prefixes(
             )
         built += int(stats.get("builds", 0))
     return built
+
+
+def publish_prefixes(
+    jobs: Sequence[SensorJob], telemetry: Optional[Telemetry] = None
+) -> int:
+    """Publish every prefix group's checkpoint to the shared store.
+
+    The sharded batch dispatcher calls this immediately before fanning
+    stacks out over a process pool.  It is :func:`prepare_prefixes` plus
+    one guarantee: when a disk tier is configured, the checkpoint ends
+    up *on disk*, not just in the parent's memory tier - so spawn-context
+    workers, and fork-pool generations rebuilt after a crash, warm-start
+    from the artifact store instead of each re-integrating the prefix.
+    A checkpoint that was built under a disk-disabled cache (or while the
+    disk tier was degraded) is re-``put`` from memory.  Returns the
+    number of groups built or re-published.
+    """
+    from repro.errors import SimulationError
+
+    published = 0
+    cache = get_checkpoint_cache()
+    for key, group in group_by_prefix(jobs).items():
+        payload = cache.get(key)
+        if payload is None:
+            try:
+                _, stats = prefix_checkpoint(group[0].resolved())
+            except SimulationError:
+                # The per-sample evaluation will surface the failure
+                # through the executor's normal error machinery.
+                continue
+            if telemetry is not None:
+                telemetry.record_prefix(
+                    {k: v for k, v in stats.items()
+                     if k in ("hits", "builds", "build_s", "saved_s")}
+                )
+            published += 1
+        elif cache.disk_enabled and not cache.on_disk(key):
+            cache.put(key, payload)
+            published += 1
+    return published

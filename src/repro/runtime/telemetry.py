@@ -120,6 +120,13 @@ class Telemetry:
     #: re-dispatched to the scalar path (the fallback contract).
     batched_samples: int = 0
     batch_fallbacks: int = 0
+    #: Resolved batch-dispatch shape: samples per lockstep stack, shard
+    #: worker count, and whether the stack size came from the auto-tune
+    #: heuristic (vs an explicit argument / ``REPRO_BATCH_SIZE``).  Zero
+    #: until a batch dispatch records its configuration.
+    batch_stack_size: int = 0
+    batch_workers: int = 0
+    batch_size_auto: bool = False
     #: Hot-loop kernel counters summed over evaluated jobs
     #: (:meth:`repro.analog.kernels.KernelStats.as_dict` fields:
     #: assembles, factorizations, jacobian_reuses, per-phase seconds...).
@@ -214,6 +221,18 @@ class Telemetry:
         engine."""
         self.batched_samples += int(samples)
         self.batch_fallbacks += int(fallbacks)
+
+    def record_batch_config(
+        self, stack_size: int, workers: int, auto: bool = False
+    ) -> None:
+        """Record the resolved batch-dispatch shape: ``stack_size``
+        samples per lockstep stack fanned out over ``workers`` shard
+        processes; ``auto`` marks a stack size chosen by the dispatcher's
+        memory/fan-out heuristic rather than an explicit setting.  Benches
+        read these back so BENCH JSON reports the size actually used."""
+        self.batch_stack_size = int(stack_size)
+        self.batch_workers = int(workers)
+        self.batch_size_auto = bool(auto)
 
     @contextmanager
     def timer(self, label: str) -> Iterator[None]:
@@ -316,6 +335,9 @@ class Telemetry:
                 "worker_crashes": self.worker_crashes,
                 "batched_samples": self.batched_samples,
                 "batch_fallbacks": self.batch_fallbacks,
+                "batch_stack_size": self.batch_stack_size,
+                "batch_workers": self.batch_workers,
+                "batch_size_auto": self.batch_size_auto,
             },
             "wall_s": {
                 "jobs_total": self.wall_total,
@@ -384,9 +406,16 @@ class Telemetry:
                 f"{self.redispatches} job re-dispatch(es)"
             )
         if self.batched_samples or self.batch_fallbacks:
+            shape = ""
+            if self.batch_stack_size:
+                source = "auto" if self.batch_size_auto else "set"
+                shape = (
+                    f" ({self.batch_stack_size} samples/stack [{source}], "
+                    f"{self.batch_workers} worker(s))"
+                )
             lines.append(
                 f"batch     : {self.batched_samples} sample(s) in lockstep, "
-                f"{self.batch_fallbacks} scalar fallback(s)"
+                f"{self.batch_fallbacks} scalar fallback(s){shape}"
             )
         lines += [
             f"wall time : {format_duration(wall['elapsed'])} elapsed, "
@@ -408,6 +437,10 @@ class Telemetry:
         self.worker_crashes += other.worker_crashes
         self.batched_samples += other.batched_samples
         self.batch_fallbacks += other.batch_fallbacks
+        if other.batch_stack_size:
+            self.batch_stack_size = other.batch_stack_size
+            self.batch_workers = other.batch_workers
+            self.batch_size_auto = other.batch_size_auto
         self.prefix_hits += other.prefix_hits
         self.prefix_builds += other.prefix_builds
         self.prefix_build_s += other.prefix_build_s

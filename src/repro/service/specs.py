@@ -58,8 +58,8 @@ class CampaignPlan:
     #: Reduce the ordered campaign results to the JSON result payload.
     fold: Callable[[Any], Dict[str, Any]]
     #: Keyword arguments for :func:`repro.runtime.run_campaign`
-    #: (``backend``, ``max_workers``, ``chunksize``, ``retries``,
-    #: ``on_error``).
+    #: (``backend``, ``max_workers``, ``batch_workers``, ``chunksize``,
+    #: ``retries``, ``on_error``).
     executor: Dict[str, Any] = field(default_factory=dict)
     #: Evaluation override (test kinds only; forces ``cache=None``).
     evaluate: Optional[Callable[[Any], Any]] = None
@@ -69,6 +69,7 @@ class CampaignPlan:
 _COMMON_DEFAULTS: Dict[str, Any] = {
     "backend": "serial",
     "workers": None,
+    "batch_workers": None,  # None = resolve from REPRO_BATCH_WORKERS
     "chunksize": None,
     "retries": 1,
     "on_error": "raise",
@@ -136,6 +137,10 @@ def _validate_common(spec: Dict[str, Any]) -> None:
         )
     if spec["timeout_s"] is not None and float(spec["timeout_s"]) <= 0:
         raise SpecError("timeout_s must be positive")
+    if spec["batch_workers"] is not None and (
+            not isinstance(spec["batch_workers"], int)
+            or spec["batch_workers"] < 1):
+        raise SpecError("batch_workers must be a positive integer")
     if not isinstance(spec["tenant"], str):
         raise SpecError("tenant must be a string")
 
@@ -154,6 +159,7 @@ def _executor_kwargs(spec: Dict[str, Any]) -> Dict[str, Any]:
     return {
         "backend": spec["backend"],
         "max_workers": spec["workers"],
+        "batch_workers": spec["batch_workers"],
         "chunksize": spec["chunksize"],
         "retries": int(spec["retries"]),
         "on_error": spec["on_error"],

@@ -26,6 +26,17 @@ rule: any fresh value at or below 1.0 is flagged even without a
 baseline entry - the sparse MNA path losing to dense assembly at
 10^3-node clock trees means its pattern reuse or factor caching broke.
 
+``shard_speedup`` figures (the batch benches' sharded leg) get the same
+unconditional rule: the sharded leg only runs with two or more workers,
+and the whole point of fanning stacks over a pool is to multiply the
+SIMD gain by the core count - a value at or below 1.0 on a multi-core
+runner means sharding costs more than it buys (IPC, lost prefix
+sharing, serialised stacks) and must be looked at, baseline or not.
+The one principled exception: a record whose own ``cpu_count`` says the
+box had a single core measured pure fan-out overhead (two forked
+workers time-slicing one CPU cannot beat one in-process worker), so
+the rule only fires where a fan-out could have won.
+
 Usage::
 
     python tools/check_bench_regression.py \
@@ -63,6 +74,12 @@ SPEEDUP_METRIC = "concurrency_speedup"
 #: at large node counts - always flagged, baseline or not, because the
 #: sparse path exists solely for that speedup.
 SPARSE_SPEEDUP_METRIC = "sparse_speedup"
+
+#: Batch-sharding effectiveness metric (the batch benches' sharded
+#: leg): flagged whenever a fresh value sits at or below 1.0 -
+#: process-sharding lockstep stacks that fails to beat one worker is
+#: functional breakage of the fan-out, never a reason to keep it.
+SHARD_SPEEDUP_METRIC = "shard_speedup"
 
 
 def iter_metrics(
@@ -215,6 +232,32 @@ def compare(
                 )
             print(
                 f"{name}: {where} = {fresh_sparse:7.2f}x sparse-vs-dense "
+                f"{marker}"
+            )
+        with open(fresh_path) as handle:
+            fresh_cores = json.load(handle).get("cpu_count") or 0
+        for where, fresh_shard in sorted(
+            load_metrics(fresh_path, SHARD_SPEEDUP_METRIC).items()
+        ):
+            # Unconditional, like sparse_speedup: the sharded leg only
+            # reports when it actually fanned out (>= 2 workers), and a
+            # fan-out that loses to one worker is broken, not noisy -
+            # except on a single-core box, where the record measured
+            # pure fan-out overhead and can only lose.
+            compared += 1
+            marker = "ok"
+            if fresh_shard <= 1.0 and fresh_cores < 2:
+                marker = "ok (single-core box: overhead-only measurement)"
+            elif fresh_shard <= 1.0:
+                regressions += 1
+                marker = "REGRESSED"
+                print(
+                    f"::warning file={name}::{where} at "
+                    f"{fresh_shard:.2f}x - sharded batch stacks no longer "
+                    "beat the single-worker batch path"
+                )
+            print(
+                f"{name}: {where} = {fresh_shard:7.2f}x sharded-vs-single "
                 f"{marker}"
             )
     return compared, regressions
